@@ -1,0 +1,125 @@
+#ifndef LSMLAB_BENCH_BENCH_COMMON_H_
+#define LSMLAB_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the experiment harnesses (DESIGN.md E1-E14).
+// Each bench prints a small CSV-style table; EXPERIMENTS.md records the
+// expected shapes. All I/O numbers are logical 4 KiB block accesses counted
+// by the in-memory Env (the deterministic testbed substitute).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "storage/env.h"
+#include "util/random.h"
+#include "workload/keygen.h"
+#include "workload/workload.h"
+
+namespace lsmlab {
+namespace bench {
+
+inline constexpr uint64_t kKeyDomain = uint64_t{1} << 34;
+
+/// A DB plus its private counting environment.
+struct TestDb {
+  std::unique_ptr<Env> env;
+  std::unique_ptr<DB> db;
+
+  IoStats* io() { return env->io_stats(); }
+};
+
+/// Opens a fresh DB over a fresh mem env and loads `n` uniform-random
+/// entries with `value_bytes` values (keys are 8-byte big-endian).
+inline TestDb LoadDb(Options options, size_t n, size_t value_bytes,
+                     uint64_t seed = 42) {
+  TestDb t;
+  t.env.reset(NewMemEnv());
+  options.env = t.env.get();
+  Status s = DB::Open(options, "/bench", &t.db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  auto gen = NewUniformGenerator(kKeyDomain, seed);
+  for (size_t i = 0; i < n; i++) {
+    const std::string key = EncodeKey(gen->Next());
+    s = t.db->Put({}, key, ValueForKey(key, value_bytes));
+    if (!s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  return t;
+}
+
+/// Replays the same key sequence used by LoadDb (for existing-key reads).
+inline std::vector<std::string> LoadedKeys(size_t n, uint64_t seed = 42) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  auto gen = NewUniformGenerator(kKeyDomain, seed);
+  for (size_t i = 0; i < n; i++) {
+    keys.push_back(EncodeKey(gen->Next()));
+  }
+  return keys;
+}
+
+struct GetCost {
+  double ios_per_op = 0;
+  double ns_per_op = 0;
+  double found_fraction = 0;
+};
+
+/// Runs `ops` point lookups; existing=true draws from the loaded keys,
+/// else from fresh keys (overwhelmingly absent in the sparse domain).
+inline GetCost MeasureGets(TestDb* t, size_t loaded_n, size_t ops,
+                           bool existing, uint64_t seed = 7) {
+  auto keys = LoadedKeys(loaded_n);
+  Random rng(seed);
+  auto absent_gen = NewUniformGenerator(kKeyDomain, seed ^ 0x123457);
+
+  const uint64_t io_before = t->io()->block_reads.load();
+  size_t found = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::string value;
+  for (size_t i = 0; i < ops; i++) {
+    std::string key = existing ? keys[rng.Uniform(keys.size())]
+                               : EncodeKey(absent_gen->Next());
+    if (t->db->Get({}, key, &value).ok()) {
+      found++;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const uint64_t io_after = t->io()->block_reads.load();
+
+  GetCost cost;
+  cost.ios_per_op = static_cast<double>(io_after - io_before) / ops;
+  cost.ns_per_op =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count() /
+      static_cast<double>(ops);
+  cost.found_fraction = static_cast<double>(found) / ops;
+  return cost;
+}
+
+/// Milliseconds of wall clock for `fn`.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+             .count() /
+         1000.0;
+}
+
+inline void PrintHeader(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace bench
+}  // namespace lsmlab
+
+#endif  // LSMLAB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,76 @@
+// E2 — Hybrid data layouts (tutorial I-2; Dostoevsky [20]).
+//
+// Claim: lazy leveling achieves close to tiering's write cost while
+// keeping point-lookup and short-scan cost close to leveling, because the
+// largest level (which dominates reads) stays a single run.
+
+#include "bench_common.h"
+
+namespace lsmlab {
+namespace bench {
+namespace {
+
+const char* PolicyName(MergePolicy p) {
+  switch (p) {
+    case MergePolicy::kLeveling:
+      return "leveling";
+    case MergePolicy::kTiering:
+      return "tiering";
+    case MergePolicy::kLazyLeveling:
+      return "lazy-leveling";
+    default:
+      return "fifo";
+  }
+}
+
+void Run() {
+  PrintHeader("E2 hybrid layouts",
+              "policy,T,write_amp,zero_get_ios,existing_get_ios,"
+              "short_scan_ios,runs");
+  const size_t kN = 60000;
+  for (int t : {4, 8}) {
+    for (MergePolicy policy :
+         {MergePolicy::kLeveling, MergePolicy::kTiering,
+          MergePolicy::kLazyLeveling}) {
+      Options options;
+      options.merge_policy = policy;
+      options.size_ratio = t;
+      options.write_buffer_size = 32 << 10;
+      options.max_file_size = 32 << 10;
+      options.level0_compaction_trigger = 2;
+      options.filter_allocation = FilterAllocation::kNone;
+      TestDb db = LoadDb(options, kN, 64);
+
+      DBStats stats = db.db->GetStats();
+      const GetCost zero = MeasureGets(&db, kN, 1500, /*existing=*/false);
+      const GetCost hit = MeasureGets(&db, kN, 1500, /*existing=*/true);
+
+      // Short scans: 16 consecutive keys from a random start.
+      Random rng(3);
+      const uint64_t io_before = db.io()->block_reads.load();
+      const int kScans = 400;
+      for (int i = 0; i < kScans; i++) {
+        const uint64_t start = rng.Uniform(kKeyDomain);
+        std::vector<std::pair<std::string, std::string>> results;
+        db.db->Scan({}, EncodeKey(start),
+                    EncodeKey(start + (kKeyDomain / kN) * 16), 16, &results);
+      }
+      const double scan_ios =
+          static_cast<double>(db.io()->block_reads.load() - io_before) /
+          kScans;
+
+      std::printf("%s,%d,%.2f,%.2f,%.2f,%.2f,%d\n", PolicyName(policy), t,
+                  stats.WriteAmplification(), zero.ios_per_op,
+                  hit.ios_per_op, scan_ios, stats.total_runs);
+    }
+  }
+  std::printf(
+      "# expect: lazy-leveling write_amp ~ tiering's, but zero/existing\n"
+      "# lookup and short-scan I/Os closer to leveling's.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsmlab
+
+int main() { lsmlab::bench::Run(); }

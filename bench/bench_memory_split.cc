@@ -1,0 +1,97 @@
+// E9 — Splitting memory between write buffer and filters (tutorial §II-5;
+// Monkey [18], Luo & Carey [54, 57]).
+//
+// Claim: with a fixed memory budget and a mixed read/write workload, both
+// extremes lose — a tiny buffer inflates write amplification, tiny filters
+// inflate read I/O — so total I/O has an interior optimum.
+
+#include "bench_common.h"
+#include "tuning/navigator.h"
+
+namespace lsmlab {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E9 buffer-vs-filter memory split (fixed total budget)",
+              "buffer_fraction,buffer_bytes,filter_bits_per_key,"
+              "total_ios_per_op,write_ios_per_op,read_ios_per_op,model_cost");
+  const size_t kN = 60000;
+  const size_t kBudget = 192 << 10;  // bytes for buffer + filters
+
+  for (double frac : {0.05, 0.15, 0.3, 0.5, 0.7, 0.9}) {
+    Options options;
+    options.merge_policy = MergePolicy::kLeveling;
+    options.size_ratio = 4;
+    options.write_buffer_size =
+        std::max<size_t>(8 << 10, static_cast<size_t>(kBudget * frac));
+    options.max_file_size = 64 << 10;
+    options.level0_compaction_trigger = 2;
+    const double filter_bits =
+        (kBudget * (1.0 - frac)) * 8.0 / static_cast<double>(kN);
+    options.filter_bits_per_key = filter_bits;
+    options.filter_allocation = filter_bits <= 0.1
+                                    ? FilterAllocation::kNone
+                                    : FilterAllocation::kUniform;
+
+    // Interleaved workload: writes and zero-result reads.
+    TestDb db;
+    db.env.reset(NewMemEnv());
+    options.env = db.env.get();
+    if (!DB::Open(options, "/bench", &db.db).ok()) {
+      std::abort();
+    }
+    auto gen = NewUniformGenerator(kKeyDomain, 42);
+    // Load half the data first so reads have something to miss against.
+    for (size_t i = 0; i < kN / 2; i++) {
+      const std::string key = EncodeKey(gen->Next());
+      db.db->Put({}, key, ValueForKey(key, 64));
+    }
+    db.io()->Reset();
+    const uint64_t writes_before = db.io()->block_writes.load();
+    auto absent = NewUniformGenerator(kKeyDomain, 99);
+    Random rng(3);
+    std::string value;
+    const size_t kOps = kN;  // 50/50 mix
+    for (size_t i = 0; i < kOps; i++) {
+      if (i % 2 == 0) {
+        const std::string key = EncodeKey(gen->Next());
+        db.db->Put({}, key, ValueForKey(key, 64));
+      } else {
+        db.db->Get({}, EncodeKey(absent->Next()), &value);
+      }
+    }
+    const double write_ios =
+        static_cast<double>(db.io()->block_writes.load() - writes_before) /
+        kOps;
+    const double read_ios =
+        static_cast<double>(db.io()->block_reads.load()) / kOps;
+
+    LsmDesignSpec spec;
+    spec.policy = LsmDesignSpec::Policy::kLeveling;
+    spec.size_ratio = 4;
+    spec.num_entries = kN;
+    spec.entry_bytes = 72;
+    spec.buffer_bytes = options.write_buffer_size;
+    spec.filter_bits_per_key = filter_bits;
+    WorkloadMix mix;
+    mix.writes = 0.5;
+    mix.zero_result_lookups = 0.5;
+    mix.existing_lookups = 0;
+    mix.short_scans = 0;
+    const double model = WorkloadCost(spec, mix, /*monkey=*/false);
+
+    std::printf("%.2f,%zu,%.1f,%.3f,%.3f,%.3f,%.4f\n", frac,
+                options.write_buffer_size, filter_bits,
+                write_ios + read_ios, write_ios, read_ios, model);
+  }
+  std::printf(
+      "# expect: total_ios_per_op is minimized at an interior fraction —\n"
+      "# small buffers pay compaction writes, small filters pay read FPs.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsmlab
+
+int main() { lsmlab::bench::Run(); }

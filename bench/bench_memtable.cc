@@ -1,0 +1,71 @@
+// E13 — Memtable representation tradeoffs (tutorial I-2, §II-4, §II-5;
+// FloDB [9], RUM conjecture [7]).
+//
+// Claims: the skiplist balances insert and search; a sorted dense vector
+// searches faster (cache locality) but pays O(n) inserts; an auxiliary
+// hash index gives O(1) latest-version gets on either representation for
+// extra memory.
+
+#include "bench_common.h"
+#include "memtable/memtable.h"
+
+namespace lsmlab {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E13 memtable designs",
+              "rep,hash_index,entries,insert_ns,get_ns,memory_bytes");
+  InternalKeyComparator icmp(BytewiseComparator());
+
+  for (size_t n : {10'000u, 50'000u}) {
+    for (MemTable::Rep rep :
+         {MemTable::Rep::kSkipList, MemTable::Rep::kSortedVector}) {
+      for (bool hash : {false, true}) {
+        MemTable* mem = new MemTable(icmp, rep, hash);
+        mem->Ref();
+
+        auto gen = NewUniformGenerator(kKeyDomain, 42);
+        std::vector<std::string> keys;
+        keys.reserve(n);
+        for (size_t i = 0; i < n; i++) {
+          keys.push_back(EncodeKey(gen->Next()));
+        }
+        const double insert_ms = TimeMs([&] {
+          for (size_t i = 0; i < n; i++) {
+            mem->Add(i + 1, ValueType::kTypeValue, keys[i], "value");
+          }
+        });
+
+        Random rng(7);
+        std::string value;
+        Status st;
+        volatile bool sink = false;
+        const size_t kGets = 100000;
+        const double get_ms = TimeMs([&] {
+          for (size_t i = 0; i < kGets; i++) {
+            LookupKey lkey(keys[rng.Uniform(keys.size())],
+                           kMaxSequenceNumber);
+            sink = sink ^ mem->Get(lkey, &value, &st);
+          }
+        });
+
+        std::printf("%s,%s,%zu,%.0f,%.0f,%zu\n",
+                    rep == MemTable::Rep::kSkipList ? "skiplist" : "vector",
+                    hash ? "on" : "off", n, insert_ms * 1e6 / n,
+                    get_ms * 1e6 / kGets, mem->ApproximateMemoryUsage());
+        mem->Unref();
+      }
+    }
+  }
+  std::printf(
+      "# expect: vector insert_ns grows ~linearly with entries while\n"
+      "# skiplist stays ~log; vector get_ns < skiplist get_ns; the hash\n"
+      "# index makes get_ns flat and small on both, for extra memory.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsmlab
+
+int main() { lsmlab::bench::Run(); }

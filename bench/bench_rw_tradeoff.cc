@@ -1,0 +1,63 @@
+// E1 — The read vs write tradeoff (tutorial I-2, Module II-iv).
+//
+// Claim: leveling gives cheaper point lookups, tiering gives cheaper
+// writes; the gap widens with the size ratio T. Reproduces the canonical
+// tradeoff-curve experiment of Monkey/Dostoevsky on the counting env.
+//
+// Filters are disabled so the raw run-count effect is visible.
+
+#include "bench_common.h"
+#include "tuning/cost_model.h"
+
+namespace lsmlab {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E1 read/write tradeoff",
+              "policy,T,write_amp,model_write_amp_rank,zero_get_ios,"
+              "model_zero_ios,existing_get_ios,runs");
+  const size_t kN = 60000;
+  for (MergePolicy policy : {MergePolicy::kLeveling, MergePolicy::kTiering}) {
+    for (int t : {2, 4, 6, 8, 10}) {
+      Options options;
+      options.merge_policy = policy;
+      options.size_ratio = t;
+      options.write_buffer_size = 32 << 10;
+      options.max_file_size = 32 << 10;
+      options.level0_compaction_trigger = 2;
+      options.filter_allocation = FilterAllocation::kNone;
+      TestDb db = LoadDb(options, kN, 64);
+
+      DBStats stats = db.db->GetStats();
+      const GetCost zero = MeasureGets(&db, kN, 2000, /*existing=*/false);
+      const GetCost hit = MeasureGets(&db, kN, 2000, /*existing=*/true);
+
+      LsmDesignSpec spec;
+      spec.policy = policy == MergePolicy::kLeveling
+                        ? LsmDesignSpec::Policy::kLeveling
+                        : LsmDesignSpec::Policy::kTiering;
+      spec.size_ratio = t;
+      spec.num_entries = kN;
+      spec.entry_bytes = 72;
+      spec.buffer_bytes = options.write_buffer_size;
+      spec.filter_bits_per_key = 0;
+      LsmCostModel model(spec);
+
+      std::printf("%s,%d,%.2f,%.3f,%.2f,%d,%.2f,%d\n",
+                  policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+                  t, stats.WriteAmplification(), model.WriteCost(),
+                  zero.ios_per_op, model.TotalRuns(), hit.ios_per_op,
+                  stats.total_runs);
+    }
+  }
+  std::printf(
+      "# expect: leveling write_amp grows with T while zero_get_ios falls;\n"
+      "# tiering write_amp stays low while zero_get_ios grows with T.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsmlab
+
+int main() { lsmlab::bench::Run(); }

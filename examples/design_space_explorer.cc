@@ -1,0 +1,100 @@
+// Design-space explorer (tutorial Module III): given a workload mix, rank
+// LSM designs by modeled I/O cost and validate the winner empirically on
+// the in-memory counting environment.
+//
+//   ./example_design_space_explorer [zero_lookups existing_lookups scans writes]
+//
+// Fractions default to a balanced mix; they are normalized automatically.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/db.h"
+#include "storage/env.h"
+#include "tuning/navigator.h"
+#include "workload/keygen.h"
+#include "workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace lsmlab;
+
+  WorkloadMix mix;
+  if (argc == 5) {
+    mix.zero_result_lookups = std::atof(argv[1]);
+    mix.existing_lookups = std::atof(argv[2]);
+    mix.short_scans = std::atof(argv[3]);
+    mix.writes = std::atof(argv[4]);
+  }
+  mix = mix.Normalized();
+  std::printf(
+      "workload: %.0f%% empty lookups, %.0f%% lookups, %.0f%% scans, "
+      "%.0f%% writes\n",
+      mix.zero_result_lookups * 100, mix.existing_lookups * 100,
+      mix.short_scans * 100, mix.writes * 100);
+
+  const uint64_t kEntries = 200000;
+  const uint64_t kMemory = 1 << 20;
+  auto candidates = NavigateDesignSpace(kEntries, 72, kMemory, mix);
+  std::printf("\ntop designs by modeled cost (of %zu explored):\n",
+              candidates.size());
+  for (size_t i = 0; i < 5 && i < candidates.size(); i++) {
+    std::printf("  %zu. %s\n", i + 1, candidates[i].Describe().c_str());
+  }
+  std::printf("  ...\n  worst: %s\n", candidates.back().Describe().c_str());
+
+  // Validate the best and worst designs empirically.
+  auto run_design = [&](const LsmDesignSpec& spec) {
+    std::unique_ptr<Env> env(NewMemEnv());
+    Options options;
+    options.env = env.get();
+    options.merge_policy =
+        spec.policy == LsmDesignSpec::Policy::kLeveling
+            ? MergePolicy::kLeveling
+            : (spec.policy == LsmDesignSpec::Policy::kTiering
+                   ? MergePolicy::kTiering
+                   : MergePolicy::kLazyLeveling);
+    options.size_ratio = spec.size_ratio;
+    options.write_buffer_size = spec.buffer_bytes;
+    options.filter_bits_per_key = spec.filter_bits_per_key;
+    options.level0_compaction_trigger = 2;
+    std::unique_ptr<DB> db;
+    if (!DB::Open(options, "/explore", &db).ok()) {
+      return -1.0;
+    }
+    WorkloadSpec wspec;
+    wspec.key_domain = 1 << 24;
+    wspec.value_bytes = 64;
+    wspec.put_fraction = mix.writes;
+    wspec.get_fraction = mix.zero_result_lookups + mix.existing_lookups;
+    wspec.scan_fraction = mix.short_scans;
+    wspec.scan_width = 16;
+    auto ops = GenerateWorkload(wspec, 100000);
+    std::string value;
+    std::vector<std::pair<std::string, std::string>> results;
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case Op::Kind::kPut:
+          db->Put({}, op.key, op.value);
+          break;
+        case Op::Kind::kGet:
+          db->Get({}, op.key, &value);
+          break;
+        case Op::Kind::kScan:
+          db->Scan({}, op.key, op.end_key, 16, &results);
+          break;
+        default:
+          break;
+      }
+    }
+    const IoStats* io = env->io_stats();
+    return static_cast<double>(io->block_reads.load() +
+                               io->block_writes.load()) /
+           ops.size();
+  };
+
+  std::printf("\nempirical check (I/Os per op over 100k mixed ops):\n");
+  std::printf("  best  design: %.3f\n", run_design(candidates.front().spec));
+  std::printf("  worst design: %.3f\n", run_design(candidates.back().spec));
+  return 0;
+}

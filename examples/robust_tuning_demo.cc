@@ -1,0 +1,52 @@
+// Robust tuning demo (tutorial III-2; Endure [35]): tune an LSM for an
+// expected workload, then watch how the nominal and robust designs cope as
+// the observed workload drifts away from the expectation.
+//
+//   ./example_robust_tuning_demo
+
+#include <cstdio>
+
+#include "tuning/endure.h"
+
+int main() {
+  using namespace lsmlab;
+
+  WorkloadMix expected;
+  expected.writes = 0.80;
+  expected.zero_result_lookups = 0.10;
+  expected.existing_lookups = 0.07;
+  expected.short_scans = 0.03;
+
+  const double rho = 0.5;
+  auto result = RobustTune(50'000'000, 64, 256 << 20, expected, rho, 512);
+
+  std::printf("expected workload: 80%% writes / 10%% empty gets / 7%% gets /"
+              " 3%% scans\n\n");
+  std::printf("nominal design : %s\n", result.nominal.Describe().c_str());
+  std::printf("robust  design : %s   (rho=%.2f)\n\n",
+              result.robust.Describe().c_str(), rho);
+
+  // Drift the workload toward read-heavy and compare modeled costs.
+  std::printf("%-28s %14s %14s\n", "observed workload", "nominal cost",
+              "robust cost");
+  for (double drift : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    WorkloadMix observed;
+    observed.writes = expected.writes * (1 - drift);
+    observed.zero_result_lookups =
+        expected.zero_result_lookups + 0.3 * drift;
+    observed.existing_lookups = expected.existing_lookups + 0.4 * drift;
+    observed.short_scans = expected.short_scans + 0.1 * drift;
+    observed = observed.Normalized();
+    char label[64];
+    std::snprintf(label, sizeof(label), "drift=%.1f (writes=%.0f%%)", drift,
+                  observed.writes * 100);
+    std::printf("%-28s %14.4f %14.4f\n", label,
+                WorkloadCost(result.nominal.spec, observed),
+                WorkloadCost(result.robust.spec, observed));
+  }
+  std::printf(
+      "\nThe nominal design wins at the expected point but degrades as the\n"
+      "workload drifts; the robust design pays a small premium up front\n"
+      "and stays flat — Endure's core result.\n");
+  return 0;
+}

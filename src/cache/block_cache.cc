@@ -1,0 +1,53 @@
+#include "cache/block_cache.h"
+
+#include "util/coding.h"
+
+namespace lsmlab {
+
+std::string BlockCache::MakeKey(uint64_t file_number, uint64_t offset) {
+  std::string key;
+  key.reserve(16);
+  PutFixed64(&key, file_number);
+  PutFixed64(&key, offset);
+  return key;
+}
+
+BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
+  const std::string key = MakeKey(file_number, offset);
+  LruCache::Handle* handle = cache_.Lookup(key);
+  if (handle == nullptr) {
+    return Ref();
+  }
+  {
+    std::lock_guard<std::mutex> lock(access_mu_);
+    file_accesses_[file_number]++;
+  }
+  return Ref(&cache_, handle,
+             static_cast<const Block*>(cache_.Value(handle)));
+}
+
+BlockCache::Ref BlockCache::Insert(uint64_t file_number, uint64_t offset,
+                                   std::unique_ptr<const Block> block) {
+  const std::string key = MakeKey(file_number, offset);
+  const Block* raw = block.release();
+  LruCache::Handle* handle = cache_.Insert(
+      key, const_cast<Block*>(raw), raw->size(),
+      [](const Slice&, void* value) {
+        delete static_cast<const Block*>(value);
+      });
+  return Ref(&cache_, handle, raw);
+}
+
+void BlockCache::ResetStats() {
+  cache_.ResetStats();
+  std::lock_guard<std::mutex> lock(access_mu_);
+  file_accesses_.clear();
+}
+
+uint64_t BlockCache::FileAccesses(uint64_t file_number) const {
+  std::lock_guard<std::mutex> lock(access_mu_);
+  auto it = file_accesses_.find(file_number);
+  return it == file_accesses_.end() ? 0 : it->second;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,94 @@
+#ifndef LSMLAB_CACHE_BLOCK_CACHE_H_
+#define LSMLAB_CACHE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cache/lru_cache.h"
+#include "format/block.h"
+
+namespace lsmlab {
+
+/// Typed block cache: maps (file_number, block_offset) -> parsed Block.
+///
+/// Also keeps per-file access counters so the compaction-aware prefetcher
+/// (Leaper-style, tutorial §II-1) can decide whether a compaction destroyed
+/// hot blocks and should re-warm the cache with the output file's blocks.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes)
+      : cache_(capacity_bytes, /*num_shards=*/4) {}
+
+  /// RAII pin on a cached block.
+  class Ref {
+   public:
+    Ref() : cache_(nullptr), handle_(nullptr), block_(nullptr) {}
+    Ref(LruCache* cache, LruCache::Handle* handle, const Block* block)
+        : cache_(cache), handle_(handle), block_(block) {}
+    Ref(Ref&& o) noexcept
+        : cache_(o.cache_), handle_(o.handle_), block_(o.block_) {
+      o.cache_ = nullptr;
+      o.handle_ = nullptr;
+      o.block_ = nullptr;
+    }
+    Ref& operator=(Ref&& o) noexcept {
+      Reset();
+      cache_ = o.cache_;
+      handle_ = o.handle_;
+      block_ = o.block_;
+      o.cache_ = nullptr;
+      o.handle_ = nullptr;
+      o.block_ = nullptr;
+      return *this;
+    }
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+    ~Ref() { Reset(); }
+
+    const Block* block() const { return block_; }
+    explicit operator bool() const { return block_ != nullptr; }
+
+    void Reset() {
+      if (handle_ != nullptr) {
+        cache_->Release(handle_);
+        handle_ = nullptr;
+        block_ = nullptr;
+      }
+    }
+
+   private:
+    LruCache* cache_;
+    LruCache::Handle* handle_;
+    const Block* block_;
+  };
+
+  /// Returns a pinned ref, or an empty Ref on miss.
+  Ref Lookup(uint64_t file_number, uint64_t offset);
+
+  /// Inserts `block` (ownership transferred) and returns a pinned ref.
+  Ref Insert(uint64_t file_number, uint64_t offset,
+             std::unique_ptr<const Block> block);
+
+  LruCache::Stats GetStats() const { return cache_.GetStats(); }
+  /// Resets hit/miss counters and the per-file hotness counters.
+  void ResetStats();
+  size_t TotalCharge() const { return cache_.TotalCharge(); }
+  size_t capacity() const { return cache_.capacity(); }
+
+  /// Cache accesses (hits) attributed to `file_number` since the last
+  /// ResetStats — the prefetcher's hotness signal.
+  uint64_t FileAccesses(uint64_t file_number) const;
+
+ private:
+  static std::string MakeKey(uint64_t file_number, uint64_t offset);
+
+  LruCache cache_;
+  mutable std::mutex access_mu_;
+  std::unordered_map<uint64_t, uint64_t> file_accesses_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CACHE_BLOCK_CACHE_H_

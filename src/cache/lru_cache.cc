@@ -1,0 +1,202 @@
+#include "cache/lru_cache.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace lsmlab {
+
+struct LruCache::Handle {
+  std::string key;
+  void* value;
+  size_t charge;
+  Deleter deleter;
+  int refs;         // pins: 1 for the cache itself while resident, +1 per user
+  bool in_cache;    // still reachable via the table
+  std::list<Handle*>::iterator lru_pos;  // valid iff in_cache
+};
+
+struct LruCache::Shard {
+  std::mutex mu;
+  size_t capacity = 0;
+  size_t usage = 0;
+  // Front = most recently used.
+  std::list<Handle*> lru;
+  std::unordered_map<std::string, Handle*> table;
+  Stats stats;
+
+  void Unref(Handle* h) {
+    assert(h->refs > 0);
+    h->refs--;
+    if (h->refs == 0) {
+      h->deleter(Slice(h->key), h->value);
+      delete h;
+    }
+  }
+
+  // Detach h from the table+LRU (does not drop the cache's reference).
+  void DetachLocked(Handle* h) {
+    assert(h->in_cache);
+    lru.erase(h->lru_pos);
+    table.erase(h->key);
+    h->in_cache = false;
+    usage -= h->charge;
+  }
+
+  void EvictLocked() {
+    while (usage > capacity && !lru.empty()) {
+      Handle* victim = nullptr;
+      // Evict from the cold end, skipping pinned entries.
+      for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
+        if ((*it)->refs == 1) {  // only the cache holds it
+          victim = *it;
+          break;
+        }
+      }
+      if (victim == nullptr) {
+        break;  // everything resident is pinned
+      }
+      DetachLocked(victim);
+      stats.evictions++;
+      Unref(victim);
+    }
+  }
+};
+
+LruCache::LruCache(size_t capacity, int num_shards)
+    : capacity_(capacity), num_shards_(num_shards < 1 ? 1 : num_shards) {
+  shards_ = new Shard[num_shards_];
+  for (int i = 0; i < num_shards_; i++) {
+    shards_[i].capacity = capacity / num_shards_;
+  }
+}
+
+LruCache::~LruCache() {
+  for (int i = 0; i < num_shards_; i++) {
+    Shard& shard = shards_[i];
+    for (Handle* h : shard.lru) {
+      assert(h->refs == 1);  // callers must release all handles first
+      h->in_cache = false;
+      shard.Unref(h);
+    }
+  }
+  delete[] shards_;
+}
+
+LruCache::Shard* LruCache::GetShard(const Slice& key) {
+  return &shards_[Hash64(key, /*seed=*/0x5ca1ab1e) % num_shards_];
+}
+
+LruCache::Handle* LruCache::Insert(const Slice& key, void* value,
+                                   size_t charge, Deleter deleter) {
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+
+  Handle* h = new Handle();
+  h->key = key.ToString();
+  h->value = value;
+  h->charge = charge;
+  h->deleter = std::move(deleter);
+  h->refs = 2;  // one for the cache, one returned to the caller
+  h->in_cache = true;
+
+  auto it = shard->table.find(h->key);
+  if (it != shard->table.end()) {
+    Handle* old = it->second;
+    shard->DetachLocked(old);
+    shard->Unref(old);
+  }
+  shard->lru.push_front(h);
+  h->lru_pos = shard->lru.begin();
+  shard->table[h->key] = h;
+  shard->usage += charge;
+  shard->stats.inserts++;
+  shard->EvictLocked();
+  return h;
+}
+
+LruCache::Handle* LruCache::Lookup(const Slice& key) {
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->table.find(std::string(key.data(), key.size()));
+  if (it == shard->table.end()) {
+    shard->stats.misses++;
+    return nullptr;
+  }
+  Handle* h = it->second;
+  h->refs++;
+  shard->lru.erase(h->lru_pos);
+  shard->lru.push_front(h);
+  h->lru_pos = shard->lru.begin();
+  shard->stats.hits++;
+  return h;
+}
+
+void LruCache::Release(Handle* handle) {
+  Shard* shard = GetShard(Slice(handle->key));
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->Unref(handle);
+}
+
+void* LruCache::Value(Handle* handle) { return handle->value; }
+
+void LruCache::Erase(const Slice& key) {
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->table.find(std::string(key.data(), key.size()));
+  if (it == shard->table.end()) {
+    return;
+  }
+  Handle* h = it->second;
+  shard->DetachLocked(h);
+  shard->stats.erases++;
+  shard->Unref(h);
+}
+
+void LruCache::Prune() {
+  for (int i = 0; i < num_shards_; i++) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.lru.begin();
+    while (it != shard.lru.end()) {
+      Handle* h = *it;
+      ++it;
+      if (h->refs == 1) {
+        shard.DetachLocked(h);
+        shard.Unref(h);
+      }
+    }
+  }
+}
+
+size_t LruCache::TotalCharge() const {
+  size_t total = 0;
+  for (int i = 0; i < num_shards_; i++) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].usage;
+  }
+  return total;
+}
+
+LruCache::Stats LruCache::GetStats() const {
+  Stats total;
+  for (int i = 0; i < num_shards_; i++) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    const Stats& s = shards_[i].stats;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.inserts += s.inserts;
+    total.evictions += s.evictions;
+    total.erases += s.erases;
+  }
+  return total;
+}
+
+void LruCache::ResetStats() {
+  for (int i = 0; i < num_shards_; i++) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].stats = Stats();
+  }
+}
+
+}  // namespace lsmlab

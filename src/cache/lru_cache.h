@@ -1,0 +1,75 @@
+#ifndef LSMLAB_CACHE_LRU_CACHE_H_
+#define LSMLAB_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Sharded LRU cache with per-entry byte charges and refcounted handles.
+///
+/// This is the engine's block cache substrate (tutorial §II-1: "block-level
+/// caching"). Entries are pinned while a Handle is outstanding; Release()
+/// unpins. Evicted-but-pinned entries are freed when their last handle is
+/// released. The deleter runs exactly once per entry.
+class LruCache {
+ public:
+  struct Handle;
+  using Deleter = std::function<void(const Slice& key, void* value)>;
+
+  /// `capacity` is the total byte budget across all shards.
+  explicit LruCache(size_t capacity, int num_shards = 4);
+  ~LruCache();
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Inserts key->value with the given byte charge, returning a pinned
+  /// handle. An existing entry under the same key is displaced.
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 Deleter deleter);
+
+  /// Returns a pinned handle or nullptr. Counts toward hit/miss stats.
+  Handle* Lookup(const Slice& key);
+
+  void Release(Handle* handle);
+  void* Value(Handle* handle);
+
+  /// Drops the entry if present (it stays alive while pinned). Used to
+  /// invalidate blocks of deleted files after compaction.
+  void Erase(const Slice& key);
+
+  /// Removes all unpinned entries.
+  void Prune();
+
+  size_t TotalCharge() const;
+  size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t erases = 0;
+  };
+  Stats GetStats() const;
+  void ResetStats();
+
+ private:
+  struct Shard;
+  Shard* GetShard(const Slice& key);
+
+  const size_t capacity_;
+  const int num_shards_;
+  Shard* shards_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CACHE_LRU_CACHE_H_

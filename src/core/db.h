@@ -1,0 +1,121 @@
+#ifndef LSMLAB_CORE_DB_H_
+#define LSMLAB_CORE_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dbformat.h"
+#include "core/options.h"
+#include "core/write_batch.h"
+#include "util/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// An immutable view of the database at one point in time.
+class Snapshot {
+ public:
+  virtual ~Snapshot() = default;
+  virtual SequenceNumber sequence() const = 0;
+};
+
+/// Read-path and shape statistics; see DB::GetStats.
+struct DBStats {
+  // Shape.
+  int num_levels = 0;
+  int total_runs = 0;
+  int total_files = 0;
+  uint64_t total_bytes = 0;
+  std::vector<int> runs_per_level;
+  std::vector<uint64_t> bytes_per_level;
+
+  // Write path.
+  uint64_t bytes_flushed = 0;       ///< user data written by flushes
+  uint64_t bytes_compacted = 0;     ///< bytes written by compactions
+  uint64_t compactions = 0;
+  uint64_t flushes = 0;
+  /// Write amplification: (flushed + compacted) / flushed.
+  double WriteAmplification() const {
+    return bytes_flushed == 0
+               ? 0.0
+               : static_cast<double>(bytes_flushed + bytes_compacted) /
+                     static_cast<double>(bytes_flushed);
+  }
+
+  // Read path.
+  uint64_t gets = 0;
+  uint64_t gets_found = 0;
+  uint64_t memtable_hits = 0;
+  uint64_t runs_probed = 0;            ///< runs consulted after filters
+  uint64_t filter_skips = 0;           ///< runs skipped by point filters
+  uint64_t range_filter_skips = 0;     ///< runs skipped by range filters
+  uint64_t hash_index_hits = 0;
+  uint64_t hash_index_absent = 0;
+  uint64_t learned_index_seeks = 0;
+  size_t index_filter_memory = 0;      ///< bytes of in-memory metadata
+
+  // Key-value separation.
+  uint64_t value_log_bytes = 0;
+  uint64_t value_log_files = 0;
+  uint64_t separated_reads = 0;        ///< gets resolved through the vlog
+};
+
+/// A log-structured merge key-value store over an Env.
+///
+/// Thread-compatible: one writer at a time; concurrent readers are safe
+/// against the writer. Flushes and compactions run inline on the writing
+/// thread (deterministic by design — the benchmark substrate).
+class DB {
+ public:
+  /// Opens (creating if needed) the database at `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  virtual ~DB() = default;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  /// Ordered iterator over the live user keys. The caller deletes it
+  /// before the DB is destroyed.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  /// Collects up to `limit` entries with user keys in [start, end]
+  /// (inclusive), consulting range filters to skip runs (tutorial §II-3).
+  virtual Status Scan(const ReadOptions& options, const Slice& start,
+                      const Slice& end, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>*
+                          results) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  /// Flushes the memtable and runs compactions until the shape is stable.
+  virtual Status CompactAll() = 0;
+
+  /// Rewrites live separated values out of closed value-log segments and
+  /// deletes the segments (WiscKey-style GC). Requires key-value
+  /// separation to be enabled and no live snapshots.
+  virtual Status GarbageCollectValues() = 0;
+  /// Flushes the memtable to level 0 without compacting.
+  virtual Status Flush() = 0;
+
+  virtual DBStats GetStats() = 0;
+  /// Human-readable levels/runs/files layout.
+  virtual std::string DebugShape() = 0;
+};
+
+/// Deletes all files of the database at `name`. Use with care.
+Status DestroyDB(const Options& options, const std::string& name);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_DB_H_

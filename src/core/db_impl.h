@@ -1,0 +1,128 @@
+#ifndef LSMLAB_CORE_DB_IMPL_H_
+#define LSMLAB_CORE_DB_IMPL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compaction/compaction_policy.h"
+#include "core/db.h"
+#include "core/table_cache.h"
+#include "core/version.h"
+#include "memtable/memtable.h"
+#include "vlog/value_log.h"
+#include "wal/log_writer.h"
+
+namespace lsmlab {
+
+class DBImpl : public DB {
+ public:
+  DBImpl(const Options& options, std::string dbname);
+  ~DBImpl() override;
+
+  /// Recovers manifest + WAL; called once by DB::Open.
+  Status Init();
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  Status Scan(const ReadOptions& options, const Slice& start,
+              const Slice& end, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* results)
+      override;
+  Status GarbageCollectValues() override;
+  /// Unwraps a stored (possibly tagged/separated) value into *out. Public
+  /// for the resolving iterator; not part of the DB interface.
+  Status ResolveValue(const Slice& stored, std::string* out);
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status CompactAll() override;
+  Status Flush() override;
+  DBStats GetStats() override;
+  std::string DebugShape() override;
+
+ private:
+  class SnapshotImpl : public Snapshot {
+   public:
+    explicit SnapshotImpl(SequenceNumber seq) : seq_(seq) {}
+    SequenceNumber sequence() const override { return seq_; }
+
+   private:
+    SequenceNumber seq_;
+  };
+
+  /// Replays WAL files newer than the manifest's log number.
+  Status RecoverWal();
+  Status NewWal();
+  /// Flushes the current memtable into a level-0 run. REQUIRES: mu_ held.
+  Status FlushMemTableLocked();
+  /// Re-derives the Monkey per-level filter allocation for the current
+  /// tree depth. REQUIRES: mu_ held.
+  void ReconfigureMonkeyLocked(int output_level);
+  /// Runs compactions until the policy is satisfied, or until `max_picks`
+  /// compactions have run (0 = unlimited). REQUIRES: mu_ held.
+  Status MaybeCompactLocked(int max_picks = 0);
+  Status DoCompactionLocked(const CompactionPick& pick);
+  /// Builds output file(s) from `iter`, splitting at max_file_size.
+  Status BuildTablesLocked(Iterator* iter, int output_level,
+                           bool drop_shadowed, bool drop_tombstones,
+                           std::vector<FileMetaData>* outputs,
+                           uint64_t* bytes_written);
+  SequenceNumber SmallestSnapshotLocked() const;
+  void PrefetchOutputsLocked(const CompactionPick& pick,
+                             const std::vector<FileMetaData>& outputs);
+  /// One run's iterator: concatenation of its (non-overlapping) files.
+  Iterator* NewRunIterator(const Run& run);
+  /// Collects child iterators for the given bounds (nullptr bounds = all),
+  /// consulting range filters when bounds are present.
+  void CollectIterators(const Slice* lo, const Slice* hi,
+                        std::vector<Iterator*>* children);
+  /// Key-value separation: rewrites large values of `updates` into the
+  /// value log, leaving tagged pointers (no-op when disabled).
+  Status MaybeSeparateBatch(WriteBatch* updates);
+  bool separation_enabled() const { return vlog_ != nullptr; }
+  /// User-view iterator over raw (tagged) stored values.
+  Iterator* NewRawIterator(const ReadOptions& options);
+
+  const Options options_;
+  const std::string dbname_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<TableCache> table_cache_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<CompactionPolicy> policy_;
+
+  std::mutex mu_;
+  MemTable* mem_ = nullptr;  // owned via Ref/Unref
+  std::unique_ptr<WritableFile> wal_file_;
+  std::unique_ptr<wal::Writer> wal_;
+  uint64_t wal_number_ = 0;
+  std::multiset<SequenceNumber> snapshots_;
+  std::unique_ptr<ValueLog> vlog_;  // non-null iff separation enabled
+
+  // Counters (relaxed; exactness across threads is not load-bearing).
+  std::atomic<uint64_t> bytes_flushed_{0};
+  std::atomic<uint64_t> bytes_compacted_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> gets_{0};
+  std::atomic<uint64_t> gets_found_{0};
+  std::atomic<uint64_t> memtable_hits_{0};
+  std::atomic<uint64_t> runs_probed_{0};
+  std::atomic<uint64_t> filter_skips_{0};
+  std::atomic<uint64_t> range_filter_skips_{0};
+  std::atomic<uint64_t> separated_reads_{0};
+  // Set by Get when a file crosses the seek-compaction threshold; the
+  // next write services it (reads never mutate the tree themselves).
+  std::atomic<bool> pending_seek_compaction_{false};
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_DB_IMPL_H_

@@ -1,0 +1,17 @@
+#ifndef LSMLAB_CORE_DB_ITER_H_
+#define LSMLAB_CORE_DB_ITER_H_
+
+#include "core/dbformat.h"
+#include "util/iterator.h"
+
+namespace lsmlab {
+
+/// Wraps a merged internal-key iterator into the user view: yields each
+/// live user key once (its newest version visible at `sequence`), hides
+/// tombstones and shadowed versions. Takes ownership of `internal_iter`.
+Iterator* NewDBIterator(const Comparator* user_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_DB_ITER_H_

@@ -1,0 +1,53 @@
+#include "core/dbformat.h"
+
+#include <cassert>
+
+namespace lsmlab {
+
+int InternalKeyComparator::Compare(const Slice& a, const Slice& b) const {
+  // Ascending user key, then descending tag (newer versions first).
+  int r = user_comparator_->Compare(ExtractUserKey(a), ExtractUserKey(b));
+  if (r == 0) {
+    const uint64_t atag = ExtractTag(a);
+    const uint64_t btag = ExtractTag(b);
+    if (atag > btag) {
+      r = -1;
+    } else if (atag < btag) {
+      r = +1;
+    }
+  }
+  return r;
+}
+
+void InternalKeyComparator::FindShortestSeparator(std::string* start,
+                                                  const Slice& limit) const {
+  // Shorten the user-key portion only; a shortened user key gets the
+  // maximal tag so it still sorts before every real version of itself.
+  Slice user_start = ExtractUserKey(Slice(*start));
+  Slice user_limit = ExtractUserKey(limit);
+  std::string tmp(user_start.data(), user_start.size());
+  user_comparator_->FindShortestSeparator(&tmp, user_limit);
+  if (tmp.size() < user_start.size() &&
+      user_comparator_->Compare(user_start, Slice(tmp)) < 0) {
+    PutFixed64(&tmp,
+               PackSequenceAndType(kMaxSequenceNumber, kValueTypeForSeek));
+    assert(Compare(Slice(*start), Slice(tmp)) < 0);
+    assert(Compare(Slice(tmp), limit) < 0);
+    start->swap(tmp);
+  }
+}
+
+void InternalKeyComparator::FindShortSuccessor(std::string* key) const {
+  Slice user_key = ExtractUserKey(Slice(*key));
+  std::string tmp(user_key.data(), user_key.size());
+  user_comparator_->FindShortSuccessor(&tmp);
+  if (tmp.size() < user_key.size() &&
+      user_comparator_->Compare(user_key, Slice(tmp)) < 0) {
+    PutFixed64(&tmp,
+               PackSequenceAndType(kMaxSequenceNumber, kValueTypeForSeek));
+    assert(Compare(Slice(*key), Slice(tmp)) < 0);
+    key->swap(tmp);
+  }
+}
+
+}  // namespace lsmlab

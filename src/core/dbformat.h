@@ -1,0 +1,100 @@
+#ifndef LSMLAB_CORE_DBFORMAT_H_
+#define LSMLAB_CORE_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Monotonic version counter; every write gets a fresh sequence number and
+/// snapshots pin one.
+using SequenceNumber = uint64_t;
+
+/// Sequence numbers are packed with a type tag into 8 bytes, so the top
+/// byte is reserved.
+constexpr SequenceNumber kMaxSequenceNumber = (uint64_t{1} << 56) - 1;
+
+enum class ValueType : uint8_t {
+  kTypeDeletion = 0x0,  ///< tombstone (out-of-place delete, tutorial I-1)
+  kTypeValue = 0x1,
+};
+
+/// Tag ordering makes a Get seek position at the newest visible entry:
+/// kTypeValue > kTypeDeletion within equal sequence numbers.
+constexpr ValueType kValueTypeForSeek = ValueType::kTypeValue;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | static_cast<uint8_t>(t);
+}
+
+/// Internal keys are `user_key . fixed64(seq<<8|type)`. They sort by
+/// (user key ascending, sequence number descending, type descending), so
+/// the newest version of a user key comes first.
+inline void AppendInternalKey(std::string* result, const Slice& user_key,
+                              SequenceNumber seq, ValueType t) {
+  result->append(user_key.data(), user_key.size());
+  PutFixed64(result, PackSequenceAndType(seq, t));
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline uint64_t ExtractTag(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  return ExtractTag(internal_key) >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  return static_cast<ValueType>(ExtractTag(internal_key) & 0xff);
+}
+
+/// Orders internal keys; wraps the user comparator.
+class InternalKeyComparator : public Comparator {
+ public:
+  explicit InternalKeyComparator(const Comparator* user_comparator)
+      : user_comparator_(user_comparator) {}
+
+  int Compare(const Slice& a, const Slice& b) const override;
+  const char* Name() const override {
+    return "lsmlab.InternalKeyComparator";
+  }
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override;
+  void FindShortSuccessor(std::string* key) const override;
+
+  const Comparator* user_comparator() const { return user_comparator_; }
+
+ private:
+  const Comparator* user_comparator_;
+};
+
+/// The key form a Get searches for: user key + (snapshot seq, seek type),
+/// which sorts before every visible version of the user key... after every
+/// newer (invisible) one.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence) {
+    key_.reserve(user_key.size() + 8);
+    AppendInternalKey(&key_, user_key, sequence, kValueTypeForSeek);
+    user_key_size_ = user_key.size();
+  }
+
+  Slice internal_key() const { return Slice(key_); }
+  Slice user_key() const { return Slice(key_.data(), user_key_size_); }
+
+ private:
+  std::string key_;
+  size_t user_key_size_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_DBFORMAT_H_

@@ -1,0 +1,151 @@
+#include "core/merging_iterator.h"
+
+#include <memory>
+#include <vector>
+
+namespace lsmlab {
+
+namespace {
+
+/// K-way merge by linear scan over children. Runs-per-level is small
+/// (<= T per level), so a heap buys little; children that are invalid are
+/// skipped. Ties (same internal key cannot occur; same user key differs by
+/// sequence) resolve by comparator order, which already puts newer
+/// versions first.
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator), current_(nullptr) {
+    children_.reserve(n);
+    for (int i = 0; i < n; i++) {
+      children_.emplace_back(children[i]);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) {
+      child->SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    // If we were moving backwards, reposition all non-current children
+    // to the first entry after key().
+    if (direction_ != kForward) {
+      const std::string saved_key = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() == current_) {
+          continue;
+        }
+        child->Seek(Slice(saved_key));
+        if (child->Valid() &&
+            comparator_->Compare(child->key(), Slice(saved_key)) == 0) {
+          child->Next();
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    if (direction_ != kReverse) {
+      const std::string saved_key = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() == current_) {
+          continue;
+        }
+        child->Seek(Slice(saved_key));
+        if (child->Valid()) {
+          child->Prev();
+        } else {
+          child->SeekToLast();
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid() &&
+          (smallest == nullptr ||
+           comparator_->Compare(child->key(), smallest->key()) < 0)) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid() &&
+          (largest == nullptr ||
+           comparator_->Compare(child->key(), largest->key()) > 0)) {
+        largest = child.get();
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_ = kForward;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator,
+                             Iterator** children, int n) {
+  if (n == 0) {
+    return NewEmptyIterator();
+  }
+  if (n == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,17 @@
+#ifndef LSMLAB_CORE_MERGING_ITERATOR_H_
+#define LSMLAB_CORE_MERGING_ITERATOR_H_
+
+#include "util/comparator.h"
+#include "util/iterator.h"
+
+namespace lsmlab {
+
+/// Merges n ordered children into one ordered stream — the scan path of
+/// tutorial I-1: one iterator per sorted run, advanced in lockstep.
+/// Takes ownership of the children array contents.
+Iterator* NewMergingIterator(const Comparator* comparator,
+                             Iterator** children, int n);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_MERGING_ITERATOR_H_

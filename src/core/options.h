@@ -1,0 +1,155 @@
+#ifndef LSMLAB_CORE_OPTIONS_H_
+#define LSMLAB_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "format/table_options.h"
+#include "memtable/memtable.h"
+#include "util/comparator.h"
+
+namespace lsmlab {
+
+class Env;
+class FilterPolicy;
+class RangeFilterPolicy;
+class BlockCache;
+class Snapshot;
+
+/// The merge-policy axis of the LSM design space (tutorial I-2, III-1).
+enum class MergePolicy {
+  /// One sorted run per level; a full level merges into the next.
+  /// Read-optimized: O(L) runs. [O'Neil '96; LevelDB/RocksDB leveled]
+  kLeveling,
+  /// Up to T runs per level; a full level merges into one run of the next.
+  /// Write-optimized: O(L*T) runs. [Jagadish '97; Cassandra/RocksDB
+  /// universal]
+  kTiering,
+  /// Tiering on all levels except the largest, which is leveled — most of
+  /// the read benefit at most of the write savings. [Dostoevsky, Dayan '18]
+  kLazyLeveling,
+  /// No merging: drop the oldest run once total size exceeds the budget.
+  /// [RocksDB FIFO]
+  kFifo,
+};
+
+/// Which file a leveled partial compaction picks from the overflowing level
+/// (tutorial I-2 "which file(s) to compact affects performance" [74, 76]).
+enum class CompactionFilePicker {
+  kRoundRobin,   ///< cycle through the level's key space
+  kMinOverlap,   ///< file with least overlapping bytes in the next level
+  kCold,         ///< file least recently read (via block-cache hotness)
+  kOldest,       ///< file that has been in the level longest
+  kWholeLevel,   ///< no partial compaction: merge the entire level
+};
+
+/// How filter memory is spread across levels (tutorial §II-5).
+enum class FilterAllocation {
+  kUniform,  ///< same bits/key at every level (production default)
+  kMonkey,   ///< exponentially fewer bits at deeper levels [Monkey, 18/19]
+  kNone,     ///< no point filters
+};
+
+/// Options controls every axis of the LSM design space the tutorial
+/// surveys. Defaults mirror a small leveled RocksDB.
+struct Options {
+  // --- Substrate ---------------------------------------------------------
+  /// Storage environment. Defaults to the process-wide in-memory counting
+  /// env from NewMemEnv() owned by the caller; required.
+  Env* env = nullptr;
+  const Comparator* comparator = BytewiseComparator();
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  // --- Shape (Module I) --------------------------------------------------
+  MergePolicy merge_policy = MergePolicy::kLeveling;
+  /// Size ratio T between adjacent levels (and max runs/level for tiering).
+  int size_ratio = 10;
+  /// Memory buffer capacity in bytes; a full buffer flushes to level 0.
+  size_t write_buffer_size = 1 << 20;
+  int max_levels = 8;
+  /// Max bytes per SSTable file written by flushes/compactions.
+  size_t max_file_size = 1 << 20;
+  /// Level-0 flush runs that trigger a merge into level 1.
+  int level0_compaction_trigger = 4;
+  CompactionFilePicker file_picker = CompactionFilePicker::kWholeLevel;
+  /// Read-triggered compaction (the trigger primitive of [76]; LevelDB's
+  /// allowed_seeks): once this many point probes reach a file without
+  /// finding their key, the file is compacted down so future lookups stop
+  /// paying for it. 0 disables.
+  uint64_t seek_compaction_threshold = 0;
+  /// Max compactions executed inline per write (tutorial III-2
+  /// [8, 51, 56]: pacing compaction work bounds write tail latency).
+  /// 0 = drain fully after each write (lowest read cost, spiky writes).
+  int max_compactions_per_write = 0;
+  /// FIFO only: total size budget before the oldest run is dropped.
+  uint64_t fifo_size_budget = 64 << 20;
+
+  // --- Memtable (I-2, II-4) ----------------------------------------------
+  MemTable::Rep memtable_rep = MemTable::Rep::kSkipList;
+  bool memtable_hash_index = false;
+
+  // --- Point filters (II-2, II-5) ----------------------------------------
+  FilterAllocation filter_allocation = FilterAllocation::kUniform;
+  /// Average bits/key across the tree; Monkey redistributes this budget.
+  double filter_bits_per_key = 10.0;
+  /// Filter implementation factory; nullptr = standard Bloom. Receives the
+  /// per-level bits/key and must return a new FilterPolicy (ownership
+  /// passes to the DB).
+  const FilterPolicy* (*filter_factory)(double bits_per_key) = nullptr;
+  /// Per-data-block filter partitions cached on demand instead of one
+  /// resident monolithic filter per table (§II-2 [89]).
+  bool partition_filters = false;
+
+  // --- Range filters (II-3) ----------------------------------------------
+  /// Shared across levels; not owned. nullptr disables range filtering.
+  const RangeFilterPolicy* range_filter_policy = nullptr;
+
+  // --- Index (II-1, II-4) -------------------------------------------------
+  TableOptions::IndexType index_type = TableOptions::IndexType::kBinarySearch;
+  uint32_t learned_index_epsilon = 8;
+  bool block_hash_index = false;
+  double hash_index_util_ratio = 0.75;
+  size_t block_size = 4096;
+  int block_restart_interval = 16;
+
+  // --- Caching (II-1) -----------------------------------------------------
+  /// Shared block cache; not owned. nullptr disables caching.
+  BlockCache* block_cache = nullptr;
+  /// Leaper-style re-warm: after a compaction whose inputs were hot,
+  /// prefetch the output files' blocks into the block cache (II-1, [90]).
+  bool prefetch_after_compaction = false;
+  /// Inputs are "hot" when their cached-block accesses exceed this.
+  uint64_t prefetch_hotness_threshold = 16;
+  /// Max bytes prefetched per compaction.
+  size_t prefetch_budget_bytes = 1 << 20;
+
+  // --- Key-value separation (I-2; WiscKey [53], HashKV [12]) --------------
+  /// Values of at least this many bytes are stored in the value log; the
+  /// tree keeps a small pointer. 0 disables separation.
+  size_t value_separation_threshold = 0;
+  /// Value-log segment size before rotating to a new file.
+  size_t max_vlog_file_bytes = 4 << 20;
+
+  // --- Durability ---------------------------------------------------------
+  bool enable_wal = true;
+};
+
+struct ReadOptions {
+  /// nullptr reads the latest data; otherwise reads at the snapshot.
+  const Snapshot* snapshot = nullptr;
+  /// Verify block checksums on every read (always on in this build).
+  bool verify_checksums = true;
+  /// Let Get consult point filters (off to measure their benefit).
+  bool use_filter = true;
+};
+
+struct WriteOptions {
+  /// fsync the WAL before acknowledging (mem env: no-op).
+  bool sync = false;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_OPTIONS_H_

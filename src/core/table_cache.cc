@@ -1,0 +1,188 @@
+#include "core/table_cache.h"
+
+#include <cassert>
+
+#include "core/filename.h"
+#include "filter/filter_policy.h"
+
+namespace lsmlab {
+
+TableCache::TableCache(std::string dbname, const Options* options,
+                       const InternalKeyComparator* icmp)
+    : dbname_(std::move(dbname)), options_(options), icmp_(icmp) {
+  // Default: uniform bits everywhere; ConfigureFilterBits overrides.
+  std::vector<double> uniform(options_->max_levels,
+                              options_->filter_bits_per_key);
+  if (options_->filter_allocation == FilterAllocation::kNone) {
+    std::fill(uniform.begin(), uniform.end(), 0.0);
+  }
+  ConfigureFilterBits(uniform);
+}
+
+TableCache::~TableCache() = default;
+
+void TableCache::ConfigureFilterBits(
+    const std::vector<double>& bits_per_level) {
+  // Note: previously created FilterPolicy objects are intentionally kept
+  // alive in owned_filters_ — already-open tables hold pointers to them.
+  per_level_options_.clear();
+  per_level_options_.resize(options_->max_levels);
+  for (int level = 0; level < options_->max_levels; level++) {
+    TableOptions& t = per_level_options_[level];
+    t.comparator = icmp_;
+    t.block_size = options_->block_size;
+    t.block_restart_interval = options_->block_restart_interval;
+    t.use_hash_index = options_->block_hash_index;
+    t.partition_filters = options_->partition_filters;
+    t.hash_index_util_ratio = options_->hash_index_util_ratio;
+    t.index_type = options_->index_type;
+    t.learned_index_epsilon = options_->learned_index_epsilon;
+    t.searchable_key = [](const Slice& internal_key) {
+      return ExtractUserKey(internal_key);
+    };
+    t.range_filter_policy = options_->range_filter_policy;
+
+    const double bits =
+        level < static_cast<int>(bits_per_level.size())
+            ? bits_per_level[level]
+            : options_->filter_bits_per_key;
+    if (bits > 0 &&
+        options_->filter_allocation != FilterAllocation::kNone) {
+      const FilterPolicy* policy =
+          options_->filter_factory != nullptr
+              ? options_->filter_factory(bits)
+              : NewBloomFilterPolicy(bits);
+      owned_filters_.emplace_back(policy);
+      t.filter_policy = policy;
+    } else {
+      t.filter_policy = nullptr;
+    }
+  }
+}
+
+const TableOptions& TableCache::TableOptionsForLevel(int level) const {
+  assert(level >= 0 && level < static_cast<int>(per_level_options_.size()));
+  return per_level_options_[level];
+}
+
+Status TableCache::FindTable(const FileMetaData& meta,
+                             std::shared_ptr<SSTable>* table) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(meta.number);
+    if (it != tables_.end()) {
+      *table = it->second;
+      return Status::OK();
+    }
+  }
+
+  std::unique_ptr<RandomAccessFile> file;
+  const std::string fname = TableFileName(dbname_, meta.number);
+  Status s = options_->env->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<SSTable> t;
+  s = SSTable::Open(TableOptionsForLevel(meta.level), std::move(file),
+                    meta.file_size, meta.number, options_->block_cache, &t);
+  if (!s.ok()) {
+    return s;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(meta.number, std::move(t));
+  *table = it->second;
+  return Status::OK();
+}
+
+namespace {
+
+/// Pins the reader (and its file metadata) for the iterator's lifetime.
+class TableIterator : public Iterator {
+ public:
+  TableIterator(Iterator* iter, std::shared_ptr<SSTable> table,
+                FileMetaPtr file)
+      : iter_(iter), table_(std::move(table)), file_(std::move(file)) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void SeekToLast() override { iter_->SeekToLast(); }
+  void Seek(const Slice& target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  void Prev() override { iter_->Prev(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> iter_;
+  std::shared_ptr<SSTable> table_;
+  FileMetaPtr file_;
+};
+
+}  // namespace
+
+Iterator* TableCache::NewIterator(const FileMetaPtr& file) {
+  std::shared_ptr<SSTable> table;
+  Status s = FindTable(*file, &table);
+  if (!s.ok()) {
+    return NewEmptyIterator(s);
+  }
+  Iterator* iter = table->NewIterator();
+  return new TableIterator(iter, std::move(table), file);
+}
+
+Status TableCache::Get(
+    const FileMetaData& meta, const Slice& internal_target,
+    const Slice& user_key, uint64_t hash, bool use_filter,
+    bool* filter_skipped,
+    const std::function<void(const Slice&, const Slice&)>& handler) {
+  *filter_skipped = false;
+  std::shared_ptr<SSTable> table;
+  Status s = FindTable(meta, &table);
+  if (!s.ok()) {
+    return s;
+  }
+  if (use_filter && !table->KeyMayMatch(user_key, hash)) {
+    *filter_skipped = true;
+    return Status::OK();
+  }
+  return table->InternalGet(internal_target, user_key, handler, use_filter,
+                            filter_skipped);
+}
+
+bool TableCache::RangeMayMatch(const FileMetaData& meta, const Slice& lo_user,
+                               const Slice& hi_user) {
+  std::shared_ptr<SSTable> table;
+  Status s = FindTable(meta, &table);
+  if (!s.ok()) {
+    return true;  // cannot prove emptiness
+  }
+  return table->RangeMayMatch(lo_user, hi_user);
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(file_number);
+}
+
+SSTable::Counters TableCache::AggregateCounters() const {
+  SSTable::Counters total;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [number, table] : tables_) {
+    total.hash_index_hits += table->counters().hash_index_hits;
+    total.hash_index_absent += table->counters().hash_index_absent;
+    total.learned_index_seeks += table->counters().learned_index_seeks;
+  }
+  return total;
+}
+
+size_t TableCache::IndexMemoryUsage() const {
+  size_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [number, table] : tables_) {
+    total += table->IndexMemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,80 @@
+#ifndef LSMLAB_CORE_TABLE_CACHE_H_
+#define LSMLAB_CORE_TABLE_CACHE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "core/version.h"
+#include "format/sstable_reader.h"
+#include "util/iterator.h"
+
+namespace lsmlab {
+
+/// Keeps SSTable readers open and shared across the read path. Tables stay
+/// open until their file is evicted (when the FileMetaData dies), matching
+/// the "index/filter blocks pinned in memory" regime of tutorial §II-1.
+///
+/// Also owns the per-level TableOptions — in particular the per-level
+/// FilterPolicy instances that realize uniform vs. Monkey filter-memory
+/// allocation (tutorial §II-5).
+class TableCache {
+ public:
+  TableCache(std::string dbname, const Options* options,
+             const InternalKeyComparator* icmp);
+  ~TableCache();
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  /// Installs per-level filter bits/key (index = level). Must be called
+  /// before any table is opened; also used by flush/compaction builders.
+  void ConfigureFilterBits(const std::vector<double>& bits_per_level);
+
+  const TableOptions& TableOptionsForLevel(int level) const;
+
+  /// Opens (or returns the cached) reader for `meta`.
+  Status FindTable(const FileMetaData& meta, std::shared_ptr<SSTable>* table);
+
+  /// Iterator over the whole table; pins the file and reader.
+  Iterator* NewIterator(const FileMetaPtr& file);
+
+  /// Point lookup within one table. Returns, via out-params, whether the
+  /// filter rejected the table (definitive skip, no I/O) and forwards
+  /// qualifying entries to `handler`.
+  Status Get(const FileMetaData& meta, const Slice& internal_target,
+             const Slice& user_key, uint64_t hash, bool use_filter,
+             bool* filter_skipped,
+             const std::function<void(const Slice&, const Slice&)>& handler);
+
+  /// Probes only the table's range filter.
+  bool RangeMayMatch(const FileMetaData& meta, const Slice& lo_user,
+                     const Slice& hi_user);
+
+  void Evict(uint64_t file_number);
+
+  /// Aggregated learned/hash-index counters across open tables.
+  SSTable::Counters AggregateCounters() const;
+
+  /// Total in-memory index+filter bytes across open tables.
+  size_t IndexMemoryUsage() const;
+
+ private:
+  const std::string dbname_;
+  const Options* const options_;
+  const InternalKeyComparator* const icmp_;
+
+  std::vector<TableOptions> per_level_options_;
+  std::vector<std::unique_ptr<const FilterPolicy>> owned_filters_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<SSTable>> tables_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_TABLE_CACHE_H_

@@ -1,0 +1,486 @@
+#include "core/version.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "core/filename.h"
+#include "core/table_cache.h"
+#include "util/coding.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace lsmlab {
+
+// --------------------------------------------------------------- Version --
+
+int Version::TotalRuns() const {
+  int total = 0;
+  for (const auto& level : levels_) {
+    total += static_cast<int>(level.runs.size());
+  }
+  return total;
+}
+
+int Version::NumFiles() const {
+  int total = 0;
+  for (const auto& level : levels_) {
+    for (const auto& run : level.runs) {
+      total += static_cast<int>(run.files.size());
+    }
+  }
+  return total;
+}
+
+int Version::MaxPopulatedLevel() const {
+  for (int i = num_levels() - 1; i >= 0; i--) {
+    if (!levels_[i].runs.empty()) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+std::string Version::DebugString() const {
+  std::ostringstream out;
+  for (int i = 0; i < num_levels(); i++) {
+    if (levels_[i].runs.empty()) {
+      continue;
+    }
+    out << "level " << i << ": ";
+    for (const auto& run : levels_[i].runs) {
+      out << "[run " << run.run_seq << ": " << run.files.size() << " files, "
+          << run.TotalBytes() << " bytes] ";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// ----------------------------------------------------------- VersionEdit --
+
+namespace {
+
+enum EditTag : uint32_t {
+  kComparator = 1,
+  kLogNumber = 2,
+  kNextFileNumber = 3,
+  kLastSequence = 4,
+  kNextRunSeq = 5,
+  kDeletedFile = 6,
+  kNewFile = 7,
+};
+
+}  // namespace
+
+void VersionEdit::EncodeTo(std::string* dst) const {
+  if (has_comparator_) {
+    PutVarint32(dst, kComparator);
+    PutLengthPrefixedSlice(dst, Slice(comparator_));
+  }
+  if (has_log_number_) {
+    PutVarint32(dst, kLogNumber);
+    PutVarint64(dst, log_number_);
+  }
+  if (has_next_file_number_) {
+    PutVarint32(dst, kNextFileNumber);
+    PutVarint64(dst, next_file_number_);
+  }
+  if (has_last_sequence_) {
+    PutVarint32(dst, kLastSequence);
+    PutVarint64(dst, last_sequence_);
+  }
+  if (has_next_run_seq_) {
+    PutVarint32(dst, kNextRunSeq);
+    PutVarint64(dst, next_run_seq_);
+  }
+  for (const auto& [level, number] : deleted_files_) {
+    PutVarint32(dst, kDeletedFile);
+    PutVarint32(dst, static_cast<uint32_t>(level));
+    PutVarint64(dst, number);
+  }
+  for (const auto& [level, meta] : new_files_) {
+    PutVarint32(dst, kNewFile);
+    PutVarint32(dst, static_cast<uint32_t>(level));
+    PutVarint64(dst, meta.number);
+    PutVarint64(dst, meta.file_size);
+    PutVarint64(dst, meta.run_seq);
+    PutLengthPrefixedSlice(dst, Slice(meta.smallest));
+    PutLengthPrefixedSlice(dst, Slice(meta.largest));
+  }
+}
+
+Status VersionEdit::DecodeFrom(const Slice& src) {
+  *this = VersionEdit();
+  Slice input = src;
+  uint32_t tag;
+  while (GetVarint32(&input, &tag)) {
+    switch (tag) {
+      case kComparator: {
+        Slice name;
+        if (!GetLengthPrefixedSlice(&input, &name)) {
+          return Status::Corruption("bad comparator name in version edit");
+        }
+        has_comparator_ = true;
+        comparator_ = name.ToString();
+        break;
+      }
+      case kLogNumber:
+        if (!GetVarint64(&input, &log_number_)) {
+          return Status::Corruption("bad log number");
+        }
+        has_log_number_ = true;
+        break;
+      case kNextFileNumber:
+        if (!GetVarint64(&input, &next_file_number_)) {
+          return Status::Corruption("bad next file number");
+        }
+        has_next_file_number_ = true;
+        break;
+      case kLastSequence:
+        if (!GetVarint64(&input, &last_sequence_)) {
+          return Status::Corruption("bad last sequence");
+        }
+        has_last_sequence_ = true;
+        break;
+      case kNextRunSeq:
+        if (!GetVarint64(&input, &next_run_seq_)) {
+          return Status::Corruption("bad next run seq");
+        }
+        has_next_run_seq_ = true;
+        break;
+      case kDeletedFile: {
+        uint32_t level;
+        uint64_t number;
+        if (!GetVarint32(&input, &level) || !GetVarint64(&input, &number)) {
+          return Status::Corruption("bad deleted file");
+        }
+        deleted_files_.emplace_back(static_cast<int>(level), number);
+        break;
+      }
+      case kNewFile: {
+        uint32_t level;
+        FileMetaData meta;
+        Slice smallest, largest;
+        if (!GetVarint32(&input, &level) ||
+            !GetVarint64(&input, &meta.number) ||
+            !GetVarint64(&input, &meta.file_size) ||
+            !GetVarint64(&input, &meta.run_seq) ||
+            !GetLengthPrefixedSlice(&input, &smallest) ||
+            !GetLengthPrefixedSlice(&input, &largest)) {
+          return Status::Corruption("bad new file");
+        }
+        meta.level = static_cast<int>(level);
+        meta.smallest = smallest.ToString();
+        meta.largest = largest.ToString();
+        new_files_.emplace_back(static_cast<int>(level), meta);
+        break;
+      }
+      default:
+        return Status::Corruption("unknown version edit tag");
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ VersionSet --
+
+VersionSet::VersionSet(std::string dbname, const Options* options,
+                       TableCache* table_cache,
+                       const InternalKeyComparator* icmp)
+    : dbname_(std::move(dbname)),
+      options_(options),
+      env_(options->env),
+      table_cache_(table_cache),
+      icmp_(icmp),
+      current_(std::make_shared<Version>(options->max_levels)) {}
+
+VersionSet::~VersionSet() = default;
+
+FileMetaPtr VersionSet::WrapFile(const FileMetaData& meta) {
+  auto file = std::make_shared<FileMetaData>(meta);
+  Env* env = env_;
+  TableCache* cache = table_cache_;
+  const std::string dbname = dbname_;
+  file->cleanup = [env, cache, dbname](FileMetaData* f) {
+    cache->Evict(f->number);
+    env->RemoveFile(TableFileName(dbname, f->number));
+  };
+  return file;
+}
+
+std::shared_ptr<Version> VersionSet::ApplyEdit(const Version& base,
+                                               const VersionEdit& edit) {
+  auto v = std::make_shared<Version>(options_->max_levels);
+  std::set<uint64_t> deleted;
+  for (const auto& [level, number] : edit.deleted_files_) {
+    deleted.insert(number);
+  }
+
+  // Copy surviving files, preserving run structure.
+  for (int level = 0; level < base.num_levels(); level++) {
+    for (const Run& run : base.levels()[level].runs) {
+      Run copy;
+      copy.run_seq = run.run_seq;
+      for (const FileMetaPtr& f : run.files) {
+        if (deleted.count(f->number) == 0) {
+          copy.files.push_back(f);
+        } else {
+          f->obsolete = true;
+        }
+      }
+      if (!copy.files.empty()) {
+        (*v->mutable_levels())[level].runs.push_back(std::move(copy));
+      }
+    }
+  }
+
+  // Insert new files, grouping by run_seq.
+  for (const auto& [level, meta] : edit.new_files_) {
+    assert(level < v->num_levels());
+    auto& runs = (*v->mutable_levels())[level].runs;
+    Run* run = nullptr;
+    for (Run& r : runs) {
+      if (r.run_seq == meta.run_seq) {
+        run = &r;
+        break;
+      }
+    }
+    if (run == nullptr) {
+      runs.emplace_back();
+      run = &runs.back();
+      run->run_seq = meta.run_seq;
+    }
+    FileMetaData m = meta;
+    m.level = level;
+    run->files.push_back(WrapFile(m));
+  }
+
+  // Keep runs newest-first and files within a run ordered by smallest key.
+  for (int level = 0; level < v->num_levels(); level++) {
+    auto& runs = (*v->mutable_levels())[level].runs;
+    std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+      return a.run_seq > b.run_seq;
+    });
+    for (Run& run : runs) {
+      std::sort(run.files.begin(), run.files.end(),
+                [this](const FileMetaPtr& a, const FileMetaPtr& b) {
+                  return icmp_->Compare(Slice(a->smallest),
+                                        Slice(b->smallest)) < 0;
+                });
+    }
+  }
+  return v;
+}
+
+Status VersionSet::WriteSnapshot(wal::Writer* manifest_writer) {
+  VersionEdit edit;
+  edit.SetComparatorName(icmp_->user_comparator()->Name());
+  edit.SetNextFileNumber(next_file_number_);
+  edit.SetLastSequence(last_sequence_);
+  edit.SetNextRunSeq(next_run_seq_);
+  edit.SetLogNumber(log_number_);
+  for (int level = 0; level < current_->num_levels(); level++) {
+    for (const Run& run : current_->levels()[level].runs) {
+      for (const FileMetaPtr& f : run.files) {
+        edit.AddFile(level, *f);
+      }
+    }
+  }
+  std::string record;
+  edit.EncodeTo(&record);
+  return manifest_writer->AddRecord(Slice(record));
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  if (edit->has_log_number_) {
+    log_number_ = edit->log_number_;
+  } else {
+    edit->SetLogNumber(log_number_);
+  }
+  edit->SetNextFileNumber(next_file_number_);
+  edit->SetLastSequence(last_sequence_);
+  edit->SetNextRunSeq(next_run_seq_);
+
+  auto v = ApplyEdit(*current_, *edit);
+
+  std::string record;
+  edit->EncodeTo(&record);
+  Status s = manifest_writer_->AddRecord(Slice(record));
+  if (s.ok()) {
+    s = manifest_file_->Sync();
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  current_ = std::move(v);
+  return Status::OK();
+}
+
+namespace {
+
+class LogReporter : public wal::Reader::Reporter {
+ public:
+  Status status;
+  void Corruption(size_t /*bytes*/, const Status& s) override {
+    if (status.ok()) {
+      status = s;
+    }
+  }
+};
+
+}  // namespace
+
+Status VersionSet::Recover() {
+  env_->CreateDir(dbname_);
+  const std::string current_name = CurrentFileName(dbname_);
+
+  if (!env_->FileExists(current_name)) {
+    if (!options_->create_if_missing) {
+      return Status::InvalidArgument(dbname_, "does not exist");
+    }
+    // Fresh DB: write an initial manifest.
+    manifest_number_ = NewFileNumber();
+    const std::string manifest_name =
+        ManifestFileName(dbname_, manifest_number_);
+    Status s = env_->NewWritableFile(manifest_name, &manifest_file_);
+    if (!s.ok()) {
+      return s;
+    }
+    manifest_writer_ = std::make_unique<wal::Writer>(manifest_file_.get());
+    s = WriteSnapshot(manifest_writer_.get());
+    if (s.ok()) {
+      // The manifest must be durable before CURRENT points at it.
+      s = manifest_file_->Sync();
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    return WriteStringToFile(
+        env_, Slice(manifest_name.substr(dbname_.size() + 1) + "\n"),
+        current_name);
+  }
+
+  if (options_->error_if_exists) {
+    return Status::InvalidArgument(dbname_, "exists (error_if_exists)");
+  }
+
+  std::string current_contents;
+  Status s = ReadFileToString(env_, current_name, &current_contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (current_contents.empty() || current_contents.back() != '\n') {
+    return Status::Corruption("CURRENT file malformed");
+  }
+  current_contents.pop_back();
+  const std::string manifest_name = dbname_ + "/" + current_contents;
+
+  std::unique_ptr<SequentialFile> manifest;
+  s = env_->NewSequentialFile(manifest_name, &manifest);
+  if (!s.ok()) {
+    return s;
+  }
+  LogReporter reporter;
+  wal::Reader reader(manifest.get(), &reporter);
+  Slice record;
+  std::string scratch;
+  auto v = std::make_shared<Version>(options_->max_levels);
+  while (reader.ReadRecord(&record, &scratch)) {
+    VersionEdit edit;
+    s = edit.DecodeFrom(record);
+    if (!s.ok()) {
+      return s;
+    }
+    if (edit.has_comparator_ &&
+        edit.comparator_ != icmp_->user_comparator()->Name()) {
+      return Status::InvalidArgument("comparator mismatch: ",
+                                     edit.comparator_);
+    }
+    if (edit.has_next_file_number_) {
+      next_file_number_ = edit.next_file_number_;
+    }
+    if (edit.has_last_sequence_) {
+      last_sequence_ = edit.last_sequence_;
+    }
+    if (edit.has_next_run_seq_) {
+      next_run_seq_ = edit.next_run_seq_;
+    }
+    if (edit.has_log_number_) {
+      log_number_ = edit.log_number_;
+    }
+    v = ApplyEdit(*v, edit);
+  }
+  if (!reporter.status.ok()) {
+    return reporter.status;
+  }
+  current_ = std::move(v);
+
+  // Continue appending to a fresh manifest (simplest correct form of
+  // manifest rollover).
+  manifest_number_ = NewFileNumber();
+  const std::string new_manifest =
+      ManifestFileName(dbname_, manifest_number_);
+  s = env_->NewWritableFile(new_manifest, &manifest_file_);
+  if (!s.ok()) {
+    return s;
+  }
+  manifest_writer_ = std::make_unique<wal::Writer>(manifest_file_.get());
+  s = WriteSnapshot(manifest_writer_.get());
+  if (s.ok()) {
+    s = manifest_file_->Sync();  // durable before CURRENT references it
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  s = WriteStringToFile(
+      env_, Slice(new_manifest.substr(dbname_.size() + 1) + "\n"),
+      current_name);
+  if (s.ok()) {
+    env_->RemoveFile(manifest_name);
+  }
+  return s;
+}
+
+void VersionSet::RemoveOrphanedFiles() {
+  std::vector<std::string> children;
+  if (!env_->GetChildren(dbname_, &children).ok()) {
+    return;
+  }
+  std::set<uint64_t> live;
+  for (const auto& level : current_->levels()) {
+    for (const auto& run : level.runs) {
+      for (const auto& f : run.files) {
+        live.insert(f->number);
+      }
+    }
+  }
+  for (const std::string& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type)) {
+      continue;
+    }
+    bool keep = true;
+    switch (type) {
+      case FileType::kTableFile:
+        keep = live.count(number) > 0;
+        break;
+      case FileType::kWalFile:
+        keep = number >= log_number_;
+        break;
+      case FileType::kManifestFile:
+        keep = number >= manifest_number_;
+        break;
+      default:
+        keep = true;
+    }
+    if (!keep) {
+      table_cache_->Evict(number);
+      env_->RemoveFile(dbname_ + "/" + child);
+    }
+  }
+}
+
+}  // namespace lsmlab

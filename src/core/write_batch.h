@@ -1,0 +1,55 @@
+#ifndef LSMLAB_CORE_WRITE_BATCH_H_
+#define LSMLAB_CORE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+class MemTable;
+
+/// Atomic group of puts/deletes. The serialized form — fixed64 base
+/// sequence | fixed32 count | (type, key, [value])* — is exactly what one
+/// WAL record carries, so recovery replays batches verbatim.
+class WriteBatch {
+ public:
+  WriteBatch() { Clear(); }
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  uint32_t Count() const;
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  /// Replays the batch into callbacks; used by recovery and the memtable
+  /// insert path.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  // --- Internal (DB use) --------------------------------------------------
+  SequenceNumber sequence() const;
+  void set_sequence(SequenceNumber seq);
+  Slice Contents() const { return Slice(rep_); }
+  void SetContentsFrom(const Slice& contents);
+  /// Applies the batch to `mem`, assigning sequence(), sequence()+1, ...
+  Status InsertInto(MemTable* mem) const;
+
+ private:
+  void SetCount(uint32_t n);
+
+  std::string rep_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CORE_WRITE_BATCH_H_

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "filter/filter_policy.h"
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Standard Bloom filter with double hashing (Kirsch-Mitzenmacher): probe
+/// positions h + i*delta derived from one 64-bit key hash, so a lookup
+/// hashes once regardless of k.
+///
+/// Serialized layout: bit array | fixed32 num_bits | uint8 k.
+/// bits_per_key <= 0 produces an empty filter that never rejects — that is
+/// how Monkey "turns off" filters at the largest level.
+class BloomFilterPolicy : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(double bits_per_key)
+      : bits_per_key_(bits_per_key) {
+    // k = bits_per_key * ln2 minimizes FPR.
+    k_ = static_cast<int>(std::lround(bits_per_key * 0.69314718056));
+    k_ = std::clamp(k_, 1, 30);
+  }
+
+  const char* Name() const override { return "lsmlab.Bloom"; }
+
+  void CreateFilter(const Slice* keys, size_t n,
+                    std::string* dst) const override {
+    if (bits_per_key_ <= 0 || n == 0) {
+      return;  // empty filter: KeyMayMatch always returns true
+    }
+    size_t bits = static_cast<size_t>(
+        std::ceil(static_cast<double>(n) * bits_per_key_));
+    bits = std::max<size_t>(bits, 64);
+    const size_t bytes = (bits + 7) / 8;
+    bits = bytes * 8;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bytes, 0);
+    char* array = dst->data() + init_size;
+    for (size_t i = 0; i < n; i++) {
+      uint64_t h = Hash64(keys[i]);
+      const uint64_t delta = Remix64(h) | 1;  // odd stride
+      for (int j = 0; j < k_; j++) {
+        const uint64_t bitpos = h % bits;
+        array[bitpos / 8] |= (1 << (bitpos % 8));
+        h += delta;
+      }
+    }
+    PutFixed32(dst, static_cast<uint32_t>(bits));
+    dst->push_back(static_cast<char>(k_));
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    return HashMayMatch(Hash64(key), filter);
+  }
+
+  bool HashMayMatch(uint64_t hash, const Slice& filter) const override {
+    if (filter.size() < 5) {
+      return true;  // empty or malformed filter never rejects
+    }
+    const size_t len = filter.size();
+    const uint32_t bits = DecodeFixed32(filter.data() + len - 5);
+    const int k = static_cast<unsigned char>(filter[len - 1]);
+    if (k > 30 || bits == 0 || (bits + 7) / 8 + 5 != len) {
+      return true;
+    }
+    const char* array = filter.data();
+    uint64_t h = hash;
+    const uint64_t delta = Remix64(h) | 1;
+    for (int j = 0; j < k; j++) {
+      const uint64_t bitpos = h % bits;
+      if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) {
+        return false;
+      }
+      h += delta;
+    }
+    return true;
+  }
+
+  bool SupportsHashProbe() const override { return true; }
+
+ private:
+  double bits_per_key_;
+  int k_;
+};
+
+}  // namespace
+
+const FilterPolicy* NewBloomFilterPolicy(double bits_per_key) {
+  return new BloomFilterPolicy(bits_per_key);
+}
+
+}  // namespace lsmlab

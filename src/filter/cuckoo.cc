@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "filter/filter_policy.h"
+#include "util/coding.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace lsmlab {
+
+namespace {
+
+constexpr int kSlotsPerBucket = 4;
+constexpr int kMaxKicks = 500;
+
+/// Cuckoo filter [Fan et al., CoNEXT'14]: partial-key cuckoo hashing of
+/// f-bit fingerprints into 4-way buckets. At low target FPR it is smaller
+/// than a Bloom filter (load factor ~95%, bits/key ~ (f+3)/0.95 vs
+/// 1.44*log2(1/fpr)) and supports deletes (unused here; SSTable filters
+/// are immutable). Used as the Bloom replacement of SlimDB and Chucky
+/// (tutorial §II-2).
+///
+/// Serialized layout: packed fingerprint array | fixed32 num_buckets |
+/// uint8 fingerprint_bits | uint8 flags (bit0 = saturated).
+class CuckooFilterPolicy : public FilterPolicy {
+ public:
+  explicit CuckooFilterPolicy(size_t fingerprint_bits)
+      : fp_bits_(std::clamp<size_t>(fingerprint_bits, 2, 32)) {}
+
+  const char* Name() const override { return "lsmlab.Cuckoo"; }
+
+  void CreateFilter(const Slice* keys, size_t n,
+                    std::string* dst) const override {
+    if (n == 0) {
+      return;
+    }
+    // Power-of-two bucket count so the partner-bucket XOR is an involution.
+    const double target_load = 0.84;
+    uint64_t min_buckets = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(n) / (kSlotsPerBucket * target_load)));
+    uint64_t num_buckets = 1;
+    while (num_buckets < min_buckets) {
+      num_buckets <<= 1;
+    }
+
+    std::vector<uint32_t> slots(num_buckets * kSlotsPerBucket, 0);
+    bool saturated = false;
+    Random rng(0xc0ffee);
+    for (size_t i = 0; i < n && !saturated; i++) {
+      const uint64_t h = Hash64(keys[i]);
+      uint32_t fp = Fingerprint(h);
+      uint64_t b = BucketIndex(h, num_buckets);
+      if (!Insert(slots.data(), num_buckets, b, fp, &rng)) {
+        saturated = true;  // degrade to always-maybe
+      }
+    }
+
+    const size_t init_size = dst->size();
+    const uint64_t total_slots = num_buckets * kSlotsPerBucket;
+    const size_t array_bytes = (total_slots * fp_bits_ + 7) / 8;
+    dst->resize(init_size + array_bytes, 0);
+    char* array = dst->data() + init_size;
+    for (uint64_t s = 0; s < total_slots; s++) {
+      WriteSlot(array, s, slots[s]);
+    }
+    PutFixed32(dst, static_cast<uint32_t>(num_buckets));
+    dst->push_back(static_cast<char>(fp_bits_));
+    dst->push_back(saturated ? 1 : 0);
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    return HashMayMatch(Hash64(key), filter);
+  }
+
+  bool HashMayMatch(uint64_t hash, const Slice& filter) const override {
+    if (filter.size() < 6) {
+      return true;
+    }
+    const size_t len = filter.size();
+    const uint8_t flags = static_cast<uint8_t>(filter[len - 1]);
+    const size_t fp_bits = static_cast<uint8_t>(filter[len - 2]);
+    const uint64_t num_buckets = DecodeFixed32(filter.data() + len - 6);
+    if ((flags & 1) != 0 || fp_bits < 2 || fp_bits > 32 ||
+        num_buckets == 0 || (num_buckets & (num_buckets - 1)) != 0) {
+      return true;  // saturated or malformed: never reject
+    }
+    const size_t array_bytes =
+        (num_buckets * kSlotsPerBucket * fp_bits + 7) / 8;
+    if (array_bytes + 6 != len) {
+      return true;
+    }
+    const char* array = filter.data();
+    const uint32_t fp = FingerprintFor(hash, fp_bits);
+    const uint64_t b1 = BucketIndex(hash, num_buckets);
+    const uint64_t b2 = AltBucket(b1, fp, num_buckets);
+    for (int s = 0; s < kSlotsPerBucket; s++) {
+      if (ReadSlot(array, b1 * kSlotsPerBucket + s, fp_bits) == fp ||
+          ReadSlot(array, b2 * kSlotsPerBucket + s, fp_bits) == fp) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool SupportsHashProbe() const override { return true; }
+
+ private:
+  uint32_t Fingerprint(uint64_t hash) const {
+    return FingerprintFor(hash, fp_bits_);
+  }
+
+  static uint32_t FingerprintFor(uint64_t hash, size_t fp_bits) {
+    // Fingerprint from high bits (bucket index uses low bits); never 0,
+    // which marks an empty slot.
+    uint32_t fp = static_cast<uint32_t>(hash >> 32) &
+                  ((fp_bits >= 32) ? 0xFFFFFFFFu
+                                   : ((1u << fp_bits) - 1));
+    return fp == 0 ? 1 : fp;
+  }
+
+  static uint64_t BucketIndex(uint64_t hash, uint64_t num_buckets) {
+    return hash & (num_buckets - 1);
+  }
+
+  static uint64_t AltBucket(uint64_t bucket, uint32_t fp,
+                            uint64_t num_buckets) {
+    // Partner bucket by fingerprint-hash XOR (involutive for pow2 sizes).
+    return (bucket ^ (static_cast<uint64_t>(fp) * 0x5bd1e995)) &
+           (num_buckets - 1);
+  }
+
+  static bool TryBucket(uint32_t* slots, uint64_t bucket, uint32_t fp) {
+    uint32_t* base = slots + bucket * kSlotsPerBucket;
+    for (int s = 0; s < kSlotsPerBucket; s++) {
+      if (base[s] == 0 || base[s] == fp) {
+        base[s] = fp;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Insert(uint32_t* slots, uint64_t num_buckets, uint64_t bucket,
+              uint32_t fp, Random* rng) const {
+    const uint64_t b1 = bucket;
+    const uint64_t b2 = AltBucket(b1, fp, num_buckets);
+    if (TryBucket(slots, b1, fp) || TryBucket(slots, b2, fp)) {
+      return true;
+    }
+    // Random-walk eviction: displace a victim from the current bucket and
+    // retry the victim at its partner (standard partial-key cuckoo).
+    uint64_t b = rng->OneIn(2) ? b1 : b2;
+    for (int kick = 0; kick < kMaxKicks; kick++) {
+      uint32_t* base = slots + b * kSlotsPerBucket;
+      const int victim = static_cast<int>(rng->Uniform(kSlotsPerBucket));
+      std::swap(fp, base[victim]);
+      b = AltBucket(b, fp, num_buckets);
+      if (TryBucket(slots, b, fp)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void WriteSlot(char* array, uint64_t slot, uint32_t value) const {
+    const uint64_t bit = slot * fp_bits_;
+    for (size_t i = 0; i < fp_bits_; i++) {
+      if (value & (1u << i)) {
+        array[(bit + i) / 8] |= (1 << ((bit + i) % 8));
+      }
+    }
+  }
+
+  static uint32_t ReadSlot(const char* array, uint64_t slot, size_t fp_bits) {
+    const uint64_t bit = slot * fp_bits;
+    uint32_t value = 0;
+    for (size_t i = 0; i < fp_bits; i++) {
+      if (array[(bit + i) / 8] & (1 << ((bit + i) % 8))) {
+        value |= (1u << i);
+      }
+    }
+    return value;
+  }
+
+  size_t fp_bits_;
+};
+
+}  // namespace
+
+const FilterPolicy* NewCuckooFilterPolicy(size_t fingerprint_bits) {
+  return new CuckooFilterPolicy(fingerprint_bits);
+}
+
+}  // namespace lsmlab

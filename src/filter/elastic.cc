@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "filter/filter_policy.h"
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// ElasticBF-style modular Bloom filter [Li et al., ATC'19; Mun et al.,
+/// ADMS'22]: the per-run budget is split into `units` independent small
+/// Bloom filters; a probe consults only `enabled_units` of them. Hot runs
+/// enable all units (lowest FPR); cold runs keep fewer resident, trading
+/// false positives for memory (tutorial §II-2 "access skew").
+///
+/// The units are built over the same keys with different hash seeds, so
+/// FPR(enabled) = fpr_unit^enabled.
+///
+/// Serialized layout: unit blobs | fixed32 unit_size * units |
+/// fixed32 unit_size | uint8 units | uint8 k.
+class ElasticBloomFilterPolicy : public FilterPolicy {
+ public:
+  ElasticBloomFilterPolicy(double bits_per_key, int units, int enabled_units)
+      : bits_per_key_(bits_per_key),
+        units_(std::clamp(units, 1, 8)),
+        enabled_units_(std::clamp(enabled_units, 1, units_)) {
+    const double unit_bits = bits_per_key_ / units_;
+    k_ = std::clamp(
+        static_cast<int>(std::lround(unit_bits * 0.69314718056)), 1, 30);
+  }
+
+  const char* Name() const override { return "lsmlab.ElasticBloom"; }
+
+  void CreateFilter(const Slice* keys, size_t n,
+                    std::string* dst) const override {
+    if (bits_per_key_ <= 0 || n == 0) {
+      return;
+    }
+    const double unit_bits_per_key = bits_per_key_ / units_;
+    size_t bits = static_cast<size_t>(
+        std::ceil(static_cast<double>(n) * unit_bits_per_key));
+    bits = std::max<size_t>(bits, 64);
+    const size_t unit_bytes = (bits + 7) / 8;
+    bits = unit_bytes * 8;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + unit_bytes * units_, 0);
+    for (int u = 0; u < units_; u++) {
+      char* array = dst->data() + init_size + u * unit_bytes;
+      for (size_t i = 0; i < n; i++) {
+        uint64_t h = UnitHash(Hash64(keys[i]), u);
+        const uint64_t delta = Remix64(h) | 1;
+        for (int j = 0; j < k_; j++) {
+          const uint64_t bitpos = h % bits;
+          array[bitpos / 8] |= (1 << (bitpos % 8));
+          h += delta;
+        }
+      }
+    }
+    PutFixed32(dst, static_cast<uint32_t>(unit_bytes));
+    dst->push_back(static_cast<char>(units_));
+    dst->push_back(static_cast<char>(k_));
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    return HashMayMatch(Hash64(key), filter);
+  }
+
+  bool HashMayMatch(uint64_t hash, const Slice& filter) const override {
+    if (filter.size() < 6) {
+      return true;
+    }
+    const size_t len = filter.size();
+    const int k = static_cast<unsigned char>(filter[len - 1]);
+    const int units = static_cast<unsigned char>(filter[len - 2]);
+    const uint32_t unit_bytes = DecodeFixed32(filter.data() + len - 6);
+    if (k > 30 || units < 1 || units > 8 ||
+        static_cast<size_t>(unit_bytes) * units + 6 != len) {
+      return true;
+    }
+    const uint64_t bits = static_cast<uint64_t>(unit_bytes) * 8;
+    const int probe_units = std::min(enabled_units_, units);
+    for (int u = 0; u < probe_units; u++) {
+      const char* array = filter.data() + u * unit_bytes;
+      uint64_t h = UnitHash(hash, u);
+      const uint64_t delta = Remix64(h) | 1;
+      bool match = true;
+      for (int j = 0; j < k; j++) {
+        const uint64_t bitpos = h % bits;
+        if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) {
+          match = false;
+          break;
+        }
+        h += delta;
+      }
+      if (!match) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool SupportsHashProbe() const override { return true; }
+
+ private:
+  static uint64_t UnitHash(uint64_t hash, int unit) {
+    return Remix64(hash + 0x9E3779B97f4A7C15ull * (unit + 1));
+  }
+
+  double bits_per_key_;
+  int units_;
+  int enabled_units_;
+  int k_;
+};
+
+}  // namespace
+
+const FilterPolicy* NewElasticBloomFilterPolicy(double bits_per_key,
+                                                int units,
+                                                int enabled_units) {
+  return new ElasticBloomFilterPolicy(bits_per_key, units, enabled_units);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,78 @@
+#ifndef LSMLAB_FILTER_FILTER_POLICY_H_
+#define LSMLAB_FILTER_FILTER_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Approximate-membership filter over the keys of one sorted run.
+///
+/// One filter blob is built per SSTable from all its (searchable) keys and
+/// stored in the table's filter block; point lookups probe it before
+/// touching any data block (tutorial §II-2). Implementations: standard
+/// Bloom, register-blocked Bloom, cuckoo, ribbon, elastic (multi-unit).
+///
+/// All implementations derive their probe positions from the 64-bit
+/// Hash64() of the key, which enables the shared-hash-computation
+/// optimization [Zhu et al., DAMON'21]: the engine hashes the lookup key
+/// once and calls HashMayMatch() on every level's filter.
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  /// Name persisted in the table; probing with a mismatched policy is
+  /// detected and treated as "no filter".
+  virtual const char* Name() const = 0;
+
+  /// Appends a filter for keys[0..n-1] to *dst.
+  virtual void CreateFilter(const Slice* keys, size_t n,
+                            std::string* dst) const = 0;
+
+  /// May return false only if `key` was not passed to CreateFilter.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+
+  /// Hash-probe variant used by the shared-hash read path; `hash` must be
+  /// Hash64(key). Default falls back to "maybe" (no filtering).
+  virtual bool HashMayMatch(uint64_t hash, const Slice& filter) const {
+    (void)hash;
+    (void)filter;
+    return true;
+  }
+
+  /// True when HashMayMatch is a faithful implementation (not the
+  /// pessimistic default), letting the read path skip re-hashing.
+  virtual bool SupportsHashProbe() const { return false; }
+};
+
+/// Standard Bloom filter with double hashing; `bits_per_key` may be
+/// fractional (Monkey hands out fractional budgets per level).
+const FilterPolicy* NewBloomFilterPolicy(double bits_per_key);
+
+/// Register-blocked Bloom filter: all probes of a key land in one 64-byte
+/// cache line (one cache miss per query; slightly higher FPR at equal
+/// space) [Putze et al.; RocksDB "block-based filter"].
+const FilterPolicy* NewBlockedBloomFilterPolicy(double bits_per_key);
+
+/// Cuckoo filter storing f-bit fingerprints in 4-way buckets
+/// [Fan et al., CoNEXT'14]; Bloom replacement used by SlimDB and Chucky.
+const FilterPolicy* NewCuckooFilterPolicy(size_t fingerprint_bits);
+
+/// Standard ribbon filter (Gaussian elimination over a banded linear
+/// system) [Dillinger & Walzer '21]: ~30% smaller than Bloom at equal FPR,
+/// more CPU at build time.
+const FilterPolicy* NewRibbonFilterPolicy(double bits_per_key);
+
+/// ElasticBF-style modular filter: `units` independent small Bloom filters
+/// per run; cold runs can disable some units to save memory at the cost of
+/// FPR [Li et al., ATC'19; Mun et al., ADMS'22].
+const FilterPolicy* NewElasticBloomFilterPolicy(double bits_per_key,
+                                                int units,
+                                                int enabled_units);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FILTER_FILTER_POLICY_H_

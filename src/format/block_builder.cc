@@ -1,0 +1,118 @@
+#include "format/block_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace lsmlab {
+
+BlockBuilder::BlockBuilder(const TableOptions* opts)
+    : opts_(opts), counter_(0), finished_(false), num_entries_(0) {
+  assert(opts->block_restart_interval >= 1);
+  restarts_.push_back(0);  // first restart point is at offset 0
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  finished_ = false;
+  num_entries_ = 0;
+  last_key_.clear();
+  last_searchable_.clear();
+  hash_entries_.clear();
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  size_t size = buffer_.size() + restarts_.size() * sizeof(uint32_t) +
+                sizeof(uint32_t);
+  if (opts_->use_hash_index) {
+    size += static_cast<size_t>(num_entries_ /
+                                std::max(opts_->hash_index_util_ratio, 0.1)) +
+            sizeof(uint32_t);
+  }
+  return size;
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!finished_);
+  assert(counter_ <= opts_->block_restart_interval);
+  assert(buffer_.empty() ||
+         opts_->comparator->Compare(key, Slice(last_key_)) > 0);
+
+  size_t shared = 0;
+  if (counter_ < opts_->block_restart_interval) {
+    // Shared-prefix compress against the previous key.
+    const size_t min_length = std::min(last_key_.size(), key.size());
+    while (shared < min_length && last_key_[shared] == key[shared]) {
+      shared++;
+    }
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, non_shared);
+  assert(Slice(last_key_) == key);
+
+  if (opts_->use_hash_index) {
+    Slice searchable = opts_->SearchableKey(key);
+    // Record only the first (newest) occurrence of each searchable key so a
+    // hash hit lands on the version a point lookup wants.
+    if (hash_entries_.empty() || Slice(last_searchable_) != searchable) {
+      hash_entries_.emplace_back(
+          Hash32(searchable),
+          static_cast<uint32_t>(restarts_.size() - 1));
+      last_searchable_.assign(searchable.data(), searchable.size());
+    }
+  }
+
+  counter_++;
+  num_entries_++;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t restart : restarts_) {
+    PutFixed32(&buffer_, restart);
+  }
+
+  uint32_t trailer = static_cast<uint32_t>(restarts_.size());
+  const bool want_hash =
+      opts_->use_hash_index &&
+      restarts_.size() <= kMaxHashRestartIndex;  // bucket bytes must fit
+  if (want_hash) {
+    const uint32_t num_buckets = std::max<uint32_t>(
+        1, static_cast<uint32_t>(
+               num_entries_ /
+               std::max(opts_->hash_index_util_ratio, 0.1)));
+    std::string buckets(num_buckets, static_cast<char>(kHashBucketEmpty));
+    for (const auto& [hash, restart] : hash_entries_) {
+      uint8_t& b = reinterpret_cast<uint8_t&>(buckets[hash % num_buckets]);
+      if (b == kHashBucketEmpty) {
+        b = static_cast<uint8_t>(restart);
+      } else if (b != static_cast<uint8_t>(restart)) {
+        b = kHashBucketCollision;
+      }
+    }
+    buffer_.append(buckets);
+    PutFixed32(&buffer_, num_buckets);
+    trailer |= kHashIndexFlag;
+  }
+
+  PutFixed32(&buffer_, trailer);
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,73 @@
+#ifndef LSMLAB_FORMAT_BLOCK_BUILDER_H_
+#define LSMLAB_FORMAT_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "format/table_options.h"
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Serializes a sorted sequence of key/value entries into one block.
+///
+/// Entry keys are delta-encoded against their predecessor; every
+/// `block_restart_interval` entries a full key ("restart point") is stored
+/// so readers can binary-search restart points and then scan forward.
+/// When `opts->use_hash_index` is set, a byte-per-bucket hash table mapping
+/// searchable-key hashes to restart indexes is appended, enabling
+/// constant-time point lookups inside the block (tutorial §II-4).
+///
+/// Block layout:
+///   entry*      : varint32 shared | varint32 non_shared | varint32 vlen
+///                 | key delta | value
+///   restarts    : fixed32 * num_restarts
+///   hash index  : uint8 * num_buckets, fixed32 num_buckets   (optional)
+///   trailer word: fixed32 (num_restarts | kHashIndexFlag)
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(const TableOptions* opts);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// Appends an entry. REQUIRES: key > all previously added keys.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finishes the block and returns a slice referencing builder-owned
+  /// memory valid until Reset().
+  Slice Finish();
+
+  void Reset();
+
+  /// Uncompressed size estimate of the block being built.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return counter_ == 0 && buffer_.empty(); }
+  size_t num_entries() const { return num_entries_; }
+
+  static constexpr uint32_t kHashIndexFlag = 0x80000000u;
+  static constexpr uint8_t kHashBucketEmpty = 0xFF;
+  static constexpr uint8_t kHashBucketCollision = 0xFE;
+  /// Restart indexes >= this cannot be stored in a byte bucket; the hash
+  /// index is dropped for such (pathologically large) blocks.
+  static constexpr uint32_t kMaxHashRestartIndex = 0xFD;
+
+ private:
+  const TableOptions* opts_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;          // entries since last restart point
+  bool finished_;
+  size_t num_entries_;
+  std::string last_key_;
+  std::string last_searchable_;  // to dedupe hash entries per user key
+
+  // (hash of searchable key, restart index of its first occurrence)
+  std::vector<std::pair<uint32_t, uint32_t>> hash_entries_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FORMAT_BLOCK_BUILDER_H_

@@ -1,0 +1,89 @@
+#include "format/format.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace lsmlab {
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset_);
+  PutVarint64(dst, size_);
+}
+
+Status BlockHandle::DecodeFrom(Slice* input) {
+  if (GetVarint64(input, &offset_) && GetVarint64(input, &size_)) {
+    return Status::OK();
+  }
+  return Status::Corruption("bad block handle");
+}
+
+void Footer::EncodeTo(std::string* dst) const {
+  const size_t original_size = dst->size();
+  metaindex_handle_.EncodeTo(dst);
+  index_handle_.EncodeTo(dst);
+  dst->resize(original_size + 2 * BlockHandle::kMaxEncodedLength);  // pad
+  PutFixed32(dst, kFormatVersion);
+  PutFixed64(dst, kTableMagicNumber);
+}
+
+Status Footer::DecodeFrom(Slice* input) {
+  if (input->size() < kEncodedLength) {
+    return Status::Corruption("footer too short");
+  }
+  const char* magic_ptr = input->data() + kEncodedLength - 8;
+  const uint64_t magic = DecodeFixed64(magic_ptr);
+  if (magic != kTableMagicNumber) {
+    return Status::Corruption("not an sstable (bad magic number)");
+  }
+  const uint32_t version = DecodeFixed32(magic_ptr - 4);
+  if (version != kFormatVersion) {
+    return Status::NotSupported("unsupported table format version");
+  }
+
+  Status result = metaindex_handle_.DecodeFrom(input);
+  if (result.ok()) {
+    result = index_handle_.DecodeFrom(input);
+  }
+  return result;
+}
+
+Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
+                 BlockContents* result) {
+  result->data = Slice();
+  result->heap_allocated = false;
+  result->owned.clear();
+
+  const size_t n = static_cast<size_t>(handle.size());
+  result->owned.resize(n + kBlockTrailerSize);
+  Slice contents;
+  Status s = file->Read(handle.offset(), n + kBlockTrailerSize, &contents,
+                        result->owned.data());
+  if (!s.ok()) {
+    return s;
+  }
+  if (contents.size() != n + kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+
+  const char* data = contents.data();
+  const uint32_t expected = crc32c::Unmask(DecodeFixed32(data + n + 1));
+  const uint32_t actual = crc32c::Value(data, n + 1);
+  if (actual != expected) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  if (data[n] != 0) {
+    return Status::Corruption("unknown block compression type");
+  }
+
+  if (data != result->owned.data()) {
+    // Env returned a pointer into its own memory (mem env). Copy so the
+    // block owns its bytes: cached blocks may outlive the file handle.
+    result->owned.assign(data, n);
+  }
+  result->owned.resize(n);  // drop trailer (no-op for the copy branch)
+  result->data = Slice(result->owned.data(), n);
+  result->heap_allocated = true;
+  return Status::OK();
+}
+
+}  // namespace lsmlab

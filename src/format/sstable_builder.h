@@ -1,0 +1,90 @@
+#ifndef LSMLAB_FORMAT_SSTABLE_BUILDER_H_
+#define LSMLAB_FORMAT_SSTABLE_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "format/block_builder.h"
+#include "format/format.h"
+#include "format/table_options.h"
+#include "storage/env.h"
+
+namespace lsmlab {
+
+/// Table-level statistics persisted in the properties meta block.
+struct TableProperties {
+  uint64_t num_entries = 0;
+  uint64_t num_data_blocks = 0;
+  uint64_t raw_key_bytes = 0;
+  uint64_t raw_value_bytes = 0;
+  uint64_t filter_bytes = 0;
+  uint64_t range_filter_bytes = 0;
+  uint64_t index_bytes = 0;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice input);
+};
+
+/// Streams sorted key/value entries into an SSTable file.
+///
+/// File layout:
+///   [data block]* [filter block] [range filter block] [properties block]
+///   [metaindex block] [index block] [footer]
+/// The index block's entries are fence pointers: a shortened divider key
+/// per data block mapping to its BlockHandle (tutorial §II-1).
+class SSTableBuilder {
+ public:
+  SSTableBuilder(const TableOptions& options, WritableFile* file);
+  ~SSTableBuilder();
+
+  SSTableBuilder(const SSTableBuilder&) = delete;
+  SSTableBuilder& operator=(const SSTableBuilder&) = delete;
+
+  /// Adds an entry. REQUIRES: key > all previously added keys; Finish() and
+  /// Abandon() not yet called.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Writes all pending blocks, meta blocks, index, and footer.
+  Status Finish();
+
+  /// Abandons the table; the caller deletes the underlying file.
+  void Abandon();
+
+  uint64_t NumEntries() const { return props_.num_entries; }
+  /// Bytes written so far (grows as blocks are flushed).
+  uint64_t FileSize() const { return offset_; }
+  Status status() const { return status_; }
+  const TableProperties& properties() const { return props_; }
+
+ private:
+  void FlushDataBlock();
+  /// Writes `contents` plus trailer; records its handle.
+  void WriteRawBlock(const Slice& contents, BlockHandle* handle);
+
+  TableOptions options_;
+  TableOptions index_options_;  // like options_ but no hash index, restart=1
+  WritableFile* file_;
+  uint64_t offset_ = 0;
+  Status status_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  std::string last_key_;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;  // handle of the block awaiting index entry
+  bool closed_ = false;
+  TableProperties props_;
+
+  // Searchable keys (deduplicated consecutive) retained for filter builds.
+  std::vector<std::string> filter_keys_;
+  // With partitioned filters: index of the first filter key of the data
+  // block currently being built; one finished filter blob per flushed
+  // data block.
+  size_t partition_first_key_ = 0;
+  std::vector<std::string> partition_filters_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FORMAT_SSTABLE_BUILDER_H_

@@ -1,0 +1,137 @@
+#ifndef LSMLAB_FORMAT_SSTABLE_READER_H_
+#define LSMLAB_FORMAT_SSTABLE_READER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block_cache.h"
+#include "format/block.h"
+#include "format/format.h"
+#include "format/sstable_builder.h"
+#include "format/table_options.h"
+#include "index/plr.h"
+#include "index/radix_spline.h"
+#include "storage/env.h"
+#include "util/iterator.h"
+
+namespace lsmlab {
+
+/// Immutable reader over one SSTable file.
+///
+/// The index block (fence pointers), filter blocks, and properties are
+/// loaded into memory at Open — the "lightweight structures pre-fetched to
+/// memory" of tutorial §II-1. Data blocks are read on demand, optionally
+/// through a shared BlockCache. With a learned index type, a PLR or radix
+/// spline over the numeric fences replaces binary search for point lookups.
+class SSTable {
+ public:
+  /// Opens a table. `file_number` keys the block cache (pass 0 with a null
+  /// cache for standalone use). On success *table owns the file.
+  static Status Open(const TableOptions& options,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size, uint64_t file_number,
+                     BlockCache* block_cache, std::unique_ptr<SSTable>* table);
+
+  ~SSTable();
+
+  SSTable(const SSTable&) = delete;
+  SSTable& operator=(const SSTable&) = delete;
+
+  /// Ordered iterator over all entries.
+  Iterator* NewIterator() const;
+
+  /// Probes the point filter with the searchable key. `hash` must be
+  /// Hash64(searchable_key); it is reused across runs (shared hashing).
+  /// Returns true when the table has no filter or the filter says "maybe".
+  bool KeyMayMatch(const Slice& searchable_key, uint64_t hash) const;
+
+  /// Probes the range filter with inclusive bounds over searchable keys.
+  /// Returns true when the table has no range filter or it says "maybe".
+  bool RangeMayMatch(const Slice& lo, const Slice& hi) const;
+
+  /// Seeks to the first entry >= `target` and, if one exists, invokes
+  /// `handler` on it exactly once. `searchable` is the filter/hash-index
+  /// portion of target (its user key). Monolithic point filters are probed
+  /// by the caller via KeyMayMatch; *partitioned* filters are probed here
+  /// (after the block is located) when `use_filter` is set, reporting a
+  /// rejection through *filter_skipped.
+  Status InternalGet(
+      const Slice& target, const Slice& searchable,
+      const std::function<void(const Slice& key, const Slice& value)>&
+          handler,
+      bool use_filter = true, bool* filter_skipped = nullptr) const;
+
+  const TableProperties& properties() const { return props_; }
+  uint64_t file_number() const { return file_number_; }
+
+  /// Loads up to `budget_bytes` of data blocks (front to back) through the
+  /// block cache — the Leaper-style re-warm after compaction (§II-1).
+  /// No-op without a block cache. Returns bytes loaded.
+  size_t PrefetchBlocks(size_t budget_bytes) const;
+
+  /// Bytes of in-memory metadata (index + filters + learned model).
+  size_t IndexMemoryUsage() const;
+
+  /// Per-table read-path counters (monotonic; summed by DB stats).
+  struct Counters {
+    mutable uint64_t hash_index_hits = 0;     // definitive hash-index seeks
+    mutable uint64_t hash_index_absent = 0;   // proven-absent via hash index
+    mutable uint64_t learned_index_seeks = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  SSTable(const TableOptions& options, uint64_t file_number,
+          BlockCache* block_cache);
+
+  Status ReadMeta(const Footer& footer);
+
+  /// Returns an iterator over the data block named by an index-block value
+  /// (encoded BlockHandle), reading through the block cache when present.
+  Iterator* BlockReader(const Slice& index_value) const;
+
+  /// Fetches (and pins/owns) the block at `handle`. On success *block
+  /// points at a Block kept alive by *ref or *owned.
+  Status GetBlock(const BlockHandle& handle, BlockCache::Ref* ref,
+                  std::shared_ptr<const Block>* owned,
+                  const Block** block) const;
+
+  /// Locates the data block that may hold `target` via the learned fence
+  /// index. Returns false if the learned index is not available.
+  bool LearnedFindBlock(const Slice& searchable, size_t* block_idx) const;
+
+  /// Probes the filter partition of data block `ordinal` (true = maybe).
+  bool PartitionMayMatch(size_t ordinal, uint64_t hash) const;
+  bool has_partitioned_filter() const { return !partition_handles_.empty(); }
+
+  TableOptions options_;
+  uint64_t file_number_;
+  BlockCache* block_cache_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::unique_ptr<Block> index_block_;
+  std::string filter_data_;
+  bool has_filter_ = false;
+  std::string range_filter_data_;
+  bool has_range_filter_ = false;
+  TableProperties props_;
+  Counters counters_;
+
+  // Partitioned filters (§II-2 [89]): one filter blob per data block,
+  // fetched through the block cache on demand.
+  std::vector<BlockHandle> partition_handles_;
+  std::unordered_map<uint64_t, size_t> block_offset_to_ordinal_;
+  uint64_t partition_hash_seed_ = 0;  // reserved
+
+  // Learned fence index state (index_type != kBinarySearch).
+  std::vector<uint64_t> fence_nums_;         // numeric fence per block
+  std::vector<std::string> block_handles_;   // encoded handle per block
+  std::unique_ptr<PiecewiseLinearModel> plr_;
+  std::unique_ptr<RadixSpline> spline_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FORMAT_SSTABLE_READER_H_

@@ -1,0 +1,76 @@
+#ifndef LSMLAB_FORMAT_TABLE_OPTIONS_H_
+#define LSMLAB_FORMAT_TABLE_OPTIONS_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/comparator.h"
+#include "util/slice.h"
+
+namespace lsmlab {
+
+class FilterPolicy;
+class RangeFilterPolicy;
+
+/// Knobs controlling the physical layout of one SSTable. The engine derives
+/// a TableOptions per level (e.g. Monkey assigns a different FilterPolicy
+/// to each level).
+struct TableOptions {
+  /// Order of keys in the table. For DB-internal tables this compares
+  /// internal keys; standalone users can keep the default bytewise order.
+  const Comparator* comparator = BytewiseComparator();
+
+  /// Target uncompressed size of each data block.
+  size_t block_size = 4096;
+
+  /// One restart point (full key) every N entries; entries in between are
+  /// prefix-compressed against their predecessor.
+  int block_restart_interval = 16;
+
+  /// Point filter stored in the filter meta block; nullptr disables.
+  const FilterPolicy* filter_policy = nullptr;
+
+  /// Partition the point filter per data block (RocksDB partitioned
+  /// filters, tutorial §II-2 [89]): probes fetch only the one partition a
+  /// lookup needs, through the block cache, instead of keeping one
+  /// monolithic filter resident per table.
+  bool partition_filters = false;
+
+  /// Range filter stored in its own meta block; nullptr disables.
+  const RangeFilterPolicy* range_filter_policy = nullptr;
+
+  /// Build a per-data-block hash index for constant-time point lookups
+  /// [RocksDB data-block hash index; tutorial §II-4].
+  bool use_hash_index = false;
+
+  /// Hash-index load factor: buckets = entries / ratio.
+  double hash_index_util_ratio = 0.75;
+
+  /// How point lookups locate the data block holding a key.
+  enum class IndexType {
+    kBinarySearch,  ///< binary search over the fence-pointer index block
+    kLearnedPlr,    ///< piecewise-linear model over numeric fences [17, 31]
+    kRadixSpline,   ///< single-pass radix spline over numeric fences [46]
+  };
+
+  /// Learned index types require keys whose searchable portion is numeric:
+  /// the first 8 bytes, big-endian, must order the keys. Fences are stored
+  /// unshortened in learned modes so the model can be trained at open.
+  IndexType index_type = IndexType::kBinarySearch;
+
+  /// Error bound for learned fence indexes (candidate window half-width).
+  uint32_t learned_index_epsilon = 8;
+
+  /// Maps a stored key to its "searchable" portion — the bytes filters and
+  /// the hash index operate on. The DB sets this to strip the internal-key
+  /// trailer so filters see user keys; standalone use keeps identity.
+  std::function<Slice(const Slice&)> searchable_key = nullptr;
+
+  Slice SearchableKey(const Slice& key) const {
+    return searchable_key ? searchable_key(key) : key;
+  }
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FORMAT_TABLE_OPTIONS_H_

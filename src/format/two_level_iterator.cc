@@ -1,0 +1,137 @@
+#include "format/two_level_iterator.h"
+
+#include <memory>
+#include <string>
+
+namespace lsmlab {
+
+namespace {
+
+class TwoLevelIterator : public Iterator {
+ public:
+  TwoLevelIterator(Iterator* index_iter,
+                   std::function<Iterator*(const Slice&)> data_factory)
+      : index_iter_(index_iter), data_factory_(std::move(data_factory)) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataIterator();
+    if (data_iter_ != nullptr) {
+      data_iter_->SeekToFirst();
+    }
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataIterator();
+    if (data_iter_ != nullptr) {
+      data_iter_->SeekToLast();
+    }
+    SkipEmptyDataBlocksBackward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataIterator();
+    if (data_iter_ != nullptr) {
+      data_iter_->Seek(target);
+    }
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Prev() override {
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) {
+      return index_iter_->status();
+    }
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void InitDataIterator() {
+    // Preserve any error from the iterator being replaced; otherwise a
+    // corrupt block would be skipped silently.
+    if (data_iter_ != nullptr && !data_iter_->status().ok() &&
+        status_.ok()) {
+      status_ = data_iter_->status();
+    }
+    if (!index_iter_->Valid()) {
+      data_iter_.reset();
+      current_index_value_.clear();
+      return;
+    }
+    Slice handle = index_iter_->value();
+    if (data_iter_ != nullptr && Slice(current_index_value_) == handle) {
+      return;  // same data source; keep position machinery untouched
+    }
+    current_index_value_.assign(handle.data(), handle.size());
+    data_iter_.reset(data_factory_(handle));
+    if (data_iter_ == nullptr) {
+      status_ = Status::Corruption("data factory returned null");
+    }
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataIterator();
+      if (data_iter_ != nullptr) {
+        data_iter_->SeekToFirst();
+      }
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Prev();
+      InitDataIterator();
+      if (data_iter_ != nullptr) {
+        data_iter_->SeekToLast();
+      }
+    }
+  }
+
+  std::unique_ptr<Iterator> index_iter_;
+  std::function<Iterator*(const Slice&)> data_factory_;
+  std::unique_ptr<Iterator> data_iter_;
+  std::string current_index_value_;
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    std::function<Iterator*(const Slice& index_value)> data_factory) {
+  return new TwoLevelIterator(index_iter, std::move(data_factory));
+}
+
+}  // namespace lsmlab

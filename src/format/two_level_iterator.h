@@ -1,0 +1,22 @@
+#ifndef LSMLAB_FORMAT_TWO_LEVEL_ITERATOR_H_
+#define LSMLAB_FORMAT_TWO_LEVEL_ITERATOR_H_
+
+#include <functional>
+
+#include "util/iterator.h"
+
+namespace lsmlab {
+
+/// Composes an index-level iterator with per-entry data iterators.
+///
+/// The index iterator yields opaque values (e.g. encoded BlockHandles); the
+/// factory turns each value into an iterator over the corresponding data
+/// (e.g. a data block, or a whole table for leveled runs). Takes ownership
+/// of `index_iter`.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    std::function<Iterator*(const Slice& index_value)> data_factory);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FORMAT_TWO_LEVEL_ITERATOR_H_

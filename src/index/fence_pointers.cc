@@ -1,0 +1,36 @@
+#include "index/fence_pointers.h"
+
+#include <cassert>
+
+namespace lsmlab {
+
+void FencePointers::Add(const Slice& last_key_of_block) {
+  assert(fences_.empty() ||
+         comparator_->Compare(Slice(fences_.back()), last_key_of_block) < 0);
+  fences_.push_back(last_key_of_block.ToString());
+}
+
+size_t FencePointers::FindBlock(const Slice& key) const {
+  // First fence >= key identifies the only block that can contain key.
+  size_t lo = 0;
+  size_t hi = fences_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (comparator_->Compare(Slice(fences_[mid]), key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < fences_.size() ? lo : npos;
+}
+
+size_t FencePointers::MemoryUsage() const {
+  size_t total = fences_.capacity() * sizeof(std::string);
+  for (const auto& f : fences_) {
+    total += f.capacity();
+  }
+  return total;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,45 @@
+#ifndef LSMLAB_INDEX_FENCE_POINTERS_H_
+#define LSMLAB_INDEX_FENCE_POINTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/comparator.h"
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// In-memory fence-pointer array: the last key of each page/block of a
+/// sorted run (a Zonemap [Moerkotte '98]; tutorial §II-1). One binary
+/// search locates the single block that can contain a key, so a run costs
+/// one storage access per lookup.
+///
+/// This standalone form backs the learned-index comparison (E7); inside
+/// SSTables the same structure is the index block.
+class FencePointers {
+ public:
+  explicit FencePointers(const Comparator* comparator = BytewiseComparator())
+      : comparator_(comparator) {}
+
+  /// Appends the fence (last key) of the next block.
+  /// REQUIRES: fences strictly increasing.
+  void Add(const Slice& last_key_of_block);
+
+  /// Returns the index of the block that may contain `key`, or npos if
+  /// `key` is greater than every fence (not in the run).
+  size_t FindBlock(const Slice& key) const;
+
+  static constexpr size_t npos = ~size_t{0};
+
+  size_t num_blocks() const { return fences_.size(); }
+  size_t MemoryUsage() const;
+
+ private:
+  const Comparator* comparator_;
+  std::vector<std::string> fences_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_INDEX_FENCE_POINTERS_H_

@@ -1,0 +1,106 @@
+#include "index/plr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lsmlab {
+
+void PiecewiseLinearModel::StartSegment(uint64_t key, size_t pos) {
+  in_segment_ = true;
+  seg_start_key_ = key;
+  seg_start_pos_ = pos;
+  slope_lo_ = 0;
+  slope_hi_ = std::numeric_limits<double>::infinity();
+}
+
+void PiecewiseLinearModel::CloseSegment() {
+  assert(in_segment_);
+  double slope;
+  if (std::isinf(slope_hi_)) {
+    slope = slope_lo_;  // single-point segment; any slope works
+  } else {
+    slope = (slope_lo_ + slope_hi_) / 2;
+  }
+  segments_.push_back(Segment{seg_start_key_, slope,
+                              static_cast<double>(seg_start_pos_)});
+  in_segment_ = false;
+}
+
+void PiecewiseLinearModel::Add(uint64_t key) {
+  assert(!finished_);
+  assert(n_ == 0 || key >= last_key_);
+  const size_t pos = n_;
+  n_++;
+
+  if (!in_segment_) {
+    StartSegment(key, pos);
+    last_key_ = key;
+    return;
+  }
+  if (key == seg_start_key_) {
+    // Duplicate of the segment origin; position error is bounded by the
+    // run length, so force a corridor that still covers it if possible.
+    last_key_ = key;
+    // A vertical stack of duplicates cannot be modeled once it exceeds
+    // epsilon positions; close and restart.
+    if (pos - seg_start_pos_ > epsilon_) {
+      CloseSegment();
+      StartSegment(key, pos);
+    }
+    return;
+  }
+
+  const double dx = static_cast<double>(key - seg_start_key_);
+  const double dy = static_cast<double>(pos - seg_start_pos_);
+  // The line must pass within +-epsilon of (key, pos).
+  const double lo = (dy - epsilon_) / dx;
+  const double hi = (dy + epsilon_) / dx;
+  const double new_lo = std::max(slope_lo_, lo);
+  const double new_hi = std::min(slope_hi_, hi);
+  if (new_lo <= new_hi) {
+    slope_lo_ = new_lo;
+    slope_hi_ = new_hi;
+  } else {
+    CloseSegment();
+    StartSegment(key, pos);
+  }
+  last_key_ = key;
+}
+
+void PiecewiseLinearModel::Finish() {
+  assert(!finished_);
+  if (in_segment_) {
+    CloseSegment();
+  }
+  segments_.shrink_to_fit();
+  finished_ = true;
+}
+
+void PiecewiseLinearModel::Lookup(uint64_t key, size_t* lo, size_t* hi) const {
+  assert(finished_);
+  if (segments_.empty() || n_ == 0) {
+    *lo = 0;
+    *hi = 0;
+    return;
+  }
+  // Find the last segment with start_key <= key.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), key,
+      [](uint64_t k, const Segment& s) { return k < s.start_key; });
+  if (it != segments_.begin()) {
+    --it;
+  }
+  const Segment& s = *it;
+  double predicted = s.intercept;
+  if (key > s.start_key) {
+    predicted += s.slope * static_cast<double>(key - s.start_key);
+  }
+  const double lo_d = predicted - epsilon_;
+  const double hi_d = predicted + epsilon_;
+  *lo = lo_d <= 0 ? 0 : std::min<size_t>(static_cast<size_t>(lo_d), n_ - 1);
+  *hi = hi_d <= 0 ? 0 : std::min<size_t>(static_cast<size_t>(hi_d) + 1, n_ - 1);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,67 @@
+#ifndef LSMLAB_INDEX_PLR_H_
+#define LSMLAB_INDEX_PLR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsmlab {
+
+/// Greedy piecewise-linear regression with a hard error bound, the learned
+/// index fitted over sorted numeric keys (tutorial §II-4; the algorithm is
+/// the greedy corridor construction used by Bourbon [17] and equivalent in
+/// guarantee to one level of the PGM-index [31]).
+///
+/// Build feeds sorted (key, position) pairs in one pass; each segment is
+/// grown while a line through its origin can stay within ±epsilon of every
+/// fed position. Lookup returns a candidate position range of width
+/// <= 2*epsilon+1 which the caller resolves with a local search.
+class PiecewiseLinearModel {
+ public:
+  struct Segment {
+    uint64_t start_key;
+    double slope;
+    double intercept;  // predicted position at start_key
+  };
+
+  explicit PiecewiseLinearModel(uint32_t epsilon) : epsilon_(epsilon) {}
+
+  /// Feeds the next (key, position) pair. REQUIRES: keys non-decreasing,
+  /// positions strictly increasing by 1 from 0.
+  void Add(uint64_t key);
+
+  /// Finalizes the model. No Add() afterwards.
+  void Finish();
+
+  /// Returns [lo, hi] (inclusive) candidate positions for `key`.
+  /// The true position of `key` (if it was fed) is guaranteed inside.
+  void Lookup(uint64_t key, size_t* lo, size_t* hi) const;
+
+  size_t num_segments() const { return segments_.size(); }
+  size_t num_keys() const { return n_; }
+  uint32_t epsilon() const { return epsilon_; }
+
+  /// Heap bytes of the model (what the learned index saves vs. fences).
+  size_t MemoryUsage() const { return segments_.capacity() * sizeof(Segment); }
+
+ private:
+  void StartSegment(uint64_t key, size_t pos);
+  void CloseSegment();
+
+  uint32_t epsilon_;
+  size_t n_ = 0;
+  std::vector<Segment> segments_;
+  bool finished_ = false;
+
+  // State of the segment under construction (slope corridor).
+  bool in_segment_ = false;
+  uint64_t seg_start_key_ = 0;
+  size_t seg_start_pos_ = 0;
+  uint64_t last_key_ = 0;
+  double slope_lo_ = 0;  // corridor of admissible slopes
+  double slope_hi_ = 0;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_INDEX_PLR_H_

@@ -1,0 +1,144 @@
+#include "index/radix_spline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lsmlab {
+
+void RadixSpline::AddKnot(const Point& p) {
+  spline_.push_back(p);
+}
+
+void RadixSpline::Add(uint64_t key) {
+  assert(!finished_);
+  assert(n_ == 0 || key > last_key_);
+  const size_t pos = n_;
+  n_++;
+  last_key_ = key;
+  max_key_ = key;
+
+  if (pos == 0) {
+    min_key_ = key;
+    AddKnot(Point{key, 0});
+    last_knot_ = Point{key, 0};
+    prev_point_ = Point{key, 0};
+    slope_lo_ = 0;
+    slope_hi_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+
+  const double dx = static_cast<double>(key - last_knot_.key);
+  const double dy = static_cast<double>(pos - last_knot_.pos);
+  const double chord = dy / dx;
+  const double lo = (dy - epsilon_) / dx;
+  const double hi = (dy + epsilon_) / dx;
+  const double new_lo = std::max(slope_lo_, lo);
+  const double new_hi = std::min(slope_hi_, hi);
+  // The chord to the current point must itself lie in the corridor:
+  // the final spline segment interpolates knot->knot, so every
+  // intermediate point is within epsilon only if each prefix chord was
+  // admissible.
+  if (new_lo <= new_hi && chord >= new_lo && chord <= new_hi) {
+    slope_lo_ = new_lo;
+    slope_hi_ = new_hi;
+  } else {
+    // Corridor collapsed: promote the previous point to a knot and restart
+    // the corridor from it through the current point.
+    AddKnot(prev_point_);
+    last_knot_ = prev_point_;
+    const double dx2 = static_cast<double>(key - last_knot_.key);
+    const double dy2 = static_cast<double>(pos - last_knot_.pos);
+    slope_lo_ = (dy2 - epsilon_) / dx2;
+    slope_hi_ = (dy2 + epsilon_) / dx2;
+  }
+  prev_point_ = Point{key, pos};
+}
+
+void RadixSpline::Finish() {
+  assert(!finished_);
+  if (n_ > 0 && (spline_.empty() || spline_.back().key != prev_point_.key)) {
+    AddKnot(prev_point_);  // terminal knot
+  }
+  spline_.shrink_to_fit();
+  BuildRadixTable();
+  finished_ = true;
+}
+
+void RadixSpline::BuildRadixTable() {
+  if (radix_bits_ == 0 || spline_.empty()) {
+    radix_table_.clear();
+    shift_ = 64;
+    return;
+  }
+  const uint64_t range = max_key_ - min_key_;
+  // Choose shift so that range >> shift_ fits in 2^radix_bits slots.
+  shift_ = 0;
+  while (shift_ < 64 && (range >> shift_) >= (uint64_t{1} << radix_bits_)) {
+    shift_++;
+  }
+  const size_t num_slots = static_cast<size_t>((range >> shift_)) + 2;
+  radix_table_.assign(num_slots + 1, 0);
+  // radix_table_[s] = index of first spline point whose slot >= s.
+  size_t current = 0;
+  for (size_t s = 0; s < num_slots + 1; s++) {
+    while (current < spline_.size() && RadixSlot(spline_[current].key) < s) {
+      current++;
+    }
+    radix_table_[s] = static_cast<uint32_t>(current);
+  }
+}
+
+void RadixSpline::Lookup(uint64_t key, size_t* lo, size_t* hi) const {
+  assert(finished_);
+  if (n_ == 0) {
+    *lo = 0;
+    *hi = 0;
+    return;
+  }
+  if (key <= min_key_) {
+    *lo = 0;
+    *hi = std::min<size_t>(epsilon_, n_ - 1);
+    return;
+  }
+  if (key >= max_key_) {
+    *lo = n_ >= 1 + epsilon_ ? n_ - 1 - epsilon_ : 0;
+    *hi = n_ - 1;
+    return;
+  }
+
+  // Narrow the knot search with the radix table, then binary search for the
+  // spline segment [knot_i.key, knot_{i+1}.key] containing `key`.
+  size_t begin = 0;
+  size_t end = spline_.size();
+  if (!radix_table_.empty()) {
+    const size_t slot = RadixSlot(key);
+    if (slot + 1 < radix_table_.size()) {
+      begin = radix_table_[slot] > 0 ? radix_table_[slot] - 1 : 0;
+      end = std::min<size_t>(radix_table_[slot + 1] + 1, spline_.size());
+    }
+  }
+  auto it = std::upper_bound(
+      spline_.begin() + begin, spline_.begin() + end, key,
+      [](uint64_t k, const Point& p) { return k < p.key; });
+  // it points at the first knot with key > `key`; segment starts before it.
+  assert(it != spline_.begin());
+  const Point& right = (it == spline_.end()) ? spline_.back() : *it;
+  const Point& left = *(it - 1);
+
+  double predicted;
+  if (right.key == left.key) {
+    predicted = static_cast<double>(left.pos);
+  } else {
+    const double frac = static_cast<double>(key - left.key) /
+                        static_cast<double>(right.key - left.key);
+    predicted = static_cast<double>(left.pos) +
+                frac * static_cast<double>(right.pos - left.pos);
+  }
+  const double lo_d = predicted - epsilon_;
+  const double hi_d = predicted + epsilon_ + 1;
+  *lo = lo_d <= 0 ? 0 : std::min<size_t>(static_cast<size_t>(lo_d), n_ - 1);
+  *hi = hi_d <= 0 ? 0 : std::min<size_t>(static_cast<size_t>(hi_d), n_ - 1);
+}
+
+}  // namespace lsmlab

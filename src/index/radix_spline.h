@@ -1,0 +1,78 @@
+#ifndef LSMLAB_INDEX_RADIX_SPLINE_H_
+#define LSMLAB_INDEX_RADIX_SPLINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsmlab {
+
+/// Single-pass learned index over sorted numeric keys [Kipf et al.,
+/// RadixSpline, aiDM'20] (tutorial §II-4): a greedy error-bounded linear
+/// spline plus a radix table over the top `radix_bits` of the key that
+/// narrows the spline-segment search to O(1) expected.
+///
+/// Read-only by construction — a perfect match for immutable SSTables: the
+/// model is built in the same single pass that writes the run, so training
+/// never stalls ingestion (the property the tutorial highlights).
+class RadixSpline {
+ public:
+  RadixSpline(uint32_t epsilon, uint32_t radix_bits)
+      : epsilon_(epsilon), radix_bits_(radix_bits) {}
+
+  /// Feeds the next key. REQUIRES: keys strictly increasing.
+  void Add(uint64_t key);
+
+  /// Finalizes spline and radix table.
+  void Finish();
+
+  /// Returns [lo, hi] (inclusive) candidate positions for `key`; the true
+  /// position of any fed key is guaranteed inside.
+  void Lookup(uint64_t key, size_t* lo, size_t* hi) const;
+
+  size_t num_spline_points() const { return spline_.size(); }
+  size_t num_keys() const { return n_; }
+  size_t MemoryUsage() const {
+    return spline_.capacity() * sizeof(Point) +
+           radix_table_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  struct Point {
+    uint64_t key;
+    size_t pos;
+  };
+
+  size_t RadixSlot(uint64_t key) const {
+    if (radix_bits_ == 0 || shift_ >= 64) {
+      return 0;
+    }
+    return static_cast<size_t>((key - min_key_) >> shift_);
+  }
+
+  uint32_t epsilon_;
+  uint32_t radix_bits_;
+  size_t n_ = 0;
+  uint64_t min_key_ = 0;
+  uint64_t max_key_ = 0;
+  uint64_t last_key_ = 0;
+  uint32_t shift_ = 0;
+  bool finished_ = false;
+
+  std::vector<Point> spline_;
+  std::vector<uint32_t> radix_table_;  // slot -> first spline point index
+
+  // Online greedy-spline-corridor state: the corridor of admissible slopes
+  // from the last knot through all points seen since.
+  Point last_knot_{0, 0};
+  Point prev_point_{0, 0};
+  double slope_lo_ = 0;
+  double slope_hi_ = 0;
+
+  void AddKnot(const Point& p);
+  void BuildRadixTable();
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_INDEX_RADIX_SPLINE_H_

@@ -1,0 +1,102 @@
+#include "index/remix.h"
+
+#include <cassert>
+
+namespace lsmlab {
+
+RemixView::RemixView(std::vector<const std::vector<std::string>*> runs)
+    : runs_(std::move(runs)) {
+  assert(runs_.size() <= 255);
+  size_t total = 0;
+  for (const auto* run : runs_) {
+    total += run->size();
+  }
+  run_ids_.reserve(total);
+  anchors_.reserve(total / kSegmentSize + 1);
+
+  // One-time K-way merge to materialize the global order (the cost REMIX
+  // pays at build/compaction time so queries never pay it again).
+  std::vector<uint32_t> cursors(runs_.size(), 0);
+  while (run_ids_.size() < total) {
+    if (run_ids_.size() % kSegmentSize == 0) {
+      Anchor anchor;
+      anchor.cursors = cursors;
+      // The anchor key is filled below once the minimum is known.
+      anchors_.push_back(std::move(anchor));
+    }
+    int best = -1;
+    for (size_t r = 0; r < runs_.size(); r++) {
+      if (cursors[r] >= runs_[r]->size()) {
+        continue;
+      }
+      if (best < 0 ||
+          Slice((*runs_[r])[cursors[r]])
+                  .compare(Slice((*runs_[best])[cursors[best]])) < 0) {
+        best = static_cast<int>(r);
+      }
+    }
+    assert(best >= 0);
+    if (run_ids_.size() % kSegmentSize == 0) {
+      anchors_.back().key = (*runs_[best])[cursors[best]];
+    }
+    run_ids_.push_back(static_cast<uint8_t>(best));
+    cursors[best]++;
+  }
+}
+
+size_t RemixView::MemoryUsage() const {
+  size_t total = run_ids_.capacity();
+  for (const Anchor& a : anchors_) {
+    total += a.key.capacity() + a.cursors.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+void RemixView::Cursor::LoadAnchor(size_t anchor_index) {
+  global_pos_ = anchor_index * kSegmentSize;
+  cursors_ = view_->anchors_[anchor_index].cursors;
+}
+
+void RemixView::Cursor::SeekToFirst() {
+  if (view_->anchors_.empty()) {
+    global_pos_ = view_->run_ids_.size();
+    return;
+  }
+  LoadAnchor(0);
+}
+
+void RemixView::Cursor::Seek(const Slice& target) {
+  if (view_->anchors_.empty()) {
+    global_pos_ = view_->run_ids_.size();
+    return;
+  }
+  // Last anchor with key <= target.
+  size_t lo = 0;
+  size_t hi = view_->anchors_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Slice(view_->anchors_[mid].key).compare(target) <= 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  LoadAnchor(lo);
+  // Walk at most one segment (plus spill into the next when the target
+  // falls between the last key of segment lo and the next anchor).
+  while (Valid() && Slice(key()).compare(target) < 0) {
+    Next();
+  }
+}
+
+void RemixView::Cursor::Next() {
+  cursors_[view_->run_ids_[global_pos_]]++;
+  global_pos_++;
+}
+
+const std::string& RemixView::Cursor::key() const {
+  const uint32_t run = view_->run_ids_[global_pos_];
+  return (*view_->runs_[run])[cursors_[run]];
+}
+
+}  // namespace lsmlab

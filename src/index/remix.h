@@ -1,0 +1,84 @@
+#ifndef LSMLAB_INDEX_REMIX_H_
+#define LSMLAB_INDEX_REMIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// REMIX-style globally-sorted view over multiple sorted runs
+/// [Zhong et al., FAST'21] (tutorial §II-3).
+///
+/// A scan over an LSM normally runs a K-way merge: every Next() pays
+/// O(log K) (or O(K)) key comparisons to pick the smallest head. REMIX
+/// materializes the *merge order itself*: one run-id per entry in global
+/// sorted order, plus anchors every `kSegmentSize` entries holding the
+/// per-run cursor offsets at that point. Seek binary-searches the anchors
+/// and walks at most one segment; iteration after that is comparison-free
+/// pointer chasing. The data stays in the runs — REMIX adds ~1 byte per
+/// entry plus anchors, and is rebuilt when the set of runs changes
+/// (i.e., at compaction, exactly like the paper).
+class RemixView {
+ public:
+  /// Builds the view over `runs`; each run must be sorted ascending with
+  /// bytewise order and the runs must outlive the view. At most 255 runs.
+  explicit RemixView(std::vector<const std::vector<std::string>*> runs);
+
+  RemixView(const RemixView&) = delete;
+  RemixView& operator=(const RemixView&) = delete;
+
+  size_t num_entries() const { return run_ids_.size(); }
+  size_t num_runs() const { return runs_.size(); }
+
+  /// Bytes of index metadata (run ids + anchors), excluding the runs.
+  size_t MemoryUsage() const;
+
+  /// Comparison-free cursor over the global sorted order.
+  class Cursor {
+   public:
+    explicit Cursor(const RemixView* view) : view_(view) {}
+
+    bool Valid() const { return global_pos_ < view_->run_ids_.size(); }
+
+    /// Positions at the first key >= target (binary search over anchors,
+    /// then at most one segment walk of key comparisons).
+    void Seek(const Slice& target);
+    void SeekToFirst();
+
+    /// Advances in global order without any key comparison.
+    void Next();
+
+    const std::string& key() const;
+    uint32_t run() const { return view_->run_ids_[global_pos_]; }
+
+   private:
+    friend class RemixView;
+    void LoadAnchor(size_t anchor_index);
+
+    const RemixView* view_;
+    size_t global_pos_ = 0;
+    std::vector<uint32_t> cursors_;  // next position per run
+  };
+
+  Cursor NewCursor() const { return Cursor(this); }
+
+ private:
+  friend class Cursor;
+  static constexpr size_t kSegmentSize = 64;
+
+  struct Anchor {
+    std::string key;                // first key of the segment
+    std::vector<uint32_t> cursors;  // per-run positions at segment start
+  };
+
+  std::vector<const std::vector<std::string>*> runs_;
+  std::vector<uint8_t> run_ids_;  // run of the i-th smallest key
+  std::vector<Anchor> anchors_;   // one per kSegmentSize entries
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_INDEX_REMIX_H_

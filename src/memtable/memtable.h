@@ -1,0 +1,103 @@
+#ifndef LSMLAB_MEMTABLE_MEMTABLE_H_
+#define LSMLAB_MEMTABLE_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dbformat.h"
+#include "memtable/skiplist.h"
+#include "util/arena.h"
+#include "util/iterator.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// Mutable in-memory write buffer (tutorial I-1: ingestion is buffered here
+/// and flushed to an immutable run when full).
+///
+/// Entries are stored arena-allocated as
+///   varint32 internal_key_len | internal_key | varint32 value_len | value
+/// and indexed by one of two representations (the buffer-design axis of
+/// the read-update-memory tradeoff, tutorial I-2 / E13):
+///  - kSkipList: O(log n) insert and search (default; LevelDB/RocksDB).
+///  - kSortedVector: contiguous array kept sorted; cache-friendly searches,
+///    O(n) inserts — the "sorted dense buffer" design point.
+///
+/// An optional hash index (tutorial §II-4: per-page hash maps) maps user
+/// keys to their newest entry for O(1) latest-version Gets; snapshot reads
+/// fall back to the ordered search.
+class MemTable {
+ public:
+  enum class Rep { kSkipList, kSortedVector };
+
+  explicit MemTable(const InternalKeyComparator& comparator,
+                    Rep rep = Rep::kSkipList, bool hash_index = false);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Reference counting: the DB holds one ref; iterators/snapshots add
+  /// more. Drops itself when the count reaches zero.
+  void Ref() { ++refs_; }
+  void Unref() {
+    --refs_;
+    if (refs_ <= 0) {
+      delete this;
+    }
+  }
+
+  /// Bytes consumed; compared against Options::write_buffer_size to
+  /// trigger a flush.
+  size_t ApproximateMemoryUsage() const;
+
+  /// Iterator yielding internal keys (entry encoding stripped).
+  Iterator* NewIterator();
+
+  /// Adds an entry. A deletion is an entry of type kTypeDeletion.
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// If a version visible at `lkey`'s snapshot exists, returns true and
+  /// sets *value (found) or *s = NotFound (tombstone). Returns false when
+  /// this memtable holds nothing visible for the key.
+  bool Get(const LookupKey& lkey, std::string* value, Status* s);
+
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Orders entry pointers by their encoded internal keys (public so the
+  /// iterator implementation can name the skiplist type).
+  struct KeyComparator {
+    const InternalKeyComparator* comparator;
+    int operator()(const char* a, const char* b) const;
+  };
+
+ private:
+  ~MemTable() = default;  // only via Unref()
+
+  const char* EncodeEntry(SequenceNumber seq, ValueType type,
+                          const Slice& user_key, const Slice& value);
+
+  /// Positions the ordered rep at the first entry >= `target` internal
+  /// key; returns nullptr if none. (Vector rep only; skiplist uses its own
+  /// iterator.)
+  size_t VectorLowerBound(const Slice& target) const;
+
+  InternalKeyComparator comparator_;
+  KeyComparator key_comparator_;
+  Rep rep_;
+  int refs_ = 0;
+  uint64_t num_entries_ = 0;
+  Arena arena_;
+  std::unique_ptr<SkipList<const char*, KeyComparator>> skiplist_;
+  std::vector<const char*> vector_;  // sorted by internal key
+
+  bool use_hash_index_;
+  // user key (view into arena memory) -> newest entry
+  std::unordered_map<std::string_view, const char*> hash_index_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_MEMTABLE_MEMTABLE_H_

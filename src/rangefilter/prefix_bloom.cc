@@ -1,0 +1,72 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/filter_policy.h"
+#include "rangefilter/range_filter.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Prefix Bloom filter [RocksDB prefix seek, tutorial §II-3]: each key's
+/// fixed-length prefix goes into a Bloom filter. A range query can be
+/// answered only when [lo, hi] lies inside a single prefix bucket; wider
+/// ranges get an unconditional "maybe" — the limitation that motivated
+/// SuRF and Rosetta.
+class PrefixBloomFilter : public RangeFilterPolicy {
+ public:
+  PrefixBloomFilter(size_t prefix_len, double bits_per_key)
+      : prefix_len_(prefix_len),
+        bloom_(NewBloomFilterPolicy(bits_per_key)) {}
+
+  const char* Name() const override { return "lsmlab.PrefixBloom"; }
+
+  void CreateFilter(const std::vector<Slice>& keys,
+                    std::string* dst) const override {
+    std::vector<Slice> prefixes;
+    prefixes.reserve(keys.size());
+    for (const Slice& key : keys) {
+      Slice p = Prefix(key);
+      // Keys are sorted, so equal prefixes are adjacent.
+      if (prefixes.empty() || prefixes.back() != p) {
+        prefixes.push_back(p);
+      }
+    }
+    bloom_->CreateFilter(prefixes.data(), prefixes.size(), dst);
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    return bloom_->KeyMayMatch(Prefix(key), filter);
+  }
+
+  bool RangeMayMatch(const Slice& lo, const Slice& hi,
+                     const Slice& filter) const override {
+    Slice plo = Prefix(lo);
+    Slice phi = Prefix(hi);
+    if (plo != phi || lo.size() < prefix_len_) {
+      // The range spans prefix buckets (or lo is shorter than the prefix,
+      // so keys in other buckets may qualify): cannot filter.
+      return true;
+    }
+    return bloom_->KeyMayMatch(plo, filter);
+  }
+
+ private:
+  Slice Prefix(const Slice& key) const {
+    return Slice(key.data(), std::min(prefix_len_, key.size()));
+  }
+
+  size_t prefix_len_;
+  std::unique_ptr<const FilterPolicy> bloom_;
+};
+
+}  // namespace
+
+const RangeFilterPolicy* NewPrefixBloomRangeFilter(size_t prefix_len,
+                                                   double bits_per_key) {
+  return new PrefixBloomFilter(prefix_len, bits_per_key);
+}
+
+}  // namespace lsmlab

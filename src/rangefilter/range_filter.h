@@ -1,0 +1,65 @@
+#ifndef LSMLAB_RANGEFILTER_RANGE_FILTER_H_
+#define LSMLAB_RANGEFILTER_RANGE_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Approximate range-emptiness filter over the keys of one sorted run
+/// (tutorial §II-3). A range scan probes every run's range filter with
+/// [lo, hi] and skips runs whose filter answers "definitely empty".
+///
+/// Implementations: prefix Bloom (RocksDB), SuRF-style succinct trie,
+/// Rosetta (hierarchical dyadic Blooms), SNARF-style learned filter.
+class RangeFilterPolicy {
+ public:
+  virtual ~RangeFilterPolicy() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Appends a filter built from the sorted `keys` of a run to *dst.
+  virtual void CreateFilter(const std::vector<Slice>& keys,
+                            std::string* dst) const = 0;
+
+  /// May return false only if no key in [lo, hi] (inclusive bounds, bytewise
+  /// order) was passed to CreateFilter.
+  virtual bool RangeMayMatch(const Slice& lo, const Slice& hi,
+                             const Slice& filter) const = 0;
+
+  /// Point probe; equivalent to RangeMayMatch(key, key, filter) but usually
+  /// cheaper.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const {
+    return RangeMayMatch(key, key, filter);
+  }
+};
+
+/// Fixed-length prefix Bloom filter [RocksDB prefix seek]: inserts
+/// `prefix_len`-byte prefixes into a Bloom filter. Can only answer range
+/// queries fully contained in one prefix; wider ranges return "maybe".
+const RangeFilterPolicy* NewPrefixBloomRangeFilter(size_t prefix_len,
+                                                   double bits_per_key);
+
+/// SuRF-style succinct trie (LOUDS-dense encoding, truncated at the
+/// shortest unique prefix plus `suffix_bits` of key suffix)
+/// [Zhang et al., SIGMOD'18].
+const RangeFilterPolicy* NewSurfRangeFilter(size_t suffix_bits);
+
+/// Rosetta: per-level dyadic Bloom filters forming an implicit segment
+/// tree over the first 8 bytes of the key (big-endian) [Luo et al.,
+/// SIGMOD'20]. `bits_per_key` is the total budget across levels.
+const RangeFilterPolicy* NewRosettaRangeFilter(double bits_per_key,
+                                               int levels = 64);
+
+/// SNARF-style learned range filter: a CDF model (piecewise-linear over
+/// sampled quantiles) maps the first 8 bytes of each key into a sparse bit
+/// array of `bits_per_key * n` positions, stored compressed
+/// [Vaidya et al., VLDB'22].
+const RangeFilterPolicy* NewSnarfRangeFilter(double bits_per_key);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_RANGEFILTER_RANGE_FILTER_H_

@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "rangefilter/range_filter.h"
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Rosetta range filter [Luo et al., SIGMOD'20] (tutorial §II-3): one Bloom
+/// filter per binary-prefix length of the 64-bit key image, forming an
+/// implicit segment tree. A range query decomposes [lo, hi] into dyadic
+/// intervals, probes each at its level, and recursively "doubts" positive
+/// answers down to full-key probes, trading CPU for far fewer false
+/// positives on short ranges than trie-based filters.
+///
+/// Memory: `bits_per_key` total, split geometrically - the full-key level
+/// gets half, each shallower level half of the next - because deep levels
+/// dominate the doubting path. Only the deepest `levels` levels are kept;
+/// dyadic nodes above them answer "maybe" for free.
+///
+/// Key image: first 8 bytes, big-endian (numeric-range filters; the
+/// substitution DESIGN.md documents for arbitrary-length keys).
+///
+/// Serialized layout: uint8 num_levels, then per kept level (shallow to
+/// deep): uint8 k | fixed32 nbits | bit array. Levels with zero budget
+/// store nbits = 0 and always answer maybe.
+class RosettaFilter : public RangeFilterPolicy {
+ public:
+  RosettaFilter(double bits_per_key, int levels)
+      : bits_per_key_(bits_per_key), levels_(std::clamp(levels, 1, 64)) {}
+
+  const char* Name() const override { return "lsmlab.Rosetta"; }
+
+  void CreateFilter(const std::vector<Slice>& keys,
+                    std::string* dst) const override {
+    const size_t n = keys.size();
+    if (n == 0) {
+      return;
+    }
+    std::vector<uint64_t> values;
+    values.reserve(n);
+    for (const Slice& k : keys) {
+      values.push_back(NumericKey(k));
+    }
+    // Keys arrive sorted; numeric images are then non-decreasing.
+
+    const double total_bits = bits_per_key_ * static_cast<double>(n);
+    dst->push_back(static_cast<char>(levels_));
+
+    // Geometric budget, deepest level first conceptually; emit shallow to
+    // deep. Level depth d in [1, 64]; kept levels are d in
+    // [65 - levels_, 64]. Budget share for depth d: 2^-(64 - d + 1) of
+    // total (deepest = 1/2), renormalized over kept levels.
+    double norm = 0;
+    for (int i = 0; i < levels_; i++) {
+      norm += std::pow(0.5, i + 1);
+    }
+    for (int d = 65 - levels_; d <= 64; d++) {
+      const double share = std::pow(0.5, 64 - d + 1) / norm;
+      size_t bits =
+          static_cast<size_t>(std::floor(total_bits * share / 8)) * 8;
+      BuildLevel(values, d, bits, dst);
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    View v;
+    if (!v.Parse(filter, levels_)) return true;
+    int budget = kDoubtBudget;
+    return Doubt(v, NumericKey(key) >> 0, 64, &budget);
+  }
+
+  bool RangeMayMatch(const Slice& lo, const Slice& hi,
+                     const Slice& filter) const override {
+    View v;
+    if (!v.Parse(filter, levels_)) return true;
+    uint64_t lo_v = NumericKey(lo);
+    uint64_t hi_v = NumericKey(hi);
+    // The 8-byte image truncates longer keys; widen the probe to stay
+    // sound: any key with image in [lo_v, hi_v] is a candidate.
+    if (lo_v > hi_v) std::swap(lo_v, hi_v);
+    int budget = kDoubtBudget;
+    return DyadicQuery(v, 0, 0, lo_v, hi_v, &budget);
+  }
+
+ private:
+  static constexpr int kDoubtBudget = 4096;  // probe cap; on exhaustion the
+                                             // answer degrades to "maybe"
+
+  struct Level {
+    const char* bits = nullptr;
+    uint64_t nbits = 0;
+    int k = 0;
+  };
+
+  struct View {
+    std::vector<Level> levels;  // index 0 = depth 65-num_levels
+    int min_depth = 65;
+
+    bool Parse(const Slice& filter, int expected_levels) {
+      Slice input = filter;
+      if (input.size() < 1) return false;
+      const int num_levels = static_cast<unsigned char>(input[0]);
+      if (num_levels != expected_levels || num_levels < 1 ||
+          num_levels > 64) {
+        return false;
+      }
+      input.remove_prefix(1);
+      levels.resize(num_levels);
+      min_depth = 65 - num_levels;
+      for (int i = 0; i < num_levels; i++) {
+        if (input.size() < 5) return false;
+        levels[i].k = static_cast<unsigned char>(input[0]);
+        levels[i].nbits = DecodeFixed32(input.data() + 1);
+        input.remove_prefix(5);
+        const size_t bytes = levels[i].nbits / 8;
+        if (levels[i].nbits % 8 != 0 || input.size() < bytes) return false;
+        levels[i].bits = input.data();
+        input.remove_prefix(bytes);
+      }
+      return true;
+    }
+
+    /// Probes depth d with prefix value p (the top d bits of the key,
+    /// right-aligned). True = maybe.
+    bool Probe(int d, uint64_t p, int* budget) const {
+      if (d < min_depth) return true;
+      const Level& lvl = levels[d - min_depth];
+      if (lvl.nbits == 0 || lvl.k == 0) return true;
+      if (*budget <= 0) return true;
+      (*budget)--;
+      uint64_t h = PrefixHash(p, d);
+      const uint64_t delta = Remix64(h) | 1;
+      for (int j = 0; j < lvl.k; j++) {
+        const uint64_t bitpos = h % lvl.nbits;
+        if ((lvl.bits[bitpos / 8] & (1 << (bitpos % 8))) == 0) {
+          return false;
+        }
+        h += delta;
+      }
+      return true;
+    }
+  };
+
+  static uint64_t NumericKey(const Slice& s) {
+    uint64_t v = 0;
+    const size_t n = std::min<size_t>(8, s.size());
+    for (size_t i = 0; i < n; i++) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(s[i]))
+           << (8 * (7 - i));
+    }
+    return v;
+  }
+
+  static uint64_t PrefixHash(uint64_t prefix, int depth) {
+    return Hash64(reinterpret_cast<const char*>(&prefix), sizeof(prefix),
+                  /*seed=*/0x9E3779B9u + static_cast<uint64_t>(depth));
+  }
+
+  void BuildLevel(const std::vector<uint64_t>& values, int depth,
+                  size_t bits, std::string* dst) const {
+    // Distinct prefixes at this depth (values sorted, so dedup is linear).
+    std::vector<uint64_t> prefixes;
+    prefixes.reserve(values.size());
+    const int shift = 64 - depth;
+    for (uint64_t v : values) {
+      const uint64_t p = shift >= 64 ? 0 : (v >> shift);
+      if (prefixes.empty() || prefixes.back() != p) {
+        prefixes.push_back(p);
+      }
+    }
+
+    int k = 0;
+    if (bits >= 8 && !prefixes.empty()) {
+      k = std::clamp(
+          static_cast<int>(std::lround(
+              0.69314718056 * static_cast<double>(bits) / prefixes.size())),
+          1, 30);
+    } else {
+      bits = 0;  // too small to be useful: level answers always-maybe
+    }
+
+    dst->push_back(static_cast<char>(k));
+    PutFixed32(dst, static_cast<uint32_t>(bits));
+    if (bits == 0) {
+      return;
+    }
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bits / 8, 0);
+    char* array = dst->data() + init_size;
+    for (uint64_t p : prefixes) {
+      uint64_t h = PrefixHash(p, depth);
+      const uint64_t delta = Remix64(h) | 1;
+      for (int j = 0; j < k; j++) {
+        const uint64_t bitpos = h % bits;
+        array[bitpos / 8] |= (1 << (bitpos % 8));
+        h += delta;
+      }
+    }
+  }
+
+  /// True iff some key may lie under dyadic node (depth, prefix) —
+  /// verified by descending to full-key probes (Rosetta's "doubting").
+  static bool Doubt(const View& v, uint64_t prefix, int depth, int* budget) {
+    if (!v.Probe(depth, prefix, budget)) {
+      return false;
+    }
+    if (depth == 64 || *budget <= 0) {
+      return true;
+    }
+    return Doubt(v, prefix << 1, depth + 1, budget) ||
+           Doubt(v, (prefix << 1) | 1, depth + 1, budget);
+  }
+
+  /// Segment-tree walk: node (depth, prefix) covers
+  /// [prefix << (64-depth), ...+2^(64-depth)-1].
+  static bool DyadicQuery(const View& v, uint64_t prefix, int depth,
+                          uint64_t lo, uint64_t hi, int* budget) {
+    const int shift = 64 - depth;
+    const uint64_t node_lo = shift >= 64 ? 0 : (prefix << shift);
+    const uint64_t node_hi =
+        shift >= 64 ? ~uint64_t{0}
+                    : node_lo + ((shift == 0) ? 0 : ((uint64_t{1} << shift) - 1));
+    if (node_hi < lo || node_lo > hi) {
+      return false;
+    }
+    if (lo <= node_lo && node_hi <= hi) {
+      return Doubt(v, prefix, depth, budget);
+    }
+    if (!v.Probe(depth, prefix, budget)) {
+      return false;  // prune: no key under this node at all
+    }
+    if (depth == 64) {
+      return true;  // single value inside [lo, hi]
+    }
+    return DyadicQuery(v, prefix << 1, depth + 1, lo, hi, budget) ||
+           DyadicQuery(v, (prefix << 1) | 1, depth + 1, lo, hi, budget);
+  }
+
+  double bits_per_key_;
+  int levels_;
+};
+
+}  // namespace
+
+const RangeFilterPolicy* NewRosettaRangeFilter(double bits_per_key,
+                                               int levels) {
+  return new RosettaFilter(bits_per_key, levels);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "rangefilter/range_filter.h"
+#include "util/coding.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// SNARF-style learned range filter [Vaidya et al., VLDB'22]
+/// (tutorial §II-3): a monotone CDF model maps each key's 64-bit image into
+/// a bit array of ~bits_per_key * n positions; a range query maps its two
+/// endpoints and asks whether any bit between them is set. Distribution
+/// awareness comes from the model: the denser the keys in a region, the
+/// more bit-space it receives, keeping the false-positive rate near
+/// 1 - e^(-width_density/B) regardless of skew.
+///
+/// The CDF model is a linear spline over every `kSampleInterval`-th key
+/// (the compressed-model simplification of SNARF's Golomb-coded design;
+/// DESIGN.md documents the substitution). Key image: first 8 bytes BE.
+///
+/// Serialized layout: fixed32 num_knots | knots (fixed64 key, fixed32 pos)*
+///   | fixed64 nbits | bit array | rank samples (fixed32 per 8 words).
+class SnarfFilter : public RangeFilterPolicy {
+ public:
+  explicit SnarfFilter(double bits_per_key)
+      : bits_per_key_(std::max(1.0, bits_per_key)) {}
+
+  const char* Name() const override { return "lsmlab.SNARF"; }
+
+  void CreateFilter(const std::vector<Slice>& keys,
+                    std::string* dst) const override {
+    const size_t n = keys.size();
+    if (n == 0) {
+      return;
+    }
+    std::vector<uint64_t> values;
+    values.reserve(n);
+    for (const Slice& k : keys) {
+      values.push_back(NumericKey(k));
+    }
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+
+    const uint64_t nbits = std::max<uint64_t>(
+        64, static_cast<uint64_t>(std::ceil(bits_per_key_ * values.size())));
+
+    // Spline knots: every kSampleInterval-th (value, target position),
+    // positions spread evenly over the bit array (empirical CDF).
+    std::vector<std::pair<uint64_t, uint32_t>> knots;
+    const size_t m = values.size();
+    for (size_t i = 0; i < m; i += kSampleInterval) {
+      knots.emplace_back(values[i], PosForRank(i, m, nbits));
+    }
+    if (knots.back().first != values.back()) {
+      knots.emplace_back(values.back(), PosForRank(m - 1, m, nbits));
+    }
+
+    PutFixed32(dst, static_cast<uint32_t>(knots.size()));
+    for (const auto& [k, p] : knots) {
+      PutFixed64(dst, k);
+      PutFixed32(dst, p);
+    }
+    PutFixed64(dst, nbits);
+
+    const size_t nwords = (nbits + 63) / 64;
+    std::vector<uint64_t> words(nwords, 0);
+    for (uint64_t v : values) {
+      const uint64_t pos = Predict(knots, v, nbits);
+      words[pos / 64] |= uint64_t{1} << (pos % 64);
+    }
+    for (uint64_t w : words) {
+      PutFixed64(dst, w);
+    }
+    // Rank samples: ones before word 8g.
+    uint32_t acc = 0;
+    size_t w = 0;
+    for (size_t g = 0; g < nwords / 8 + 1; g++) {
+      while (w < std::min(nwords, g * size_t{8})) {
+        acc += static_cast<uint32_t>(__builtin_popcountll(words[w]));
+        w++;
+      }
+      PutFixed32(dst, acc);
+    }
+  }
+
+  bool RangeMayMatch(const Slice& lo, const Slice& hi,
+                     const Slice& filter) const override {
+    View v;
+    if (!v.Parse(filter)) return true;
+    uint64_t lo_v = NumericKey(lo);
+    uint64_t hi_v = NumericKey(hi);
+    if (lo_v > hi_v) std::swap(lo_v, hi_v);
+    const uint64_t plo = v.Predict(lo_v);
+    const uint64_t phi = v.Predict(hi_v);
+    // Any set bit in [plo, phi]?
+    return v.Rank1(phi + 1) > v.Rank1(plo);
+  }
+
+ private:
+  static constexpr size_t kSampleInterval = 64;
+
+  static uint64_t NumericKey(const Slice& s) {
+    uint64_t v = 0;
+    const size_t n = std::min<size_t>(8, s.size());
+    for (size_t i = 0; i < n; i++) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(s[i]))
+           << (8 * (7 - i));
+    }
+    return v;
+  }
+
+  static uint32_t PosForRank(size_t rank, size_t m, uint64_t nbits) {
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(rank) * (nbits - 1)) /
+        (m > 1 ? m - 1 : 1));
+  }
+
+  template <typename Knots>
+  static uint64_t Predict(const Knots& knots, uint64_t value,
+                          uint64_t nbits) {
+    // Clamp outside the trained domain.
+    if (value <= knots.front().first) return 0;
+    if (value >= knots.back().first) return knots.back().second;
+    auto it = std::upper_bound(
+        knots.begin(), knots.end(), value,
+        [](uint64_t v, const auto& k) { return v < k.first; });
+    const auto& right = *it;
+    const auto& left = *(it - 1);
+    if (right.first == left.first) return left.second;
+    const double frac = static_cast<double>(value - left.first) /
+                        static_cast<double>(right.first - left.first);
+    const double pos = left.second + frac * (right.second - left.second);
+    const uint64_t p = static_cast<uint64_t>(std::llround(pos));
+    return std::min<uint64_t>(p, nbits - 1);
+  }
+
+  struct View {
+    std::vector<std::pair<uint64_t, uint32_t>> knots;
+    const char* words = nullptr;
+    const char* samples = nullptr;
+    uint64_t nbits = 0;
+    size_t nwords = 0;
+
+    bool Parse(const Slice& filter) {
+      Slice input = filter;
+      if (input.size() < 4) return false;
+      const uint32_t num_knots = DecodeFixed32(input.data());
+      input.remove_prefix(4);
+      if (num_knots == 0 || input.size() < num_knots * 12ull + 8) {
+        return false;
+      }
+      knots.reserve(num_knots);
+      for (uint32_t i = 0; i < num_knots; i++) {
+        const uint64_t k = DecodeFixed64(input.data());
+        const uint32_t p = DecodeFixed32(input.data() + 8);
+        knots.emplace_back(k, p);
+        input.remove_prefix(12);
+      }
+      nbits = DecodeFixed64(input.data());
+      input.remove_prefix(8);
+      nwords = (nbits + 63) / 64;
+      const size_t sample_bytes = (nwords / 8 + 1) * 4;
+      if (input.size() < nwords * 8 + sample_bytes) return false;
+      words = input.data();
+      samples = input.data() + nwords * 8;
+      return true;
+    }
+
+    uint64_t Predict(uint64_t value) const {
+      return SnarfFilter::Predict(knots, value, nbits);
+    }
+
+    uint64_t Word(size_t w) const {
+      uint64_t v;
+      memcpy(&v, words + w * 8, 8);
+      return v;
+    }
+
+    uint64_t Rank1(uint64_t i) const {  // ones in [0, i)
+      i = std::min(i, nbits);
+      const size_t w = i / 64;
+      const size_t group = w / 8;
+      uint32_t r;
+      memcpy(&r, samples + group * 4, 4);
+      uint64_t rank = r;
+      for (size_t k = group * 8; k < w; k++) {
+        rank += static_cast<uint64_t>(__builtin_popcountll(Word(k)));
+      }
+      const size_t bit = i % 64;
+      if (bit != 0) {
+        rank += static_cast<uint64_t>(
+            __builtin_popcountll(Word(w) & ((uint64_t{1} << bit) - 1)));
+      }
+      return rank;
+    }
+  };
+
+  double bits_per_key_;
+};
+
+}  // namespace
+
+const RangeFilterPolicy* NewSnarfRangeFilter(double bits_per_key) {
+  return new SnarfFilter(bits_per_key);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,441 @@
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rangefilter/range_filter.h"
+#include "util/coding.h"
+
+namespace lsmlab {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SuRF-style succinct range filter [Zhang et al., SIGMOD'18].
+//
+// Keys are truncated to their shortest distinguishing prefix and stored in a
+// byte-trie encoded LOUDS-dense: per node a 256-bit label bitmap, a 256-bit
+// has-child bitmap (subset of labels), and one is-prefix-key bit. Child node
+// ids are ranks over the has-child bitmap; leaf slots are ranks over
+// (labels minus has-child). Leaves optionally carry `suffix_bits` real key
+// bits for extra point-query precision (SuRF-Real).
+//
+// Serialized layout (all integers little-endian):
+//   fixed32 num_nodes | fixed32 num_leaves | fixed32 suffix_bits
+//   | labels bits+rank | has_child bits+rank | prefix_key bits+rank
+//   | packed suffix bits
+// Each bit section: fixed32 nbits | ceil(nbits/64)*8 bytes of words
+//   | one fixed32 rank sample per 8 words.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kRankSampleWords = 8;  // one u32 sample per 512 bits
+
+size_t WordsForBits(size_t nbits) { return (nbits + 63) / 64; }
+size_t SamplesForWords(size_t nwords) {
+  return nwords / kRankSampleWords + 1;
+}
+
+/// Append-only writer for one bit section.
+class BitsWriter {
+ public:
+  explicit BitsWriter(size_t nbits) : words_(WordsForBits(nbits)), nbits_(nbits) {}
+
+  void Set(size_t i) { words_[i / 64] |= uint64_t{1} << (i % 64); }
+
+  void AppendTo(std::string* dst) const {
+    PutFixed32(dst, static_cast<uint32_t>(nbits_));
+    for (uint64_t w : words_) {
+      PutFixed64(dst, w);
+    }
+    // Exactly SamplesForWords(nwords) samples: samples[g] = ones before
+    // word g*kRankSampleWords.
+    uint32_t acc = 0;
+    size_t w = 0;
+    for (size_t g = 0; g < SamplesForWords(words_.size()); g++) {
+      while (w < std::min(words_.size(), g * kRankSampleWords)) {
+        acc += static_cast<uint32_t>(__builtin_popcountll(words_[w]));
+        w++;
+      }
+      PutFixed32(dst, acc);
+    }
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t nbits_;
+};
+
+/// Read-only view of one serialized bit section (unaligned-safe).
+struct BitsView {
+  const char* words = nullptr;   // nwords * 8 bytes
+  const char* samples = nullptr; // SamplesForWords(nwords) * 4 bytes
+  size_t nbits = 0;
+  size_t nwords = 0;
+
+  /// Parses a section from *input, advancing it. Returns false on corruption.
+  bool Parse(Slice* input) {
+    if (input->size() < 4) return false;
+    nbits = DecodeFixed32(input->data());
+    input->remove_prefix(4);
+    nwords = WordsForBits(nbits);
+    const size_t word_bytes = nwords * 8;
+    const size_t sample_bytes = SamplesForWords(nwords) * 4;
+    if (input->size() < word_bytes + sample_bytes) return false;
+    words = input->data();
+    samples = input->data() + word_bytes;
+    input->remove_prefix(word_bytes + sample_bytes);
+    return true;
+  }
+
+  uint64_t Word(size_t w) const {
+    uint64_t v;
+    memcpy(&v, words + w * 8, 8);
+    return v;
+  }
+
+  bool Get(size_t i) const {
+    return (Word(i / 64) >> (i % 64)) & 1;
+  }
+
+  size_t Rank1(size_t i) const {  // ones in [0, i)
+    const size_t w = i / 64;
+    const size_t group = w / kRankSampleWords;
+    uint32_t r;
+    memcpy(&r, samples + group * 4, 4);
+    size_t rank = r;
+    for (size_t k = group * kRankSampleWords; k < w; k++) {
+      rank += static_cast<size_t>(__builtin_popcountll(Word(k)));
+    }
+    const size_t bit = i % 64;
+    if (bit != 0) {
+      rank += static_cast<size_t>(
+          __builtin_popcountll(Word(w) & ((uint64_t{1} << bit) - 1)));
+    }
+    return rank;
+  }
+
+  /// Smallest set bit >= from within [from, limit), or limit if none.
+  size_t NextSet(size_t from, size_t limit) const {
+    if (from >= limit) return limit;
+    size_t w = from / 64;
+    uint64_t cur = Word(w) & ~((uint64_t{1} << (from % 64)) - 1);
+    while (true) {
+      if (cur != 0) {
+        const size_t pos = w * 64 + __builtin_ctzll(cur);
+        return pos < limit ? pos : limit;
+      }
+      w++;
+      if (w * 64 >= limit) return limit;
+      cur = Word(w);
+    }
+  }
+};
+
+/// Explicit trie used transiently at build time.
+struct BuildNode {
+  std::map<uint8_t, std::unique_ptr<BuildNode>> children;
+  // Labels that terminate a truncated key at this node (leaf edges).
+  std::map<uint8_t, std::string> leaf_suffixes;  // label -> remaining key bytes
+  bool is_prefix_key = false;
+};
+
+size_t CommonPrefix(const Slice& a, const Slice& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) i++;
+  return i;
+}
+
+class SurfFilter : public RangeFilterPolicy {
+ public:
+  explicit SurfFilter(size_t suffix_bits)
+      : suffix_bits_(std::min<size_t>(suffix_bits, 32)) {}
+
+  const char* Name() const override { return "lsmlab.SuRF"; }
+
+  void CreateFilter(const std::vector<Slice>& keys,
+                    std::string* dst) const override {
+    // 1. Truncate each key to its shortest distinguishing prefix.
+    BuildNode root;
+    const size_t n = keys.size();
+    for (size_t i = 0; i < n; i++) {
+      size_t lcp = 0;
+      if (i > 0) lcp = std::max(lcp, CommonPrefix(keys[i - 1], keys[i]));
+      if (i + 1 < n) lcp = std::max(lcp, CommonPrefix(keys[i], keys[i + 1]));
+      const size_t plen = std::min(keys[i].size(), lcp + 1);
+      Insert(&root, keys[i], plen);
+    }
+
+    // 2. BFS over the trie to assign node ids and emit bitmaps.
+    std::vector<const BuildNode*> bfs;
+    bfs.push_back(&root);
+    for (size_t i = 0; i < bfs.size(); i++) {
+      for (const auto& [label, child] : bfs[i]->children) {
+        bfs.push_back(child.get());
+      }
+    }
+    const size_t num_nodes = bfs.size();
+
+    BitsWriter labels(num_nodes * 256);
+    BitsWriter has_child(num_nodes * 256);
+    BitsWriter prefix_key(num_nodes);
+    std::vector<uint32_t> suffixes;
+    size_t num_leaves = 0;
+    for (size_t id = 0; id < num_nodes; id++) {
+      const BuildNode* node = bfs[id];
+      if (node->is_prefix_key) prefix_key.Set(id);
+      // Merge the two label maps in byte order.
+      for (int b = 0; b < 256; b++) {
+        const uint8_t label = static_cast<uint8_t>(b);
+        const bool internal = node->children.count(label) > 0;
+        const bool leaf = node->leaf_suffixes.count(label) > 0;
+        assert(!(internal && leaf));  // truncation makes labels unique
+        if (internal) {
+          labels.Set(id * 256 + b);
+          has_child.Set(id * 256 + b);
+        } else if (leaf) {
+          labels.Set(id * 256 + b);
+          num_leaves++;
+          suffixes.push_back(
+              PackSuffix(node->leaf_suffixes.at(label), suffix_bits_));
+        }
+      }
+    }
+
+    PutFixed32(dst, static_cast<uint32_t>(num_nodes));
+    PutFixed32(dst, static_cast<uint32_t>(num_leaves));
+    PutFixed32(dst, static_cast<uint32_t>(suffix_bits_));
+    labels.AppendTo(dst);
+    has_child.AppendTo(dst);
+    prefix_key.AppendTo(dst);
+    // Packed suffix array.
+    BitsWriter suffix_bits_writer(num_leaves * suffix_bits_);
+    for (size_t i = 0; i < suffixes.size(); i++) {
+      for (size_t b = 0; b < suffix_bits_; b++) {
+        if ((suffixes[i] >> b) & 1) {
+          suffix_bits_writer.Set(i * suffix_bits_ + b);
+        }
+      }
+    }
+    suffix_bits_writer.AppendTo(dst);
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    View v;
+    if (!v.Parse(filter)) return true;
+    size_t node = 0;
+    for (size_t depth = 0;; depth++) {
+      if (depth >= key.size()) {
+        // Key exhausted at an internal node: present iff a stored key
+        // terminates exactly here.
+        return v.prefix_key.Get(node);
+      }
+      const uint8_t b = static_cast<uint8_t>(key[depth]);
+      const size_t pos = node * 256 + b;
+      if (!v.labels.Get(pos)) return false;
+      if (v.has_child.Get(pos)) {
+        node = v.ChildId(pos);
+        continue;
+      }
+      // Leaf edge: verify the suffix bits of the remaining key.
+      if (v.suffix_nbits == 0) return true;
+      const size_t leaf = v.LeafId(pos);
+      const uint32_t stored = v.Suffix(leaf);
+      const uint32_t expected =
+          PackSuffix(Slice(key.data() + depth + 1, key.size() - depth - 1),
+                     v.suffix_nbits);
+      return stored == expected;
+    }
+  }
+
+  bool RangeMayMatch(const Slice& lo, const Slice& hi,
+                     const Slice& filter) const override {
+    View v;
+    if (!v.Parse(filter)) return true;
+    std::string succ;
+    const int r = LowerBound(v, lo, &succ);
+    if (r < 0) return false;   // no stored prefix >= lo
+    if (r == 1) return true;   // ambiguous truncation: maybe
+    // succ is the smallest stored prefix >= lo; the range is non-empty
+    // unless succ > hi (prefix-of relation makes succ <= hi a "maybe").
+    return Slice(succ).compare(hi) <= 0;
+  }
+
+ private:
+  struct View {
+    BitsView labels;
+    BitsView has_child;
+    BitsView prefix_key;
+    BitsView suffixes;
+    size_t num_nodes = 0;
+    size_t num_leaves = 0;
+    size_t suffix_nbits = 0;
+
+    bool Parse(const Slice& filter) {
+      Slice input = filter;
+      if (input.size() < 12) return false;
+      num_nodes = DecodeFixed32(input.data());
+      num_leaves = DecodeFixed32(input.data() + 4);
+      suffix_nbits = DecodeFixed32(input.data() + 8);
+      input.remove_prefix(12);
+      return labels.Parse(&input) && has_child.Parse(&input) &&
+             prefix_key.Parse(&input) && suffixes.Parse(&input) &&
+             num_nodes > 0;
+    }
+
+    size_t ChildId(size_t pos) const {
+      // The node created by the k-th set has_child bit (0-based) is node
+      // k+1 in BFS order.
+      return has_child.Rank1(pos + 1);
+    }
+
+    size_t LeafId(size_t pos) const {
+      return labels.Rank1(pos + 1) - has_child.Rank1(pos + 1) - 1;
+    }
+
+    uint32_t Suffix(size_t leaf) const {
+      uint32_t value = 0;
+      for (size_t b = 0; b < suffix_nbits; b++) {
+        if (suffixes.Get(leaf * suffix_nbits + b)) value |= (1u << b);
+      }
+      return value;
+    }
+  };
+
+  static uint32_t PackSuffix(const Slice& rest, size_t nbits) {
+    // First `nbits` bits of the remaining key bytes, zero-padded.
+    uint32_t value = 0;
+    for (size_t b = 0; b < nbits; b++) {
+      const size_t byte = b / 8;
+      if (byte < rest.size() &&
+          (static_cast<uint8_t>(rest[byte]) >> (7 - b % 8)) & 1) {
+        value |= (1u << b);
+      }
+    }
+    return value;
+  }
+
+  static void Insert(BuildNode* root, const Slice& key, size_t plen) {
+    BuildNode* node = root;
+    if (plen == 0) {
+      root->is_prefix_key = true;  // empty key
+      return;
+    }
+    for (size_t d = 0; d + 1 < plen; d++) {
+      const uint8_t b = static_cast<uint8_t>(key[d]);
+      // A previously inserted truncated key may terminate where this key
+      // branches: convert its leaf edge to an internal edge + prefix mark.
+      auto leaf_it = node->leaf_suffixes.find(b);
+      auto& child = node->children[b];
+      if (child == nullptr) {
+        child = std::make_unique<BuildNode>();
+      }
+      if (leaf_it != node->leaf_suffixes.end()) {
+        child->is_prefix_key = true;
+        node->leaf_suffixes.erase(leaf_it);
+      }
+      node = child.get();
+    }
+    const uint8_t last = static_cast<uint8_t>(key[plen - 1]);
+    auto child_it = node->children.find(last);
+    if (child_it != node->children.end()) {
+      // A longer key already created an internal edge here.
+      child_it->second->is_prefix_key = true;
+      return;
+    }
+    node->leaf_suffixes[last] =
+        std::string(key.data() + plen, key.size() - plen);
+  }
+
+  /// Finds the smallest stored (truncated) key >= lo.
+  /// Returns -1 if none, 1 if the answer is ambiguous because a truncated
+  /// leaf lies on lo's own path ("maybe"), 0 with *succ set otherwise.
+  static int LowerBound(const View& v, const Slice& lo, std::string* succ) {
+    // Stack of (node, label taken) along lo's path for backtracking.
+    std::vector<std::pair<size_t, int>> stack;
+    size_t node = 0;
+    size_t depth = 0;
+    while (true) {
+      if (depth >= lo.size()) {
+        // lo exhausted: every key in this subtree >= lo.
+        if (v.prefix_key.Get(node)) {
+          succ->assign(lo.data(), lo.size());
+          return 0;
+        }
+        return DescendSmallest(v, node, lo, depth, succ);
+      }
+      const uint8_t b = static_cast<uint8_t>(lo[depth]);
+      const size_t pos = node * 256 + b;
+      if (v.labels.Get(pos)) {
+        if (v.has_child.Get(pos)) {
+          stack.emplace_back(node, b);
+          node = v.ChildId(pos);
+          depth++;
+          continue;
+        }
+        // Truncated leaf on lo's path: the stored full key shares
+        // lo[0..depth] but its tail is unknown -> could be >= lo.
+        return 1;
+      }
+      // lo's label is absent: take the next larger label here or backtrack.
+      size_t next = v.labels.NextSet(pos + 1, (node + 1) * 256);
+      while (next == (node + 1) * 256) {
+        if (stack.empty()) return -1;
+        const auto [parent, taken] = stack.back();
+        stack.pop_back();
+        depth--;
+        node = parent;
+        next = v.labels.NextSet(node * 256 + taken + 1, (node + 1) * 256);
+      }
+      // Smallest key through the strictly larger branch `next`.
+      return TakeBranch(v, next, lo, depth, succ);
+    }
+  }
+
+  /// Appends lo[0..depth) + label(next) then descends smallest labels.
+  static int TakeBranch(const View& v, size_t next, const Slice& lo,
+                        size_t depth, std::string* succ) {
+    succ->assign(lo.data(), depth);
+    succ->push_back(static_cast<char>(next % 256));
+    if (!v.has_child.Get(next)) {
+      return 0;  // leaf
+    }
+    return DescendSmallestFrom(v, v.ChildId(next), succ);
+  }
+
+  static int DescendSmallest(const View& v, size_t node, const Slice& lo,
+                             size_t depth, std::string* succ) {
+    succ->assign(lo.data(), depth);
+    return DescendSmallestFrom(v, node, succ);
+  }
+
+  static int DescendSmallestFrom(const View& v, size_t node,
+                                 std::string* succ) {
+    while (true) {
+      if (v.prefix_key.Get(node)) {
+        return 0;  // a key terminates at this node
+      }
+      const size_t pos = v.labels.NextSet(node * 256, (node + 1) * 256);
+      if (pos == (node + 1) * 256) {
+        return -1;  // childless non-terminal node: malformed, treat empty
+      }
+      succ->push_back(static_cast<char>(pos % 256));
+      if (!v.has_child.Get(pos)) {
+        return 0;
+      }
+      node = v.ChildId(pos);
+    }
+  }
+
+  size_t suffix_bits_;
+};
+
+}  // namespace
+
+const RangeFilterPolicy* NewSurfRangeFilter(size_t suffix_bits) {
+  return new SurfFilter(suffix_bits);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,59 @@
+#ifndef LSMLAB_STORAGE_IO_STATS_H_
+#define LSMLAB_STORAGE_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lsmlab {
+
+/// Logical-I/O accounting for an Env.
+///
+/// This is the measurement substrate for every experiment: the tutorial's
+/// claims are about *logical block accesses*, so instead of timing a
+/// specific SSD we count 4 KiB-aligned block reads/writes deterministically.
+/// Counters are atomic so readers and the (inline) compaction path can
+/// update them without coordination.
+struct IoStats {
+  static constexpr uint64_t kBlockSize = 4096;
+
+  std::atomic<uint64_t> block_reads{0};
+  std::atomic<uint64_t> block_writes{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> random_reads{0};   // positioned read calls
+  std::atomic<uint64_t> sequential_writes{0};  // append calls
+
+  void RecordRead(uint64_t offset, uint64_t n) {
+    if (n == 0) return;
+    const uint64_t first = offset / kBlockSize;
+    const uint64_t last = (offset + n - 1) / kBlockSize;
+    block_reads.fetch_add(last - first + 1, std::memory_order_relaxed);
+    bytes_read.fetch_add(n, std::memory_order_relaxed);
+    random_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RecordAppend(uint64_t n) {
+    // Appends are sequential; charge whole blocks on flush boundaries is
+    // overkill, so charge ceil(n / block) which matches write amp math.
+    block_writes.fetch_add((n + kBlockSize - 1) / kBlockSize,
+                           std::memory_order_relaxed);
+    bytes_written.fetch_add(n, std::memory_order_relaxed);
+    sequential_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    block_reads.store(0);
+    block_writes.store(0);
+    bytes_read.store(0);
+    bytes_written.store(0);
+    random_reads.store(0);
+    sequential_writes.store(0);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_STORAGE_IO_STATS_H_

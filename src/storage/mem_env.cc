@@ -1,0 +1,237 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "storage/env.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Shared, refcounted contents of one in-memory file. Readers opened before
+/// a RemoveFile keep their snapshot alive via shared_ptr (mirrors POSIX
+/// unlink semantics, which the engine relies on when dropping compacted
+/// tables that live snapshots still read).
+struct MemFile {
+  std::string data;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(std::shared_ptr<MemFile> file, IoStats* stats)
+      : file_(std::move(file)), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    const std::string& data = file_->data;
+    if (offset > data.size()) {
+      return Status::IOError("read past end of file");
+    }
+    const size_t avail = data.size() - static_cast<size_t>(offset);
+    const size_t len = std::min(n, avail);
+    stats_->RecordRead(offset, len);
+    // Point directly into the immutable buffer; no copy needed.
+    *result = Slice(data.data() + offset, len);
+    (void)scratch;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return file_->data.size(); }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  IoStats* stats_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<MemFile> file, IoStats* stats)
+      : file_(std::move(file)), stats_(stats) {}
+
+  Status Append(const Slice& data) override {
+    file_->data.append(data.data(), data.size());
+    stats_->RecordAppend(data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  IoStats* stats_;
+};
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  MemSequentialFile(std::shared_ptr<MemFile> file, IoStats* stats)
+      : file_(std::move(file)), stats_(stats) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    const std::string& data = file_->data;
+    if (pos_ >= data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t len = std::min(n, data.size() - pos_);
+    stats_->RecordRead(pos_, len);
+    *result = Slice(data.data() + pos_, len);
+    pos_ += len;
+    (void)scratch;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ = std::min(file_->data.size(), pos_ + static_cast<size_t>(n));
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  IoStats* stats_;
+  size_t pos_ = 0;
+};
+
+class MemEnv : public Env {
+ public:
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::IOError(fname, "file not found");
+    }
+    *result = std::make_unique<MemRandomAccessFile>(it->second, &io_stats_);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto file = std::make_shared<MemFile>();
+    files_[fname] = file;  // truncate-on-open semantics
+    *result = std::make_unique<MemWritableFile>(std::move(file), &io_stats_);
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::IOError(fname, "file not found");
+    }
+    *result = std::make_unique<MemSequentialFile>(it->second, &io_stats_);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    result->clear();
+    std::string prefix = dir;
+    if (!prefix.empty() && prefix.back() != '/') {
+      prefix += '/';
+    }
+    for (const auto& [name, file] : files_) {
+      if (name.size() > prefix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.find('/', prefix.size()) == std::string::npos) {
+        result->push_back(name.substr(prefix.size()));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::IOError(fname, "file not found");
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    (void)dirname;  // directories are implicit in the flat namespace
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::IOError(fname, "file not found");
+    }
+    *size = it->second->data.size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::IOError(src, "file not found");
+    }
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_;
+};
+
+}  // namespace
+
+Env* NewMemEnv() { return new MemEnv(); }
+
+Status WriteStringToFile(Env* env, const Slice& data,
+                         const std::string& fname) {
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  s = file->Append(data);
+  if (s.ok()) {
+    // Durable by contract: callers use this for CURRENT and other
+    // small metadata files whose loss would orphan the database.
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  return s;
+}
+
+Status ReadFileToString(Env* env, const std::string& fname,
+                        std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  static const size_t kBufferSize = 8192;
+  std::string scratch(kBufferSize, '\0');
+  while (true) {
+    Slice fragment;
+    s = file->Read(kBufferSize, &fragment, scratch.data());
+    if (!s.ok() || fragment.empty()) {
+      break;
+    }
+    data->append(fragment.data(), fragment.size());
+  }
+  return s;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,70 @@
+#ifndef LSMLAB_TUNING_COST_MODEL_H_
+#define LSMLAB_TUNING_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lsmlab {
+
+/// Closed-form I/O cost model of the LSM design space, following the
+/// analyses of Monkey [18, 19] and Dostoevsky [20] that the tutorial's
+/// Module III builds on. All costs are expected storage I/Os per
+/// operation; B is entries per storage page.
+struct LsmDesignSpec {
+  enum class Policy { kLeveling, kTiering, kLazyLeveling };
+
+  Policy policy = Policy::kLeveling;
+  int size_ratio = 10;          ///< T >= 2
+  uint64_t num_entries = 1e7;   ///< N
+  uint64_t entry_bytes = 64;    ///< E
+  uint64_t buffer_bytes = 1 << 20;  ///< M_buf
+  double filter_bits_per_key = 10;  ///< across the whole tree
+  uint64_t page_bytes = 4096;
+};
+
+class LsmCostModel {
+ public:
+  explicit LsmCostModel(const LsmDesignSpec& spec);
+
+  /// Number of storage levels L.
+  int levels() const { return levels_; }
+  /// Entries per page B.
+  double entries_per_page() const { return b_; }
+
+  /// Expected I/Os of a point lookup on a missing key (filter false
+  /// positives only). Assumes Monkey allocation when `monkey`.
+  double ZeroResultPointLookup(bool monkey = false) const;
+
+  /// Expected I/Os of a point lookup on an existing key (1 hit + false
+  /// positives on the runs above it).
+  double ExistingPointLookup(bool monkey = false) const;
+
+  /// Amortized I/Os per inserted entry (each entry is copied once per
+  /// merge it participates in, over pages of B entries).
+  double WriteCost() const;
+
+  /// I/Os of a short scan returning ~1 page per qualifying run.
+  double ShortScanCost() const;
+
+  /// I/Os of a long scan returning `selectivity` * N entries.
+  double LongScanCost(double selectivity) const;
+
+  /// Space amplification upper bound (invalidated data resident).
+  double SpaceAmplification() const;
+
+  /// Worst-case number of sorted runs a lookup must consider.
+  int TotalRuns() const;
+
+  std::string DebugString() const;
+
+ private:
+  double RunsAtLevel(int level) const;
+
+  LsmDesignSpec spec_;
+  int levels_;
+  double b_;  // entries per page
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TUNING_COST_MODEL_H_

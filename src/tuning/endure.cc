@@ -1,0 +1,91 @@
+#include "tuning/endure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/random.h"
+
+namespace lsmlab {
+
+double WorkloadKlDivergence(const WorkloadMix& w, const WorkloadMix& w_hat) {
+  const WorkloadMix a = w.Normalized();
+  const WorkloadMix b = w_hat.Normalized();
+  auto term = [](double p, double q) {
+    if (p <= 0) {
+      return 0.0;
+    }
+    return p * std::log(p / std::max(q, 1e-12));
+  };
+  return term(a.zero_result_lookups, b.zero_result_lookups) +
+         term(a.existing_lookups, b.existing_lookups) +
+         term(a.short_scans, b.short_scans) + term(a.writes, b.writes);
+}
+
+std::vector<WorkloadMix> SampleWorkloadNeighborhood(const WorkloadMix& w_hat,
+                                                    double rho, int samples,
+                                                    uint64_t seed) {
+  std::vector<WorkloadMix> result;
+  result.push_back(w_hat.Normalized());
+  Random rng(seed);
+  int attempts = 0;
+  while (static_cast<int>(result.size()) < samples &&
+         attempts < samples * 50) {
+    attempts++;
+    // Dirichlet-ish proposal: exponential weights renormalized.
+    WorkloadMix w;
+    w.zero_result_lookups = -std::log(std::max(rng.NextDouble(), 1e-12));
+    w.existing_lookups = -std::log(std::max(rng.NextDouble(), 1e-12));
+    w.short_scans = -std::log(std::max(rng.NextDouble(), 1e-12));
+    w.writes = -std::log(std::max(rng.NextDouble(), 1e-12));
+    w = w.Normalized();
+    // Blend toward w_hat so small-rho balls still get dense coverage.
+    const double alpha = rng.NextDouble();
+    const WorkloadMix h = w_hat.Normalized();
+    w.zero_result_lookups =
+        alpha * w.zero_result_lookups + (1 - alpha) * h.zero_result_lookups;
+    w.existing_lookups =
+        alpha * w.existing_lookups + (1 - alpha) * h.existing_lookups;
+    w.short_scans = alpha * w.short_scans + (1 - alpha) * h.short_scans;
+    w.writes = alpha * w.writes + (1 - alpha) * h.writes;
+    if (WorkloadKlDivergence(w, w_hat) <= rho) {
+      result.push_back(w);
+    }
+  }
+  return result;
+}
+
+RobustTuningResult RobustTune(uint64_t num_entries, uint64_t entry_bytes,
+                              uint64_t memory_bytes,
+                              const WorkloadMix& expected, double rho,
+                              int neighborhood_samples) {
+  RobustTuningResult result;
+  auto candidates =
+      NavigateDesignSpace(num_entries, entry_bytes, memory_bytes, expected);
+  result.nominal = candidates.front();
+
+  const auto neighborhood =
+      SampleWorkloadNeighborhood(expected, rho, neighborhood_samples);
+
+  auto worst_cost = [&](const LsmDesignSpec& spec) {
+    double worst = 0;
+    for (const WorkloadMix& w : neighborhood) {
+      worst = std::max(worst, WorkloadCost(spec, w));
+    }
+    return worst;
+  };
+
+  result.nominal_worst_cost = worst_cost(result.nominal.spec);
+  double best = std::numeric_limits<double>::max();
+  for (const DesignCandidate& c : candidates) {
+    const double wc = worst_cost(c.spec);
+    if (wc < best) {
+      best = wc;
+      result.robust = c;
+      result.robust_worst_cost = wc;
+    }
+  }
+  return result;
+}
+
+}  // namespace lsmlab

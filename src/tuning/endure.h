@@ -1,0 +1,42 @@
+#ifndef LSMLAB_TUNING_ENDURE_H_
+#define LSMLAB_TUNING_ENDURE_H_
+
+#include <vector>
+
+#include "tuning/navigator.h"
+
+namespace lsmlab {
+
+/// Endure-style robust tuning [Huynh et al., VLDB'22] (tutorial III-2):
+/// instead of tuning for the expected workload ŵ, minimize the worst-case
+/// cost over a neighborhood of workloads within distance ρ of ŵ.
+///
+/// Endure uses the KL-divergence ball and Lagrangian duality; we evaluate
+/// the same objective by sampling the neighborhood densely (documented
+/// substitution — the argmin is the same up to sampling resolution, and
+/// the experiment only needs the nominal-vs-robust comparison).
+struct RobustTuningResult {
+  DesignCandidate nominal;       ///< best for ŵ exactly
+  DesignCandidate robust;        ///< best worst-case within the ρ-ball
+  double nominal_worst_cost = 0; ///< worst case of the nominal design
+  double robust_worst_cost = 0;  ///< worst case of the robust design
+};
+
+/// KL divergence between workload mixes (natural log).
+double WorkloadKlDivergence(const WorkloadMix& w, const WorkloadMix& w_hat);
+
+/// Samples workload mixes with KL(w || w_hat) <= rho.
+std::vector<WorkloadMix> SampleWorkloadNeighborhood(const WorkloadMix& w_hat,
+                                                    double rho,
+                                                    int samples,
+                                                    uint64_t seed = 42);
+
+/// Tunes nominally and robustly over the (policy, T, memory-split) space.
+RobustTuningResult RobustTune(uint64_t num_entries, uint64_t entry_bytes,
+                              uint64_t memory_bytes,
+                              const WorkloadMix& expected, double rho,
+                              int neighborhood_samples = 256);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TUNING_ENDURE_H_

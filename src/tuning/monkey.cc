@@ -1,0 +1,80 @@
+#include "tuning/monkey.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsmlab {
+
+namespace {
+
+constexpr double kLn2Sq = 0.4804530139182014;  // ln(2)^2
+
+/// Bits/key needed for false-positive rate p (standard Bloom bound).
+double BitsForFpr(double p) { return -std::log(p) / kLn2Sq; }
+
+}  // namespace
+
+std::vector<double> MonkeyBitsPerLevel(double avg_bits_per_key, int levels,
+                                       int size_ratio) {
+  std::vector<double> bits(levels, 0.0);
+  if (levels <= 0) {
+    return bits;
+  }
+  if (avg_bits_per_key <= 0) {
+    return bits;
+  }
+
+  // Level i holds n_i = T^i units of keys (relative sizes are all that
+  // matter). Total memory budget equals the uniform allocation:
+  //   M = avg_bits * sum(n_i).
+  std::vector<double> n(levels);
+  double total_keys = 0;
+  for (int i = 0; i < levels; i++) {
+    n[i] = std::pow(static_cast<double>(size_ratio), i);
+    total_keys += n[i];
+  }
+  const double budget = avg_bits_per_key * total_keys;
+
+  // Lagrangian optimum: p_i = min(1, mu * n_i) for the multiplier mu that
+  // exhausts the budget. Memory is monotonically decreasing in mu, so
+  // binary search.
+  auto memory_for = [&](double mu) {
+    double mem = 0;
+    for (int i = 0; i < levels; i++) {
+      const double p = std::min(1.0, mu * n[i]);
+      if (p < 1.0) {
+        mem += n[i] * BitsForFpr(p);
+      }
+    }
+    return mem;
+  };
+
+  double lo = 1e-30;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; iter++) {
+    const double mid = std::sqrt(lo * hi);  // geometric midpoint
+    if (memory_for(mid) > budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double mu = std::sqrt(lo * hi);
+  for (int i = 0; i < levels; i++) {
+    const double p = std::min(1.0, mu * n[i]);
+    bits[i] = p < 1.0 ? BitsForFpr(p) : 0.0;
+  }
+  return bits;
+}
+
+double ExpectedZeroResultLookupIos(const std::vector<double>& bits_per_level,
+                                   int runs_per_level) {
+  double total = 0;
+  for (double b : bits_per_level) {
+    const double fpr = b <= 0 ? 1.0 : std::exp(-b * kLn2Sq);
+    total += fpr * runs_per_level;
+  }
+  return total;
+}
+
+}  // namespace lsmlab

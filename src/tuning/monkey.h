@@ -1,0 +1,32 @@
+#ifndef LSMLAB_TUNING_MONKEY_H_
+#define LSMLAB_TUNING_MONKEY_H_
+
+#include <vector>
+
+namespace lsmlab {
+
+/// Monkey's optimal filter-memory allocation [Dayan et al., SIGMOD'17;
+/// TODS'18] (tutorial §II-5).
+///
+/// Production engines give every level the same bits/key; Monkey proves
+/// the optimum sets each level's false-positive rate proportional to its
+/// size, i.e. exponentially more bits/key at the small shallow levels where
+/// a saved probe is cheapest per byte of filter.
+///
+/// Given the tree's average filter budget `avg_bits_per_key`, the level
+/// count, and the size ratio T (level i holds ~T^i times the data of level
+/// 0), returns the per-level bits/key (index = level) with the same total
+/// memory as the uniform allocation. Levels whose optimal FPR reaches 1
+/// get zero bits (no filter).
+std::vector<double> MonkeyBitsPerLevel(double avg_bits_per_key, int levels,
+                                       int size_ratio);
+
+/// Expected worst-case I/Os of a zero-result point lookup: the sum of
+/// per-level false-positive rates times runs per level (Monkey's cost
+/// model; `runs_per_level` = 1 for leveling, T for tiering).
+double ExpectedZeroResultLookupIos(const std::vector<double>& bits_per_level,
+                                   int runs_per_level);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TUNING_MONKEY_H_

@@ -1,0 +1,87 @@
+#include "tuning/navigator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lsmlab {
+
+WorkloadMix WorkloadMix::Normalized() const {
+  WorkloadMix m = *this;
+  const double sum =
+      m.zero_result_lookups + m.existing_lookups + m.short_scans + m.writes;
+  if (sum > 0) {
+    m.zero_result_lookups /= sum;
+    m.existing_lookups /= sum;
+    m.short_scans /= sum;
+    m.writes /= sum;
+  }
+  return m;
+}
+
+double WorkloadCost(const LsmDesignSpec& spec, const WorkloadMix& mix,
+                    bool monkey_filters) {
+  LsmCostModel model(spec);
+  const WorkloadMix m = mix.Normalized();
+  return m.zero_result_lookups * model.ZeroResultPointLookup(monkey_filters) +
+         m.existing_lookups * model.ExistingPointLookup(monkey_filters) +
+         m.short_scans * model.ShortScanCost() +
+         m.writes * model.WriteCost();
+}
+
+std::string DesignCandidate::Describe() const {
+  const char* policy = "leveling";
+  if (spec.policy == LsmDesignSpec::Policy::kTiering) {
+    policy = "tiering";
+  } else if (spec.policy == LsmDesignSpec::Policy::kLazyLeveling) {
+    policy = "lazy-leveling";
+  }
+  std::ostringstream out;
+  out << policy << " T=" << spec.size_ratio
+      << " buffer=" << (spec.buffer_bytes >> 10) << "KiB"
+      << " filter_bits=" << spec.filter_bits_per_key << " cost=" << cost;
+  return out.str();
+}
+
+std::vector<DesignCandidate> NavigateDesignSpace(uint64_t num_entries,
+                                                 uint64_t entry_bytes,
+                                                 uint64_t memory_bytes,
+                                                 const WorkloadMix& mix) {
+  std::vector<DesignCandidate> candidates;
+  const LsmDesignSpec::Policy policies[] = {
+      LsmDesignSpec::Policy::kLeveling,
+      LsmDesignSpec::Policy::kTiering,
+      LsmDesignSpec::Policy::kLazyLeveling,
+  };
+  // Memory split sweep: fraction of memory given to the write buffer; the
+  // remainder becomes filter bits (tutorial §II-5 interior optimum).
+  const double buffer_fractions[] = {0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 0.9};
+
+  for (auto policy : policies) {
+    for (int t = 2; t <= 16; t += (t < 8 ? 1 : 2)) {
+      for (double frac : buffer_fractions) {
+        LsmDesignSpec spec;
+        spec.policy = policy;
+        spec.size_ratio = t;
+        spec.num_entries = num_entries;
+        spec.entry_bytes = entry_bytes;
+        spec.buffer_bytes = std::max<uint64_t>(
+            4096, static_cast<uint64_t>(memory_bytes * frac));
+        const double filter_bytes = memory_bytes * (1.0 - frac);
+        spec.filter_bits_per_key =
+            filter_bytes * 8.0 / static_cast<double>(num_entries);
+        DesignCandidate c;
+        c.spec = spec;
+        c.cost = WorkloadCost(spec, mix);
+        candidates.push_back(c);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const DesignCandidate& a, const DesignCandidate& b) {
+              return a.cost < b.cost;
+            });
+  return candidates;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,44 @@
+#ifndef LSMLAB_TUNING_NAVIGATOR_H_
+#define LSMLAB_TUNING_NAVIGATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "tuning/cost_model.h"
+
+namespace lsmlab {
+
+/// Workload mix as operation fractions (sum to 1), the coordinate system
+/// of Monkey/Dostoevsky/Endure tuning.
+struct WorkloadMix {
+  double zero_result_lookups = 0.25;  ///< z0
+  double existing_lookups = 0.25;     ///< z1
+  double short_scans = 0.25;          ///< q
+  double writes = 0.25;               ///< w
+
+  WorkloadMix Normalized() const;
+};
+
+/// Expected I/O cost per operation of `spec` under `mix`.
+double WorkloadCost(const LsmDesignSpec& spec, const WorkloadMix& mix,
+                    bool monkey_filters = true);
+
+/// One explored point of the design space.
+struct DesignCandidate {
+  LsmDesignSpec spec;
+  double cost = 0;
+  std::string Describe() const;
+};
+
+/// Navigates the (policy x size-ratio) design space for a fixed data size
+/// and memory budget, returning candidates sorted by modeled cost — the
+/// "navigable design space" of tutorial Module III [37, 21, 15].
+/// `memory_bytes` is split between buffer and filters per candidate via a
+/// small sweep (tutorial §II-5 [54, 57]).
+std::vector<DesignCandidate> NavigateDesignSpace(
+    uint64_t num_entries, uint64_t entry_bytes, uint64_t memory_bytes,
+    const WorkloadMix& mix);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TUNING_NAVIGATOR_H_

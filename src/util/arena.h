@@ -1,0 +1,49 @@
+#ifndef LSMLAB_UTIL_ARENA_H_
+#define LSMLAB_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lsmlab {
+
+/// Bump allocator backing the memtable skiplist.
+///
+/// Allocations are never individually freed; all memory is released when the
+/// Arena is destroyed (which is when the memtable is dropped after a flush).
+/// MemoryUsage() is what the engine compares against the write-buffer size
+/// to decide when to flush.
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to a newly allocated block of `bytes` bytes.
+  char* Allocate(size_t bytes);
+
+  /// Allocate with the platform's pointer alignment (for node structs).
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory reserved by the arena (including block headroom).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_ARENA_H_

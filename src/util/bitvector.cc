@@ -1,0 +1,52 @@
+#include "util/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace lsmlab {
+
+void BitVector::BuildRank() {
+  rank_.assign(words_.size() + 1, 0);
+  for (size_t w = 0; w < words_.size(); w++) {
+    rank_[w + 1] = rank_[w] + std::popcount(words_[w]);
+  }
+  total_ones_ = rank_.empty() ? 0 : rank_.back();
+}
+
+size_t BitVector::Rank1(size_t i) const {
+  assert(!rank_.empty() && i <= size_);
+  const size_t word = i / 64;
+  const size_t bit = i % 64;
+  size_t r = rank_[word];
+  if (bit != 0) {
+    r += std::popcount(words_[word] & ((uint64_t{1} << bit) - 1));
+  }
+  return r;
+}
+
+size_t BitVector::Select1(size_t k) const {
+  assert(!rank_.empty());
+  if (k >= total_ones_) {
+    return size_;
+  }
+  // Binary search the rank directory for the word containing the k-th one.
+  size_t lo = 0;
+  size_t hi = words_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (rank_[mid] <= k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  uint64_t word = words_[lo];
+  size_t remaining = k - rank_[lo];
+  // Walk set bits within the word.
+  for (size_t i = 0; i < remaining; i++) {
+    word &= word - 1;  // clear lowest set bit
+  }
+  return lo * 64 + static_cast<size_t>(std::countr_zero(word));
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,69 @@
+#ifndef LSMLAB_UTIL_BITVECTOR_H_
+#define LSMLAB_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsmlab {
+
+/// Append-only bit vector with O(1) rank and O(log n) select, the substrate
+/// for the LOUDS-dense succinct trie in the SuRF-style range filter.
+///
+/// Rank support is built once via BuildRank(); bits must not be appended
+/// afterwards. rank1(i) counts set bits in [0, i); select1(k) returns the
+/// position of the k-th (0-based) set bit.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  void PushBack(bool bit) {
+    const size_t word = size_ / 64;
+    if (word >= words_.size()) {
+      words_.push_back(0);
+    }
+    if (bit) {
+      words_[word] |= (uint64_t{1} << (size_ % 64));
+    }
+    size_++;
+  }
+
+  bool Get(size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Precomputes per-word cumulative popcounts. Call once after all
+  /// PushBack calls.
+  void BuildRank();
+
+  /// Number of set bits in [0, i). Requires BuildRank().
+  size_t Rank1(size_t i) const;
+
+  /// Number of clear bits in [0, i). Requires BuildRank().
+  size_t Rank0(size_t i) const { return i - Rank1(i); }
+
+  /// Position of the k-th (0-based) set bit, or size() if out of range.
+  /// Requires BuildRank().
+  size_t Select1(size_t k) const;
+
+  /// Approximate heap footprint in bytes (bits + rank directory).
+  size_t MemoryUsage() const {
+    return (words_.capacity() + rank_.capacity()) * sizeof(uint64_t);
+  }
+
+  size_t OneCount() const {
+    return rank_.empty() ? 0 : total_ones_;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> rank_;  // rank_[w] = popcount of words_[0..w)
+  size_t size_ = 0;
+  size_t total_ones_ = 0;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_BITVECTOR_H_

@@ -1,0 +1,133 @@
+#include "util/coding.h"
+
+namespace lsmlab {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+namespace {
+
+char* EncodeVarint32To(char* dst, uint32_t v) {
+  unsigned char* ptr = reinterpret_cast<unsigned char*>(dst);
+  static const int kMsb = 128;
+  while (v >= static_cast<uint32_t>(kMsb)) {
+    *(ptr++) = v | kMsb;
+    v >>= 7;
+  }
+  *(ptr++) = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+char* EncodeVarint64To(char* dst, uint64_t v) {
+  unsigned char* ptr = reinterpret_cast<unsigned char*>(dst);
+  static const unsigned int kMsb = 128;
+  while (v >= kMsb) {
+    *(ptr++) = v | kMsb;
+    v >>= 7;
+  }
+  *(ptr++) = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+}  // namespace
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  char buf[5];
+  char* end = EncodeVarint32To(buf, value);
+  dst->append(buf, end - buf);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  char* end = EncodeVarint64To(buf, value);
+  dst->append(buf, end - buf);
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<unsigned char>(*p);
+    p++;
+    if (byte & 128) {
+      result |= ((byte & 127) << shift);
+    } else {
+      result |= (byte << shift);
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    p++;
+    if (byte & 128) {
+      result |= ((byte & 127) << shift);
+    } else {
+      result |= (byte << shift);
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint32Ptr(p, limit, value);
+  if (q == nullptr) {
+    return false;
+  }
+  *input = Slice(q, limit - q);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint64Ptr(p, limit, value);
+  if (q == nullptr) {
+    return false;
+  }
+  *input = Slice(q, limit - q);
+  return true;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len;
+  if (GetVarint32(input, &len) && input->size() >= len) {
+    *result = Slice(input->data(), len);
+    input->remove_prefix(len);
+    return true;
+  }
+  return false;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 128) {
+    value >>= 7;
+    len++;
+  }
+  return len;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,60 @@
+#include "util/comparator.h"
+
+#include <algorithm>
+
+namespace lsmlab {
+
+namespace {
+
+class BytewiseComparatorImpl : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override {
+    return a.compare(b);
+  }
+
+  const char* Name() const override { return "lsmlab.BytewiseComparator"; }
+
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override {
+    // Find the length of the common prefix.
+    size_t min_length = std::min(start->size(), limit.size());
+    size_t diff_index = 0;
+    while (diff_index < min_length &&
+           (*start)[diff_index] == limit[diff_index]) {
+      diff_index++;
+    }
+
+    if (diff_index >= min_length) {
+      // One string is a prefix of the other; leave *start unchanged.
+      return;
+    }
+    uint8_t diff_byte = static_cast<uint8_t>((*start)[diff_index]);
+    if (diff_byte < 0xFF &&
+        diff_byte + 1 < static_cast<uint8_t>(limit[diff_index])) {
+      (*start)[diff_index]++;
+      start->resize(diff_index + 1);
+    }
+  }
+
+  void FindShortSuccessor(std::string* key) const override {
+    // Increment the first byte that is not 0xFF and truncate there.
+    for (size_t i = 0; i < key->size(); i++) {
+      const uint8_t byte = static_cast<uint8_t>((*key)[i]);
+      if (byte != 0xFF) {
+        (*key)[i] = static_cast<char>(byte + 1);
+        key->resize(i + 1);
+        return;
+      }
+    }
+    // All 0xFF: *key is its own successor-domain maximum; leave unchanged.
+  }
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static BytewiseComparatorImpl* singleton = new BytewiseComparatorImpl;
+  return singleton;
+}
+
+}  // namespace lsmlab

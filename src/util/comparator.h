@@ -1,0 +1,37 @@
+#ifndef LSMLAB_UTIL_COMPARATOR_H_
+#define LSMLAB_UTIL_COMPARATOR_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Total order over user keys. The engine, SSTables, and all index/filter
+/// structures that partition the key space consult the same comparator.
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// <0, 0, >0 if a is <, ==, > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  /// Name embedded in SSTable footers; opening a table with a mismatched
+  /// comparator name fails fast instead of silently mis-sorting.
+  virtual const char* Name() const = 0;
+
+  /// If *start < limit, may shorten *start to a string in [start, limit).
+  /// Used to shrink index-block divider keys (fence pointers).
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+
+  /// May shorten *key to a string >= *key (terminal divider of a table).
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+/// Singleton bytewise (memcmp-order) comparator.
+const Comparator* BytewiseComparator();
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_COMPARATOR_H_

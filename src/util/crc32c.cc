@@ -1,0 +1,39 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace lsmlab {
+namespace crc32c {
+
+namespace {
+
+// Table-driven CRC32C (Castagnoli, reflected polynomial 0x82F63B78),
+// generated at static-init time; the table is trivially destructible.
+struct Crc32cTable {
+  std::array<uint32_t, 256> t;
+  constexpr Crc32cTable() : t() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = kTable.t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crc32c
+}  // namespace lsmlab

@@ -1,0 +1,37 @@
+#ifndef LSMLAB_UTIL_CRC32C_H_
+#define LSMLAB_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsmlab {
+namespace crc32c {
+
+/// Returns the CRC32C (Castagnoli polynomial) of data[0, n-1], extending
+/// `init_crc` so large payloads can be checksummed incrementally.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC32C of data[0, n-1].
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+/// Returns a masked representation of `crc`.
+///
+/// Storage formats that embed CRCs of strings that themselves contain CRCs
+/// mask the value so a recursive checksum does not degenerate (same scheme
+/// as LevelDB/RocksDB log frames).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_CRC32C_H_

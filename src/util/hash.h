@@ -1,0 +1,41 @@
+#ifndef LSMLAB_UTIL_HASH_H_
+#define LSMLAB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// 64-bit hash of data[0, n-1] (xxHash64-style mixing, from scratch).
+///
+/// All filters hash keys through this one function so that "shared hash
+/// computation" across a tree's filters [Zhu et al., DAMON'21] falls out
+/// naturally: the engine hashes a lookup key once and reuses the 64-bit
+/// value for every level's filter probe.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// 32-bit convenience wrapper.
+inline uint32_t Hash32(const Slice& s, uint32_t seed = 0) {
+  return static_cast<uint32_t>(Hash64(s.data(), s.size(), seed));
+}
+
+/// Finalization-style remix for deriving independent hash streams from one
+/// base hash (used by double hashing in the Bloom variants).
+inline uint64_t Remix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_HASH_H_

@@ -1,0 +1,97 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace lsmlab {
+
+const std::vector<double>& Histogram::BucketLimits() {
+  // Geometric series with ratio ~1.2 covering [1, ~1e12].
+  static const std::vector<double>& limits = *new std::vector<double>([] {
+    std::vector<double> v;
+    double x = 1.0;
+    while (x < 1e12) {
+      v.push_back(x);
+      x *= 1.2;
+      x = std::max(x, v.back() + 1.0);
+    }
+    v.push_back(std::numeric_limits<double>::infinity());
+    return v;
+  }());
+  return limits;
+}
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = std::numeric_limits<double>::max();
+  max_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  buckets_.assign(BucketLimits().size(), 0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = BucketLimits();
+  size_t b = std::upper_bound(limits.begin(), limits.end(), value) -
+             limits.begin();
+  if (b >= buckets_.size()) {
+    b = buckets_.size() - 1;
+  }
+  buckets_[b]++;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const auto& limits = BucketLimits();
+  double threshold = count_ * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      double left = (b == 0) ? 0.0 : limits[b - 1];
+      double right = limits[b];
+      if (right == std::numeric_limits<double>::infinity()) {
+        right = max_;
+      }
+      double left_count = cumulative - buckets_[b];
+      double pos = (buckets_[b] == 0)
+                       ? 0.0
+                       : (threshold - left_count) / buckets_[b];
+      double r = left + (right - left) * pos;
+      r = std::max(r, min_);
+      r = std::min(r, max_);
+      return r;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.2f p50=%.2f p95=%.2f p99=%.2f min=%.2f "
+                "max=%.2f",
+                static_cast<unsigned long long>(count_), Average(),
+                Percentile(50), Percentile(95), Percentile(99), Min(), Max());
+  return buf;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,48 @@
+#ifndef LSMLAB_UTIL_HISTOGRAM_H_
+#define LSMLAB_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsmlab {
+
+/// Latency/size histogram with exponentially spaced buckets.
+///
+/// Used by the benchmark harness to report medians and tails without
+/// storing every sample.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  double Min() const { return count_ == 0 ? 0 : min_; }
+  double Max() const { return max_; }
+  uint64_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Average() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  /// Value at percentile p in [0, 100], linearly interpolated inside the
+  /// containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Multi-line summary (count, avg, p50/p95/p99, min/max).
+  std::string ToString() const;
+
+ private:
+  static const std::vector<double>& BucketLimits();
+
+  double min_;
+  double max_;
+  uint64_t count_;
+  double sum_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_HISTOGRAM_H_

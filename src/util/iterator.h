@@ -1,0 +1,42 @@
+#ifndef LSMLAB_UTIL_ITERATOR_H_
+#define LSMLAB_UTIL_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// Ordered cursor over key/value pairs.
+///
+/// The same interface is implemented by memtables, data blocks, SSTables,
+/// and the merging/DB iterators, so the read path composes uniformly.
+/// An iterator is either positioned at a key/value pair (Valid() == true)
+/// or not. key()/value() slices remain valid until the next mutation of the
+/// iterator.
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  /// Non-OK iff the iterator encountered corruption or an I/O error.
+  virtual Status status() const = 0;
+};
+
+/// An empty iterator carrying `status` (OK by default).
+Iterator* NewEmptyIterator(const Status& status = Status::OK());
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_ITERATOR_H_

@@ -1,0 +1,64 @@
+#ifndef LSMLAB_UTIL_RANDOM_H_
+#define LSMLAB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace lsmlab {
+
+/// Deterministic pseudo-random generator (xorshift128+).
+///
+/// All randomness in lsmlab flows through this class with explicit seeds so
+/// tests and benchmarks are reproducible run to run.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding to spread low-entropy seeds over the state.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if ((s_[0] | s_[1]) == 0) {
+      s_[0] = 1;
+    }
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Returns true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// Skewed: picks base in [0, max_log] uniformly, then returns a uniform
+  /// value in [0, 2^base). Favors small numbers (matches LevelDB's helper).
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(max_log + 1));
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97f4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_RANDOM_H_

@@ -1,0 +1,34 @@
+#include "util/status.h"
+
+namespace lsmlab {
+
+std::string Status::ToString() const {
+  const char* type;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kNotSupported:
+      type = "NotSupported: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "InvalidArgument: ";
+      break;
+    case Code::kIOError:
+      type = "IOError: ";
+      break;
+    default:
+      type = "Unknown: ";
+      break;
+  }
+  std::string result(type);
+  result.append(msg_);
+  return result;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,71 @@
+#ifndef LSMLAB_UTIL_STATUS_H_
+#define LSMLAB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Status communicates the outcome of an operation without exceptions.
+///
+/// Cheap to copy in the common OK case (empty message, code enum only).
+/// Use the static constructors (`Status::NotFound(...)`) to build errors and
+/// the `Is*()` predicates to classify them.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+
+  /// Human-readable representation, e.g. "NotFound: missing.sst".
+  std::string ToString() const;
+
+ private:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+    msg_.assign(msg.data(), msg.size());
+    if (!msg2.empty()) {
+      msg_.append(": ");
+      msg_.append(msg2.data(), msg2.size());
+    }
+  }
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_STATUS_H_

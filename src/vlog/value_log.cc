@@ -1,0 +1,223 @@
+#include "vlog/value_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace lsmlab {
+
+ValueLog::ValueLog(Env* env, std::string dbname, size_t max_file_bytes)
+    : env_(env), dbname_(std::move(dbname)), max_file_bytes_(max_file_bytes) {}
+
+ValueLog::~ValueLog() {
+  if (current_file_ != nullptr) {
+    current_file_->Close();
+  }
+}
+
+std::string ValueLog::FileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06llu.vlog",
+                static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+Status ValueLog::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  env_->CreateDir(dbname_);
+  std::vector<std::string> children;
+  Status s = env_->GetChildren(dbname_, &children);
+  if (!s.ok()) {
+    return s;
+  }
+  uint64_t max_number = 0;
+  for (const std::string& child : children) {
+    const size_t dot = child.find(".vlog");
+    if (dot == std::string::npos || dot == 0 ||
+        dot + 5 != child.size()) {
+      continue;
+    }
+    char* end;
+    const uint64_t number = strtoull(child.c_str(), &end, 10);
+    if (end != child.c_str() + dot) {
+      continue;
+    }
+    files_.insert(number);
+    max_number = std::max(max_number, number);
+  }
+  current_number_ = max_number + 1;
+  files_.insert(current_number_);
+  current_offset_ = 0;
+  return env_->NewWritableFile(FileName(dbname_, current_number_),
+                               &current_file_);
+}
+
+Status ValueLog::RotateLocked() {
+  if (current_file_ != nullptr) {
+    Status s = current_file_->Close();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  current_number_++;
+  files_.insert(current_number_);
+  current_offset_ = 0;
+  return env_->NewWritableFile(FileName(dbname_, current_number_),
+                               &current_file_);
+}
+
+Status ValueLog::Add(const Slice& value, std::string* pointer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_file_ == nullptr) {
+    return Status::InvalidArgument("value log not opened");
+  }
+  if (current_offset_ >= max_file_bytes_) {
+    Status s = RotateLocked();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  std::string record;
+  record.reserve(value.size() + 9);
+  PutFixed32(&record, crc32c::Mask(crc32c::Value(value.data(), value.size())));
+  PutVarint32(&record, static_cast<uint32_t>(value.size()));
+  record.append(value.data(), value.size());
+
+  const uint64_t offset = current_offset_;
+  Status s = current_file_->Append(Slice(record));
+  if (!s.ok()) {
+    return s;
+  }
+  current_offset_ += record.size();
+
+  pointer->clear();
+  PutVarint64(pointer, current_number_);
+  PutVarint64(pointer, offset);
+  PutVarint32(pointer, static_cast<uint32_t>(record.size()));
+  return current_file_->Flush();
+}
+
+Status ValueLog::Get(const Slice& pointer, std::string* value) const {
+  Slice input = pointer;
+  uint64_t number, offset;
+  uint32_t size;
+  if (!GetVarint64(&input, &number) || !GetVarint64(&input, &offset) ||
+      !GetVarint32(&input, &size)) {
+    return Status::Corruption("bad value-log pointer");
+  }
+
+  std::shared_ptr<RandomAccessFile> reader;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (const auto& [n, r] : readers_) {
+      if (n == number) {
+        reader = r;
+        break;
+      }
+    }
+    if (reader == nullptr) {
+      std::unique_ptr<RandomAccessFile> file;
+      Status s = env_->NewRandomAccessFile(FileName(dbname_, number), &file);
+      if (!s.ok()) {
+        return s;
+      }
+      reader = std::shared_ptr<RandomAccessFile>(file.release());
+      readers_.emplace_back(number, reader);
+    }
+  }
+
+  std::string scratch(size, '\0');
+  Slice record;
+  Status s = reader->Read(offset, size, &record, scratch.data());
+  if (!s.ok()) {
+    return s;
+  }
+  if (record.size() != size || size < 5) {
+    return Status::Corruption("truncated value-log record");
+  }
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(record.data()));
+  Slice body(record.data() + 4, record.size() - 4);
+  uint32_t value_size;
+  if (!GetVarint32(&body, &value_size) || body.size() != value_size) {
+    return Status::Corruption("malformed value-log record");
+  }
+  if (crc32c::Value(body.data(), body.size()) != expected_crc) {
+    return Status::Corruption("value-log checksum mismatch");
+  }
+  value->assign(body.data(), body.size());
+  return Status::OK();
+}
+
+Status ValueLog::Sync(bool fsync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_file_ == nullptr) {
+    return Status::OK();
+  }
+  return fsync ? current_file_->Sync() : current_file_->Flush();
+}
+
+std::vector<uint64_t> ValueLog::ClosedFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> result;
+  for (uint64_t n : files_) {
+    if (n != current_number_) {
+      result.push_back(n);
+    }
+  }
+  return result;
+}
+
+Status ValueLog::DeleteFiles(const std::vector<uint64_t>& numbers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status result = Status::OK();
+  for (uint64_t n : numbers) {
+    if (n == current_number_) {
+      continue;  // never delete the live tail
+    }
+    files_.erase(n);
+    {
+      std::lock_guard<std::mutex> rlock(readers_mu_);
+      readers_.erase(
+          std::remove_if(readers_.begin(), readers_.end(),
+                         [n](const auto& p) { return p.first == n; }),
+          readers_.end());
+    }
+    Status s = env_->RemoveFile(FileName(dbname_, n));
+    if (!s.ok() && result.ok()) {
+      result = s;
+    }
+  }
+  return result;
+}
+
+bool ValueLog::PointsInto(const Slice& pointer,
+                          const std::set<uint64_t>& files) {
+  Slice input = pointer;
+  uint64_t number;
+  if (!GetVarint64(&input, &number)) {
+    return false;
+  }
+  return files.count(number) > 0;
+}
+
+uint64_t ValueLog::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t n : files_) {
+    uint64_t size = 0;
+    if (env_->GetFileSize(FileName(dbname_, n), &size).ok()) {
+      total += size;
+    }
+  }
+  return total;
+}
+
+size_t ValueLog::NumFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+}  // namespace lsmlab

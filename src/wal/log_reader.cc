@@ -1,0 +1,152 @@
+#include "wal/log_reader.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace lsmlab {
+namespace wal {
+
+Reader::Reader(SequentialFile* file, Reporter* reporter)
+    : file_(file),
+      reporter_(reporter),
+      backing_store_(new char[kBlockSize]) {}
+
+void Reader::ReportCorruption(uint64_t bytes, const char* reason) {
+  if (reporter_ != nullptr) {
+    reporter_->Corruption(static_cast<size_t>(bytes),
+                          Status::Corruption(reason));
+  }
+}
+
+bool Reader::ReadRecord(Slice* record, std::string* scratch) {
+  scratch->clear();
+  record->clear();
+  bool in_fragmented_record = false;
+
+  Slice fragment;
+  while (true) {
+    const unsigned int record_type = ReadPhysicalRecord(&fragment);
+    switch (record_type) {
+      case kFullType:
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "partial record without end");
+          scratch->clear();
+        }
+        *record = fragment;
+        return true;
+
+      case kFirstType:
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "partial record without end");
+        }
+        scratch->assign(fragment.data(), fragment.size());
+        in_fragmented_record = true;
+        break;
+
+      case kMiddleType:
+        if (!in_fragmented_record) {
+          ReportCorruption(fragment.size(),
+                           "missing start of fragmented record");
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+        }
+        break;
+
+      case kLastType:
+        if (!in_fragmented_record) {
+          ReportCorruption(fragment.size(),
+                           "missing start of fragmented record");
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+          *record = Slice(*scratch);
+          return true;
+        }
+        break;
+
+      case kEof:
+        if (in_fragmented_record) {
+          // Torn tail write: drop the partial record silently.
+          scratch->clear();
+        }
+        return false;
+
+      case kBadRecord:
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "error in middle of record");
+          in_fragmented_record = false;
+          scratch->clear();
+        }
+        break;
+
+      default:
+        ReportCorruption(fragment.size() + scratch->size(),
+                         "unknown record type");
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+    }
+  }
+}
+
+unsigned int Reader::ReadPhysicalRecord(Slice* result) {
+  while (true) {
+    if (buffer_.size() < kHeaderSize) {
+      if (!eof_) {
+        // Skip block trailer padding and read the next block.
+        buffer_.clear();
+        Status status =
+            file_->Read(kBlockSize, &buffer_, backing_store_.get());
+        if (!status.ok()) {
+          buffer_.clear();
+          ReportCorruption(kBlockSize, "read error");
+          eof_ = true;
+          return kEof;
+        }
+        if (buffer_.size() < kBlockSize) {
+          eof_ = true;
+        }
+        continue;
+      }
+      // Truncated header at EOF: implicit torn write; ignore.
+      buffer_.clear();
+      return kEof;
+    }
+
+    const char* header = buffer_.data();
+    const uint32_t a = static_cast<uint8_t>(header[4]);
+    const uint32_t b = static_cast<uint8_t>(header[5]);
+    const unsigned int type = static_cast<uint8_t>(header[6]);
+    const uint32_t length = a | (b << 8);
+    if (kHeaderSize + length > buffer_.size()) {
+      const size_t drop_size = buffer_.size();
+      buffer_.clear();
+      if (!eof_) {
+        ReportCorruption(drop_size, "bad record length");
+        return kBadRecord;
+      }
+      return kEof;  // torn tail
+    }
+
+    if (type == kZeroType && length == 0) {
+      // Padding emitted by the writer (or preallocated space); skip.
+      buffer_.clear();
+      return kBadRecord;
+    }
+
+    const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
+    uint32_t actual_crc = crc32c::Value(header + 6, 1 + length);
+    if (actual_crc != expected_crc) {
+      const size_t drop_size = buffer_.size();
+      buffer_.clear();
+      ReportCorruption(drop_size, "checksum mismatch");
+      return kBadRecord;
+    }
+
+    buffer_.remove_prefix(kHeaderSize + length);
+    *result = Slice(header + kHeaderSize, length);
+    return type;
+  }
+}
+
+}  // namespace wal
+}  // namespace lsmlab

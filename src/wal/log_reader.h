@@ -1,0 +1,53 @@
+#ifndef LSMLAB_WAL_LOG_READER_H_
+#define LSMLAB_WAL_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/env.h"
+#include "util/slice.h"
+#include "wal/log_writer.h"
+
+namespace lsmlab {
+namespace wal {
+
+/// Replays records written by wal::Writer. Corrupt or torn tail records are
+/// skipped and reported, so a crash mid-write loses at most the unsynced
+/// suffix — never previously acknowledged records.
+class Reader {
+ public:
+  /// Interface for corruption reports during replay.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  /// Does not take ownership of `file` or `reporter`.
+  Reader(SequentialFile* file, Reporter* reporter);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads the next complete record into *record (may point into *scratch).
+  /// Returns false at end of input.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extended record types for internal signalling.
+  enum { kEof = kMaxRecordType + 1, kBadRecord = kMaxRecordType + 2 };
+
+  unsigned int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  std::unique_ptr<char[]> backing_store_;
+  Slice buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace wal
+}  // namespace lsmlab
+
+#endif  // LSMLAB_WAL_LOG_READER_H_

@@ -1,0 +1,83 @@
+#include "wal/log_writer.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace lsmlab {
+namespace wal {
+
+Writer::Writer(WritableFile* dest) : dest_(dest) {}
+
+Status Writer::AddRecord(const Slice& record) {
+  const char* ptr = record.data();
+  size_t left = record.size();
+
+  Status s;
+  bool begin = true;
+  do {
+    const size_t leftover = kBlockSize - block_offset_;
+    assert(leftover >= 0);
+    if (leftover < kHeaderSize) {
+      // Not enough room for a header; pad the block with zeros.
+      if (leftover > 0) {
+        static const char kZeroes[kHeaderSize] = {0};
+        s = dest_->Append(Slice(kZeroes, leftover));
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment_length = (left < avail) ? left : avail;
+
+    RecordType type;
+    const bool end = (left == fragment_length);
+    if (begin && end) {
+      type = kFullType;
+    } else if (begin) {
+      type = kFirstType;
+    } else if (end) {
+      type = kLastType;
+    } else {
+      type = kMiddleType;
+    }
+
+    s = EmitPhysicalRecord(type, ptr, fragment_length);
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* ptr,
+                                  size_t length) {
+  assert(length <= 0xffff);
+  assert(block_offset_ + kHeaderSize + length <= kBlockSize);
+
+  char buf[kHeaderSize];
+  buf[4] = static_cast<char>(length & 0xff);
+  buf[5] = static_cast<char>(length >> 8);
+  buf[6] = static_cast<char>(type);
+
+  uint32_t crc = crc32c::Value(buf + 6, 1);  // cover the type byte
+  crc = crc32c::Extend(crc, ptr, length);
+  EncodeFixed32(buf, crc32c::Mask(crc));
+
+  Status s = dest_->Append(Slice(buf, kHeaderSize));
+  if (s.ok()) {
+    s = dest_->Append(Slice(ptr, length));
+    if (s.ok()) {
+      s = dest_->Flush();
+    }
+  }
+  block_offset_ += kHeaderSize + length;
+  return s;
+}
+
+}  // namespace wal
+}  // namespace lsmlab

@@ -1,0 +1,50 @@
+#ifndef LSMLAB_WAL_LOG_WRITER_H_
+#define LSMLAB_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "storage/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+namespace wal {
+
+// Records are framed into 32 KiB blocks; a record that does not fit is
+// split into FIRST/MIDDLE/LAST fragments. Frame header: masked CRC32C
+// (fixed32) | length (fixed16) | type (uint8). The same format carries the
+// write-ahead log and the manifest.
+enum RecordType : uint8_t {
+  kZeroType = 0,  // preallocated zeroed space
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+constexpr int kMaxRecordType = kLastType;
+constexpr size_t kBlockSize = 32768;
+constexpr size_t kHeaderSize = 4 + 2 + 1;
+
+/// Appends CRC-framed records to a WritableFile.
+class Writer {
+ public:
+  /// Does not take ownership of `dest`, which must remain open while the
+  /// Writer is in use.
+  explicit Writer(WritableFile* dest);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& record);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  size_t block_offset_ = 0;
+};
+
+}  // namespace wal
+}  // namespace lsmlab
+
+#endif  // LSMLAB_WAL_LOG_WRITER_H_

@@ -1,0 +1,150 @@
+#include "workload/keygen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace lsmlab {
+
+std::string EncodeKey(uint64_t v) {
+  std::string key(8, '\0');
+  for (int i = 0; i < 8; i++) {
+    key[i] = static_cast<char>((v >> (8 * (7 - i))) & 0xff);
+  }
+  return key;
+}
+
+uint64_t DecodeKey(const std::string& key) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < key.size(); i++) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(key[i]))
+         << (8 * (7 - i));
+  }
+  return v;
+}
+
+namespace {
+
+class UniformGenerator : public KeyGenerator {
+ public:
+  UniformGenerator(uint64_t domain, uint64_t seed)
+      : domain_(domain == 0 ? 1 : domain), rng_(seed) {}
+
+  uint64_t Next() override { return rng_.Uniform(domain_); }
+
+ private:
+  uint64_t domain_;
+  Random rng_;
+};
+
+class SequentialGenerator : public KeyGenerator {
+ public:
+  explicit SequentialGenerator(uint64_t start) : next_(start) {}
+  uint64_t Next() override { return next_++; }
+
+ private:
+  uint64_t next_;
+};
+
+/// YCSB-style Zipfian generator (Gray et al.'s algorithm with incremental
+/// zeta). Rank 0 is the hottest item; `scramble` hashes ranks onto the
+/// domain so hot keys are spread across the key space.
+class ZipfianGenerator : public KeyGenerator {
+ public:
+  ZipfianGenerator(uint64_t domain, double theta, uint64_t seed,
+                   bool scramble)
+      : n_(domain == 0 ? 1 : domain),
+        theta_(theta),
+        scramble_(scramble),
+        rng_(seed) {
+    zeta_n_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(n_), 1 - theta_)) /
+           (1 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next() override {
+    const double u = rng_.NextDouble();
+    const double uz = u * zeta_n_;
+    uint64_t rank;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+      rank = 1;
+    } else {
+      rank = static_cast<uint64_t>(
+          static_cast<double>(n_) *
+          std::pow(eta_ * u - eta_ + 1, alpha_));
+      if (rank >= n_) {
+        rank = n_ - 1;
+      }
+    }
+    if (!scramble_) {
+      return rank;
+    }
+    return Hash64(reinterpret_cast<const char*>(&rank), sizeof(rank),
+                  /*seed=*/0x5eed) %
+           n_;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact for small n, Euler-Maclaurin style approximation for large.
+    if (n <= 1'000'000) {
+      double sum = 0;
+      for (uint64_t i = 1; i <= n; i++) {
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      }
+      return sum;
+    }
+    const double n_d = static_cast<double>(n);
+    return (std::pow(n_d, 1 - theta) - 1) / (1 - theta) + 0.5 +
+           std::pow(n_d, -theta) / 2 + theta / 12.0;
+  }
+
+  uint64_t n_;
+  double theta_;
+  bool scramble_;
+  Random rng_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace
+
+std::unique_ptr<KeyGenerator> NewUniformGenerator(uint64_t domain,
+                                                  uint64_t seed) {
+  return std::make_unique<UniformGenerator>(domain, seed);
+}
+
+std::unique_ptr<KeyGenerator> NewSequentialGenerator(uint64_t start) {
+  return std::make_unique<SequentialGenerator>(start);
+}
+
+std::unique_ptr<KeyGenerator> NewZipfianGenerator(uint64_t domain,
+                                                  double theta, uint64_t seed,
+                                                  bool scramble) {
+  return std::make_unique<ZipfianGenerator>(domain, theta, seed, scramble);
+}
+
+std::vector<uint64_t> SortedUniqueKeys(size_t n, uint64_t domain,
+                                       uint64_t seed) {
+  Random rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n + n / 8);
+  while (keys.size() < n + n / 8) {
+    keys.push_back(rng.Uniform(domain));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  if (keys.size() > n) {
+    keys.resize(n);
+  }
+  return keys;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,44 @@
+#ifndef LSMLAB_WORKLOAD_KEYGEN_H_
+#define LSMLAB_WORKLOAD_KEYGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lsmlab {
+
+/// Encodes a uint64 as an 8-byte big-endian string: bytewise order equals
+/// numeric order, which every numeric filter/index in lsmlab relies on.
+std::string EncodeKey(uint64_t v);
+uint64_t DecodeKey(const std::string& key);
+
+/// Draws keys from a distribution over [0, domain).
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual uint64_t Next() = 0;
+};
+
+/// Uniform over [0, domain).
+std::unique_ptr<KeyGenerator> NewUniformGenerator(uint64_t domain,
+                                                  uint64_t seed);
+
+/// 0, 1, 2, ... (time-series style ingestion).
+std::unique_ptr<KeyGenerator> NewSequentialGenerator(uint64_t start = 0);
+
+/// Zipfian over [0, domain) with parameter `theta` (YCSB's generator with
+/// the scrambled-output option to decorrelate rank from key order).
+std::unique_ptr<KeyGenerator> NewZipfianGenerator(uint64_t domain,
+                                                  double theta, uint64_t seed,
+                                                  bool scramble = true);
+
+/// Convenience: n distinct uniform keys, sorted (bulk-load input).
+std::vector<uint64_t> SortedUniqueKeys(size_t n, uint64_t domain,
+                                       uint64_t seed);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_WORKLOAD_KEYGEN_H_

@@ -1,0 +1,62 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace lsmlab {
+
+std::string ValueForKey(const std::string& key, size_t value_bytes) {
+  std::string value;
+  value.reserve(value_bytes);
+  uint64_t h = Hash64(key.data(), key.size(), /*seed=*/77);
+  while (value.size() < value_bytes) {
+    h = Remix64(h);
+    const char* p = reinterpret_cast<const char*>(&h);
+    value.append(p, std::min<size_t>(8, value_bytes - value.size()));
+  }
+  return value;
+}
+
+std::vector<Op> GenerateWorkload(const WorkloadSpec& spec, size_t n) {
+  std::vector<Op> ops;
+  ops.reserve(n);
+
+  std::unique_ptr<KeyGenerator> gen;
+  if (spec.zipfian_theta > 0) {
+    gen = NewZipfianGenerator(spec.key_domain, spec.zipfian_theta, spec.seed);
+  } else {
+    gen = NewUniformGenerator(spec.key_domain, spec.seed);
+  }
+  Random rng(spec.seed ^ 0xabcdef);
+
+  const double total = spec.put_fraction + spec.get_fraction +
+                       spec.delete_fraction + spec.scan_fraction;
+  const double p_put = spec.put_fraction / total;
+  const double p_get = p_put + spec.get_fraction / total;
+  const double p_del = p_get + spec.delete_fraction / total;
+
+  for (size_t i = 0; i < n; i++) {
+    const double r = rng.NextDouble();
+    Op op;
+    const uint64_t k = gen->Next();
+    op.key = EncodeKey(k);
+    if (r < p_put) {
+      op.kind = Op::Kind::kPut;
+      op.value = ValueForKey(op.key, spec.value_bytes);
+    } else if (r < p_get) {
+      op.kind = Op::Kind::kGet;
+    } else if (r < p_del) {
+      op.kind = Op::Kind::kDelete;
+    } else {
+      op.kind = Op::Kind::kScan;
+      op.end_key = EncodeKey(std::min(k + spec.scan_width,
+                                      spec.key_domain - 1));
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace lsmlab

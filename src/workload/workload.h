@@ -1,0 +1,45 @@
+#ifndef LSMLAB_WORKLOAD_WORKLOAD_H_
+#define LSMLAB_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/keygen.h"
+
+namespace lsmlab {
+
+/// One operation of a generated workload trace.
+struct Op {
+  enum class Kind { kPut, kGet, kDelete, kScan };
+  Kind kind = Kind::kPut;
+  std::string key;
+  std::string value;    // puts
+  std::string end_key;  // scans
+};
+
+/// Parameters of a synthetic workload (the substitution for production
+/// traces; DESIGN.md §4). Fractions need not sum to 1 — they are
+/// normalized.
+struct WorkloadSpec {
+  uint64_t key_domain = 1'000'000;
+  size_t value_bytes = 64;
+  double put_fraction = 0.5;
+  double get_fraction = 0.5;
+  double delete_fraction = 0.0;
+  double scan_fraction = 0.0;
+  uint64_t scan_width = 100;  ///< keys per scan range
+  /// 0 = uniform; otherwise Zipfian theta (0.99 ~ YCSB default skew).
+  double zipfian_theta = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates `n` operations from the spec.
+std::vector<Op> GenerateWorkload(const WorkloadSpec& spec, size_t n);
+
+/// Deterministic value payload for a key (self-verifying workloads).
+std::string ValueForKey(const std::string& key, size_t value_bytes);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_WORKLOAD_WORKLOAD_H_

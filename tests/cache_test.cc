@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/block_cache.h"
+#include "cache/lru_cache.h"
+#include "format/block.h"
+#include "format/block_builder.h"
+
+namespace lsmlab {
+namespace {
+
+// ------------------------------------------------------------ LruCache --
+
+class LruCacheTest : public ::testing::Test {
+ protected:
+  LruCacheTest() : cache_(1000, /*num_shards=*/1) {}
+
+  /// Inserts key -> heap int; tracks deletions in deleted_.
+  LruCache::Handle* Insert(const std::string& key, int value,
+                           size_t charge = 100) {
+    int* v = new int(value);
+    return cache_.Insert(
+        key, v, charge, [this](const Slice& k, void* p) {
+          deleted_.push_back(k.ToString());
+          delete static_cast<int*>(p);
+        });
+  }
+
+  int Get(const std::string& key) {
+    LruCache::Handle* h = cache_.Lookup(key);
+    if (h == nullptr) {
+      return -1;
+    }
+    const int v = *static_cast<int*>(cache_.Value(h));
+    cache_.Release(h);
+    return v;
+  }
+
+  // Declared before cache_ so it outlives the deleters cache_'s destructor
+  // runs.
+  std::vector<std::string> deleted_;
+  LruCache cache_;
+};
+
+TEST_F(LruCacheTest, InsertLookup) {
+  cache_.Release(Insert("a", 1));
+  cache_.Release(Insert("b", 2));
+  EXPECT_EQ(Get("a"), 1);
+  EXPECT_EQ(Get("b"), 2);
+  EXPECT_EQ(Get("c"), -1);
+}
+
+TEST_F(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // Capacity 1000, charge 100 -> 10 entries fit.
+  for (int i = 0; i < 10; i++) {
+    cache_.Release(Insert("k" + std::to_string(i), i));
+  }
+  // Touch k0 so it is hot; k1 becomes the coldest.
+  EXPECT_EQ(Get("k0"), 0);
+  cache_.Release(Insert("new", 99));
+  EXPECT_EQ(Get("k1"), -1);  // evicted
+  EXPECT_EQ(Get("k0"), 0);   // survived
+  EXPECT_EQ(Get("new"), 99);
+}
+
+TEST_F(LruCacheTest, PinnedEntriesSurviveEviction) {
+  LruCache::Handle* pinned = Insert("pinned", 7);
+  for (int i = 0; i < 20; i++) {
+    cache_.Release(Insert("filler" + std::to_string(i), i));
+  }
+  // Entry left the table but the value is still alive via our pin.
+  EXPECT_EQ(*static_cast<int*>(cache_.Value(pinned)), 7);
+  EXPECT_TRUE(deleted_.empty() ||
+              std::find(deleted_.begin(), deleted_.end(), "pinned") ==
+                  deleted_.end());
+  cache_.Release(pinned);
+}
+
+TEST_F(LruCacheTest, EraseRemovesEntry) {
+  cache_.Release(Insert("gone", 1));
+  cache_.Erase("gone");
+  EXPECT_EQ(Get("gone"), -1);
+  EXPECT_EQ(deleted_.size(), 1u);
+}
+
+TEST_F(LruCacheTest, DuplicateInsertDisplacesOld) {
+  cache_.Release(Insert("dup", 1));
+  cache_.Release(Insert("dup", 2));
+  EXPECT_EQ(Get("dup"), 2);
+  ASSERT_EQ(deleted_.size(), 1u);
+}
+
+TEST_F(LruCacheTest, PruneDropsEverythingUnpinned) {
+  for (int i = 0; i < 5; i++) {
+    cache_.Release(Insert("p" + std::to_string(i), i));
+  }
+  cache_.Prune();
+  EXPECT_EQ(cache_.TotalCharge(), 0u);
+  EXPECT_EQ(Get("p0"), -1);
+}
+
+TEST_F(LruCacheTest, StatsCountHitsAndMisses) {
+  cache_.Release(Insert("x", 1));
+  Get("x");
+  Get("x");
+  Get("missing");
+  const auto stats = cache_.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST_F(LruCacheTest, TotalChargeTracksUsage) {
+  cache_.Release(Insert("a", 1, 300));
+  cache_.Release(Insert("b", 2, 400));
+  EXPECT_EQ(cache_.TotalCharge(), 700u);
+  cache_.Erase("a");
+  EXPECT_EQ(cache_.TotalCharge(), 400u);
+}
+
+TEST(LruCacheShardedTest, KeysSpreadAcrossShards) {
+  LruCache cache(4000, /*num_shards=*/4);
+  for (int i = 0; i < 100; i++) {
+    auto* h = cache.Insert(
+        "key" + std::to_string(i), new int(i), 10,
+        [](const Slice&, void* p) { delete static_cast<int*>(p); });
+    cache.Release(h);
+  }
+  int found = 0;
+  for (int i = 0; i < 100; i++) {
+    auto* h = cache.Lookup("key" + std::to_string(i));
+    if (h != nullptr) {
+      found++;
+      cache.Release(h);
+    }
+  }
+  EXPECT_EQ(found, 100);
+}
+
+// ---------------------------------------------------------- BlockCache --
+
+std::unique_ptr<const Block> MakeBlock(int tag) {
+  TableOptions opts;
+  BlockBuilder builder(&opts);
+  builder.Add("key" + std::to_string(tag), "value");
+  Slice raw = builder.Finish();
+  BlockContents contents;
+  contents.owned = raw.ToString();
+  contents.data = Slice(contents.owned);
+  contents.heap_allocated = true;
+  return std::make_unique<const Block>(std::move(contents));
+}
+
+TEST(BlockCacheTest, InsertLookupByFileAndOffset) {
+  BlockCache cache(1 << 20);
+  {
+    auto ref = cache.Insert(5, 4096, MakeBlock(1));
+    EXPECT_TRUE(static_cast<bool>(ref));
+  }
+  auto hit = cache.Lookup(5, 4096);
+  EXPECT_TRUE(static_cast<bool>(hit));
+  auto miss_offset = cache.Lookup(5, 8192);
+  EXPECT_FALSE(static_cast<bool>(miss_offset));
+  auto miss_file = cache.Lookup(6, 4096);
+  EXPECT_FALSE(static_cast<bool>(miss_file));
+}
+
+TEST(BlockCacheTest, TracksPerFileHotness) {
+  BlockCache cache(1 << 20);
+  cache.Insert(1, 0, MakeBlock(1));
+  cache.Insert(2, 0, MakeBlock(2));
+  for (int i = 0; i < 5; i++) {
+    cache.Lookup(1, 0);
+  }
+  cache.Lookup(2, 0);
+  EXPECT_EQ(cache.FileAccesses(1), 5u);
+  EXPECT_EQ(cache.FileAccesses(2), 1u);
+  EXPECT_EQ(cache.FileAccesses(3), 0u);
+  cache.ResetStats();
+  EXPECT_EQ(cache.FileAccesses(1), 0u);
+}
+
+TEST(BlockCacheTest, RefKeepsBlockAliveAcrossEviction) {
+  BlockCache cache(1000);  // tiny: every insert evicts the previous
+  auto ref = cache.Insert(1, 0, MakeBlock(1));
+  for (uint64_t i = 1; i < 20; i++) {
+    cache.Insert(1, i * 4096, MakeBlock(static_cast<int>(i)));
+  }
+  // Our pinned block is still valid.
+  ASSERT_TRUE(static_cast<bool>(ref));
+  std::unique_ptr<Iterator> it(
+      ref.block()->NewIterator(BytewiseComparator()));
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "key1");
+}
+
+}  // namespace
+}  // namespace lsmlab

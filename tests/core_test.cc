@@ -1,0 +1,333 @@
+// Unit tests for the core internals: internal-key format, write batches,
+// version edits, file naming, and the iterator stack.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/db_iter.h"
+#include "core/dbformat.h"
+#include "core/filename.h"
+#include "core/merging_iterator.h"
+#include "core/version.h"
+#include "core/write_batch.h"
+
+namespace lsmlab {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq,
+                 ValueType type = ValueType::kTypeValue) {
+  std::string result;
+  AppendInternalKey(&result, user_key, seq, type);
+  return result;
+}
+
+// ------------------------------------------------------------- dbformat --
+
+TEST(DbFormatTest, EncodeDecodeRoundtrip) {
+  const std::string ikey = IKey("hello", 42, ValueType::kTypeDeletion);
+  EXPECT_EQ(ExtractUserKey(ikey).ToString(), "hello");
+  EXPECT_EQ(ExtractSequence(ikey), 42u);
+  EXPECT_EQ(ExtractValueType(ikey), ValueType::kTypeDeletion);
+}
+
+TEST(DbFormatTest, InternalOrderNewestFirst) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  // Same user key: larger sequence sorts FIRST.
+  EXPECT_LT(icmp.Compare(IKey("a", 5), IKey("a", 3)), 0);
+  // Type breaks ties: value sorts before deletion at equal seq.
+  EXPECT_LT(icmp.Compare(IKey("a", 5, ValueType::kTypeValue),
+                         IKey("a", 5, ValueType::kTypeDeletion)),
+            0);
+  // Different user keys: user order dominates.
+  EXPECT_LT(icmp.Compare(IKey("a", 1), IKey("b", 100)), 0);
+}
+
+TEST(DbFormatTest, LookupKeySortsBeforeVisibleVersions) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  LookupKey lkey("k", 10);
+  // Versions visible at snapshot 10 (seq <= 10) sort at-or-after the
+  // lookup key, so a forward seek lands on the newest visible one.
+  EXPECT_LE(icmp.Compare(lkey.internal_key(), IKey("k", 10)), 0);
+  EXPECT_LT(icmp.Compare(lkey.internal_key(), IKey("k", 9)), 0);
+  EXPECT_LT(icmp.Compare(lkey.internal_key(), IKey("k", 1)), 0);
+  // Newer versions sort before it (skipped by a forward seek).
+  EXPECT_GT(icmp.Compare(lkey.internal_key(), IKey("k", 11)), 0);
+}
+
+TEST(DbFormatTest, SeparatorStaysBetweenAndKeepsUserKeyShort) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  std::string start = IKey("abcdefgh", 7);
+  const std::string limit = IKey("abzz", 3);
+  std::string sep = start;
+  icmp.FindShortestSeparator(&sep, limit);
+  EXPECT_LE(icmp.Compare(start, sep), 0);
+  EXPECT_LT(icmp.Compare(sep, limit), 0);
+  EXPECT_LE(sep.size(), start.size());
+}
+
+TEST(DbFormatTest, SeparatorUnchangedForSameUserKey) {
+  // Versions of one user key cannot be separated; the key must remain
+  // exactly (or the fence would corrupt version visibility).
+  InternalKeyComparator icmp(BytewiseComparator());
+  std::string start = IKey("samekey", 9);
+  const std::string orig = start;
+  icmp.FindShortestSeparator(&start, IKey("samekey", 2));
+  EXPECT_EQ(start, orig);
+}
+
+// ----------------------------------------------------------- WriteBatch --
+
+TEST(WriteBatchTest, CountAndSequence) {
+  WriteBatch batch;
+  EXPECT_EQ(batch.Count(), 0u);
+  batch.Put("a", "1");
+  batch.Delete("b");
+  batch.Put("c", "3");
+  EXPECT_EQ(batch.Count(), 3u);
+  batch.set_sequence(100);
+  EXPECT_EQ(batch.sequence(), 100u);
+}
+
+TEST(WriteBatchTest, IterateReplaysInOrder) {
+  WriteBatch batch;
+  batch.Put("k1", "v1");
+  batch.Delete("k2");
+  batch.Put("k3", "v3");
+
+  struct Collector : public WriteBatch::Handler {
+    std::vector<std::string> ops;
+    void Put(const Slice& k, const Slice& v) override {
+      ops.push_back("put:" + k.ToString() + "=" + v.ToString());
+    }
+    void Delete(const Slice& k) override {
+      ops.push_back("del:" + k.ToString());
+    }
+  } collector;
+  ASSERT_TRUE(batch.Iterate(&collector).ok());
+  ASSERT_EQ(collector.ops.size(), 3u);
+  EXPECT_EQ(collector.ops[0], "put:k1=v1");
+  EXPECT_EQ(collector.ops[1], "del:k2");
+  EXPECT_EQ(collector.ops[2], "put:k3=v3");
+}
+
+TEST(WriteBatchTest, ContentsRoundtripThroughWalRecord) {
+  WriteBatch a;
+  a.Put("key", std::string(1000, 'v'));
+  a.set_sequence(7);
+  WriteBatch b;
+  b.SetContentsFrom(a.Contents());
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_EQ(b.sequence(), 7u);
+}
+
+TEST(WriteBatchTest, CorruptContentsRejected) {
+  WriteBatch batch;
+  batch.SetContentsFrom(Slice("\x01\x02\x03"));  // too short: reset
+  EXPECT_EQ(batch.Count(), 0u);
+
+  // Valid header, garbage body.
+  std::string bad(12, '\0');
+  bad[8] = 2;  // count = 2 but no ops follow
+  batch.SetContentsFrom(bad);
+  struct Nop : public WriteBatch::Handler {
+    void Put(const Slice&, const Slice&) override {}
+    void Delete(const Slice&) override {}
+  } nop;
+  EXPECT_TRUE(batch.Iterate(&nop).IsCorruption());
+}
+
+// ---------------------------------------------------------- VersionEdit --
+
+TEST(VersionEditTest, EncodeDecodeRoundtrip) {
+  VersionEdit edit;
+  edit.SetComparatorName("lsmlab.BytewiseComparator");
+  edit.SetLogNumber(12);
+  edit.SetNextFileNumber(34);
+  edit.SetLastSequence(56);
+  edit.SetNextRunSeq(78);
+  FileMetaData meta;
+  meta.number = 9;
+  meta.file_size = 1024;
+  meta.run_seq = 3;
+  meta.smallest = IKey("aaa", 5);
+  meta.largest = IKey("zzz", 2);
+  edit.AddFile(2, meta);
+  edit.RemoveFile(1, 4);
+
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(Slice(encoded)).ok());
+
+  std::string re_encoded;
+  decoded.EncodeTo(&re_encoded);
+  EXPECT_EQ(encoded, re_encoded);
+}
+
+TEST(VersionEditTest, RejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\xff\xff\xff garbage")).ok());
+}
+
+// ------------------------------------------------------------ Filenames --
+
+TEST(FilenameTest, RoundtripAllTypes) {
+  struct Case {
+    std::string name;
+    uint64_t number;
+    FileType type;
+  } cases[] = {
+      {"000007.sst", 7, FileType::kTableFile},
+      {"000042.wal", 42, FileType::kWalFile},
+      {"MANIFEST-000003", 3, FileType::kManifestFile},
+      {"CURRENT", 0, FileType::kCurrentFile},
+  };
+  for (const auto& c : cases) {
+    uint64_t number;
+    FileType type;
+    ASSERT_TRUE(ParseFileName(c.name, &number, &type)) << c.name;
+    EXPECT_EQ(number, c.number);
+    EXPECT_EQ(static_cast<int>(type), static_cast<int>(c.type));
+  }
+  EXPECT_EQ(TableFileName("/db", 7), "/db/000007.sst");
+  EXPECT_EQ(WalFileName("/db", 42), "/db/000042.wal");
+}
+
+TEST(FilenameTest, RejectsForeignNames) {
+  uint64_t number;
+  FileType type;
+  EXPECT_FALSE(ParseFileName("LOCK", &number, &type));
+  EXPECT_FALSE(ParseFileName("123.tmp", &number, &type));
+  EXPECT_FALSE(ParseFileName("abc.sst", &number, &type));
+  EXPECT_FALSE(ParseFileName("", &number, &type));
+}
+
+// ---------------------------------------------- Merging iterator + DBIter --
+
+/// In-memory iterator over a sorted vector of (internal key, value).
+class VectorIterator : public Iterator {
+ public:
+  explicit VectorIterator(
+      std::vector<std::pair<std::string, std::string>> data)
+      : data_(std::move(data)), pos_(data_.size()) {}
+
+  bool Valid() const override { return pos_ < data_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void SeekToLast() override {
+    pos_ = data_.empty() ? 0 : data_.size() - 1;
+    if (data_.empty()) pos_ = data_.size();
+  }
+  void Seek(const Slice& target) override {
+    InternalKeyComparator icmp(BytewiseComparator());
+    pos_ = 0;
+    while (pos_ < data_.size() &&
+           icmp.Compare(Slice(data_[pos_].first), target) < 0) {
+      pos_++;
+    }
+  }
+  void Next() override { pos_++; }
+  void Prev() override { pos_ = pos_ == 0 ? data_.size() : pos_ - 1; }
+  Slice key() const override { return Slice(data_[pos_].first); }
+  Slice value() const override { return Slice(data_[pos_].second); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> data_;
+  size_t pos_;
+};
+
+TEST(MergingIteratorTest, InterleavesRuns) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  auto* a = new VectorIterator({{IKey("a", 1), "1"}, {IKey("c", 1), "3"}});
+  auto* b = new VectorIterator({{IKey("b", 1), "2"}, {IKey("d", 1), "4"}});
+  Iterator* children[] = {a, b};
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(&icmp, children, 2));
+  std::string order;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    order += merged->value().ToString();
+  }
+  EXPECT_EQ(order, "1234");
+  // Backward.
+  order.clear();
+  for (merged->SeekToLast(); merged->Valid(); merged->Prev()) {
+    order += merged->value().ToString();
+  }
+  EXPECT_EQ(order, "4321");
+}
+
+TEST(DBIterTest, NewestVisibleVersionWins) {
+  auto* data = new VectorIterator({
+      {IKey("k", 3), "newest"},
+      {IKey("k", 2), "middle"},
+      {IKey("k", 1), "oldest"},
+  });
+  std::unique_ptr<Iterator> it(
+      NewDBIterator(BytewiseComparator(), data, /*sequence=*/2));
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "k");
+  EXPECT_EQ(it->value().ToString(), "middle");  // seq 3 invisible at snap 2
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(DBIterTest, TombstoneHidesOlderVersions) {
+  auto* data = new VectorIterator({
+      {IKey("a", 5), "live"},
+      {IKey("b", 4, ValueType::kTypeDeletion), ""},
+      {IKey("b", 3), "dead"},
+      {IKey("c", 2), "live2"},
+  });
+  std::unique_ptr<Iterator> it(
+      NewDBIterator(BytewiseComparator(), data, kMaxSequenceNumber));
+  std::string seen;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    seen += it->key().ToString();
+  }
+  EXPECT_EQ(seen, "ac");
+}
+
+TEST(DBIterTest, SeekSkipsInvisibleAndDeleted) {
+  auto* data = new VectorIterator({
+      {IKey("a", 9), "too-new"},
+      {IKey("b", 2, ValueType::kTypeDeletion), ""},
+      {IKey("b", 1), "dead"},
+      {IKey("c", 2), "target"},
+  });
+  std::unique_ptr<Iterator> it(
+      NewDBIterator(BytewiseComparator(), data, /*sequence=*/5));
+  it->Seek("a");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "c");  // a invisible, b deleted
+  EXPECT_EQ(it->value().ToString(), "target");
+}
+
+TEST(DBIterTest, PrevFromForwardPosition) {
+  auto* data = new VectorIterator({
+      {IKey("a", 1), "1"},
+      {IKey("b", 2), "2-new"},
+      {IKey("b", 1), "2-old"},
+      {IKey("c", 1), "3"},
+  });
+  std::unique_ptr<Iterator> it(
+      NewDBIterator(BytewiseComparator(), data, kMaxSequenceNumber));
+  it->Seek("c");
+  ASSERT_TRUE(it->Valid());
+  it->Prev();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "b");
+  EXPECT_EQ(it->value().ToString(), "2-new");  // newest version, not oldest
+  it->Prev();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "a");
+  it->Prev();
+  EXPECT_FALSE(it->Valid());
+}
+
+}  // namespace
+}  // namespace lsmlab

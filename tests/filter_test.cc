@@ -1,0 +1,269 @@
+#include "filter/filter_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+#include "workload/keygen.h"
+
+namespace lsmlab {
+namespace {
+
+struct FilterCase {
+  std::string name;
+  std::function<const FilterPolicy*()> make;
+  double max_fpr;  // tolerated FPR at the configured budget
+};
+
+class FilterPolicyTest : public ::testing::TestWithParam<FilterCase> {
+ protected:
+  void SetUp() override { policy_.reset(GetParam().make()); }
+
+  /// Builds a filter over n keys derived from index -> EncodeKey(i * 2).
+  std::string BuildFilter(size_t n) {
+    keys_.clear();
+    key_slices_.clear();
+    for (size_t i = 0; i < n; i++) {
+      keys_.push_back(EncodeKey(i * 2));  // even keys present
+    }
+    for (const auto& k : keys_) {
+      key_slices_.emplace_back(k);
+    }
+    std::string filter;
+    policy_->CreateFilter(key_slices_.data(), key_slices_.size(), &filter);
+    return filter;
+  }
+
+  std::unique_ptr<const FilterPolicy> policy_;
+  std::vector<std::string> keys_;
+  std::vector<Slice> key_slices_;
+};
+
+TEST_P(FilterPolicyTest, NoFalseNegatives) {
+  const std::string filter = BuildFilter(10000);
+  for (const auto& k : keys_) {
+    EXPECT_TRUE(policy_->KeyMayMatch(k, filter)) << GetParam().name;
+  }
+}
+
+TEST_P(FilterPolicyTest, FalsePositiveRateWithinBound) {
+  const std::string filter = BuildFilter(10000);
+  size_t false_positives = 0;
+  const size_t probes = 10000;
+  for (size_t i = 0; i < probes; i++) {
+    const std::string absent = EncodeKey(i * 2 + 1);  // odd keys absent
+    if (policy_->KeyMayMatch(absent, filter)) {
+      false_positives++;
+    }
+  }
+  const double fpr = static_cast<double>(false_positives) / probes;
+  EXPECT_LE(fpr, GetParam().max_fpr) << GetParam().name;
+}
+
+TEST_P(FilterPolicyTest, HashProbeAgreesWithKeyProbe) {
+  if (!policy_->SupportsHashProbe()) {
+    GTEST_SKIP();
+  }
+  const std::string filter = BuildFilter(5000);
+  for (size_t i = 0; i < 2000; i++) {
+    const std::string key = EncodeKey(i * 3);
+    EXPECT_EQ(policy_->KeyMayMatch(key, filter),
+              policy_->HashMayMatch(Hash64(Slice(key)), filter))
+        << GetParam().name << " key " << i;
+  }
+}
+
+TEST_P(FilterPolicyTest, EmptyFilterNeverRejects) {
+  std::string empty;
+  policy_->CreateFilter(nullptr, 0, &empty);
+  EXPECT_TRUE(policy_->KeyMayMatch("anything", empty));
+}
+
+TEST_P(FilterPolicyTest, GarbageFilterNeverRejects) {
+  // Malformed filter data must degrade to always-maybe, never crash or
+  // reject.
+  const std::string garbage = "\x01\x02\x03";
+  EXPECT_TRUE(policy_->KeyMayMatch("key", garbage));
+  EXPECT_TRUE(policy_->KeyMayMatch("key", ""));
+}
+
+TEST_P(FilterPolicyTest, SingleKeyFilter) {
+  Slice one("only");
+  std::string filter;
+  policy_->CreateFilter(&one, 1, &filter);
+  EXPECT_TRUE(policy_->KeyMayMatch("only", filter));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, FilterPolicyTest,
+    ::testing::Values(
+        FilterCase{"Bloom10", [] { return NewBloomFilterPolicy(10); }, 0.03},
+        FilterCase{"Bloom16", [] { return NewBloomFilterPolicy(16); }, 0.002},
+        FilterCase{"Blocked10",
+                   [] { return NewBlockedBloomFilterPolicy(10); }, 0.05},
+        FilterCase{"Cuckoo12", [] { return NewCuckooFilterPolicy(12); },
+                   0.01},
+        FilterCase{"Ribbon10", [] { return NewRibbonFilterPolicy(10); },
+                   0.01},
+        FilterCase{"Elastic4of4",
+                   [] { return NewElasticBloomFilterPolicy(12, 4, 4); },
+                   0.05}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      return info.param.name;
+    });
+
+// --- Implementation-specific behaviours -----------------------------------
+
+TEST(BloomFilterTest, FprFallsWithBits) {
+  // The core E3 relationship: each added bit/key cuts FPR ~x0.6.
+  double last_fpr = 1.0;
+  for (double bits : {2.0, 4.0, 8.0, 12.0}) {
+    std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(bits));
+    std::vector<std::string> keys;
+    std::vector<Slice> slices;
+    for (int i = 0; i < 20000; i++) {
+      keys.push_back(EncodeKey(i * 2));
+    }
+    for (const auto& k : keys) {
+      slices.emplace_back(k);
+    }
+    std::string filter;
+    policy->CreateFilter(slices.data(), slices.size(), &filter);
+    int fp = 0;
+    for (int i = 0; i < 20000; i++) {
+      if (policy->KeyMayMatch(EncodeKey(i * 2 + 1), filter)) {
+        fp++;
+      }
+    }
+    const double fpr = fp / 20000.0;
+    EXPECT_LT(fpr, last_fpr);
+    last_fpr = fpr;
+  }
+  EXPECT_LT(last_fpr, 0.01);
+}
+
+TEST(BloomFilterTest, ZeroBitsMeansNoFilter) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(0));
+  Slice key("k");
+  std::string filter;
+  policy->CreateFilter(&key, 1, &filter);
+  EXPECT_TRUE(filter.empty());
+  EXPECT_TRUE(policy->KeyMayMatch("anything", filter));
+}
+
+TEST(BloomFilterTest, SizeMatchesBudget) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 10000; i++) {
+    keys.push_back(EncodeKey(i));
+  }
+  for (const auto& k : keys) {
+    slices.emplace_back(k);
+  }
+  std::string filter;
+  policy->CreateFilter(slices.data(), slices.size(), &filter);
+  // ~10 bits/key plus the 5-byte trailer.
+  EXPECT_NEAR(filter.size(), 10000 * 10 / 8 + 5, 16);
+}
+
+TEST(RibbonFilterTest, SmallerThanBloomAtEqualFpr) {
+  // The headline ribbon claim (tutorial §II-2): ~30% space saving.
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 50000; i++) {
+    keys.push_back(EncodeKey(i * 2));
+  }
+  for (const auto& k : keys) {
+    slices.emplace_back(k);
+  }
+
+  auto measure = [&](const FilterPolicy* p, std::string* filter) {
+    filter->clear();
+    p->CreateFilter(slices.data(), slices.size(), filter);
+    int fp = 0;
+    for (int i = 0; i < 20000; i++) {
+      if (p->KeyMayMatch(EncodeKey(i * 2 + 1), *filter)) {
+        fp++;
+      }
+    }
+    return fp / 20000.0;
+  };
+
+  std::unique_ptr<const FilterPolicy> bloom(NewBloomFilterPolicy(10));
+  std::unique_ptr<const FilterPolicy> ribbon(NewRibbonFilterPolicy(8));
+  std::string bloom_data, ribbon_data;
+  const double bloom_fpr = measure(bloom.get(), &bloom_data);
+  const double ribbon_fpr = measure(ribbon.get(), &ribbon_data);
+  // Ribbon at 8 bits/key should be at most as large as Bloom at 10 while
+  // keeping a comparable FPR.
+  EXPECT_LT(ribbon_data.size(), bloom_data.size());
+  EXPECT_LT(ribbon_fpr, bloom_fpr * 4 + 0.02);
+}
+
+TEST(CuckooFilterTest, HandlesManyKeysWithoutSaturation) {
+  std::unique_ptr<const FilterPolicy> policy(NewCuckooFilterPolicy(12));
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 100000; i++) {
+    keys.push_back(EncodeKey(i));
+  }
+  for (const auto& k : keys) {
+    slices.emplace_back(k);
+  }
+  std::string filter;
+  policy->CreateFilter(slices.data(), slices.size(), &filter);
+  // All keys present => not saturated (saturation would make this trivially
+  // true, so also check an absent key gets rejected).
+  for (int i = 0; i < 100000; i += 997) {
+    EXPECT_TRUE(policy->KeyMayMatch(EncodeKey(i), filter));
+  }
+  int rejected = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (!policy->KeyMayMatch(EncodeKey(1'000'000 + i), filter)) {
+      rejected++;
+    }
+  }
+  EXPECT_GT(rejected, 950);
+}
+
+TEST(ElasticFilterTest, FewerUnitsMeansHigherFprLowerProbeCost) {
+  // ElasticBF's tradeoff: probing fewer units raises FPR.
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 20000; i++) {
+    keys.push_back(EncodeKey(i * 2));
+  }
+  for (const auto& k : keys) {
+    slices.emplace_back(k);
+  }
+  std::unique_ptr<const FilterPolicy> builder(
+      NewElasticBloomFilterPolicy(16, 4, 4));
+  std::string filter;
+  builder->CreateFilter(slices.data(), slices.size(), &filter);
+
+  double fpr_by_units[5] = {1.0};
+  for (int units = 1; units <= 4; units++) {
+    std::unique_ptr<const FilterPolicy> prober(
+        NewElasticBloomFilterPolicy(16, 4, units));
+    int fp = 0;
+    for (int i = 0; i < 10000; i++) {
+      if (prober->KeyMayMatch(EncodeKey(i * 2 + 1), filter)) {
+        fp++;
+      }
+    }
+    fpr_by_units[units] = fp / 10000.0;
+    // Never a false negative regardless of enabled units.
+    for (int i = 0; i < 1000; i++) {
+      EXPECT_TRUE(prober->KeyMayMatch(EncodeKey(i * 2), filter));
+    }
+  }
+  EXPECT_GT(fpr_by_units[1], fpr_by_units[4]);
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,216 @@
+// Deterministic fuzzing of every parser that consumes untrusted bytes:
+// corrupt storage must surface as Status::Corruption (or a safe
+// always-maybe for filters) — never a crash, hang, or out-of-bounds read.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/version.h"
+#include "core/write_batch.h"
+#include "filter/filter_policy.h"
+#include "format/block.h"
+#include "format/format.h"
+#include "format/sstable_reader.h"
+#include "rangefilter/range_filter.h"
+#include "storage/env.h"
+#include "util/random.h"
+#include "wal/log_reader.h"
+#include "workload/keygen.h"
+
+namespace lsmlab {
+namespace {
+
+/// Random byte strings: empty, short, block-sized, with long runs and
+/// varint-looking patterns.
+std::vector<std::string> FuzzInputs(uint64_t seed, int count) {
+  Random rng(seed);
+  std::vector<std::string> inputs;
+  inputs.push_back("");
+  inputs.push_back(std::string(1, '\x00'));
+  inputs.push_back(std::string(1, '\xff'));
+  inputs.push_back(std::string(4096, '\x00'));
+  inputs.push_back(std::string(4096, '\xff'));
+  for (int i = 0; i < count; i++) {
+    const size_t len = rng.Uniform(2048) + 1;
+    std::string s;
+    s.reserve(len);
+    for (size_t j = 0; j < len; j++) {
+      // Mix uniform bytes with varint-continuation-heavy bytes.
+      s.push_back(rng.OneIn(3)
+                      ? static_cast<char>(0x80 | rng.Uniform(128))
+                      : static_cast<char>(rng.Uniform(256)));
+    }
+    inputs.push_back(std::move(s));
+  }
+  return inputs;
+}
+
+TEST(FuzzTest, BlockParserNeverCrashes) {
+  for (const std::string& input : FuzzInputs(1, 300)) {
+    BlockContents contents;
+    contents.owned = input;
+    contents.data = Slice(contents.owned);
+    contents.heap_allocated = true;
+    Block block(std::move(contents));
+    std::unique_ptr<Iterator> it(block.NewIterator(BytewiseComparator()));
+    it->SeekToFirst();
+    int steps = 0;
+    while (it->Valid() && steps++ < 10000) {
+      it->key();
+      it->value();
+      it->Next();
+    }
+    it->Seek("probe");
+    uint32_t restart;
+    block.HashLookup(0x12345678, &restart);
+  }
+}
+
+TEST(FuzzTest, FooterParserNeverCrashes) {
+  for (const std::string& input : FuzzInputs(2, 300)) {
+    Footer footer;
+    Slice in(input);
+    footer.DecodeFrom(&in);  // status only; must not crash
+  }
+}
+
+TEST(FuzzTest, VersionEditParserNeverCrashes) {
+  for (const std::string& input : FuzzInputs(3, 300)) {
+    VersionEdit edit;
+    edit.DecodeFrom(Slice(input));
+  }
+}
+
+TEST(FuzzTest, WriteBatchIterateNeverCrashes) {
+  struct Nop : public WriteBatch::Handler {
+    void Put(const Slice&, const Slice&) override {}
+    void Delete(const Slice&) override {}
+  } nop;
+  for (const std::string& input : FuzzInputs(4, 300)) {
+    WriteBatch batch;
+    batch.SetContentsFrom(Slice(input));
+    batch.Iterate(&nop);
+  }
+}
+
+TEST(FuzzTest, WalReaderNeverCrashes) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  int index = 0;
+  for (const std::string& input : FuzzInputs(5, 100)) {
+    const std::string fname = "/wal" + std::to_string(index++);
+    ASSERT_TRUE(WriteStringToFile(env.get(), input, fname).ok());
+    std::unique_ptr<SequentialFile> file;
+    ASSERT_TRUE(env->NewSequentialFile(fname, &file).ok());
+    wal::Reader reader(file.get(), nullptr);
+    Slice record;
+    std::string scratch;
+    int records = 0;
+    while (reader.ReadRecord(&record, &scratch) && records++ < 10000) {
+    }
+  }
+}
+
+TEST(FuzzTest, PointFiltersNeverRejectOnGarbage) {
+  std::vector<std::unique_ptr<const FilterPolicy>> policies;
+  policies.emplace_back(NewBloomFilterPolicy(10));
+  policies.emplace_back(NewBlockedBloomFilterPolicy(10));
+  policies.emplace_back(NewCuckooFilterPolicy(12));
+  policies.emplace_back(NewRibbonFilterPolicy(10));
+  policies.emplace_back(NewElasticBloomFilterPolicy(12, 4, 2));
+  for (const auto& policy : policies) {
+    for (const std::string& garbage : FuzzInputs(6, 60)) {
+      // Garbage filters must never *incorrectly* reject: a structurally
+      // invalid filter has to answer maybe. (A structurally valid-looking
+      // one may legitimately reject, so only require no crash there; the
+      // size checks make accidental validity astronomically rare.)
+      policy->KeyMayMatch("some key", garbage);
+      policy->HashMayMatch(0xdeadbeef12345678ull, garbage);
+    }
+  }
+}
+
+TEST(FuzzTest, RangeFiltersNeverCrashOnGarbage) {
+  std::vector<std::unique_ptr<const RangeFilterPolicy>> policies;
+  policies.emplace_back(NewPrefixBloomRangeFilter(6, 10));
+  policies.emplace_back(NewSurfRangeFilter(8));
+  policies.emplace_back(NewRosettaRangeFilter(20, 24));
+  policies.emplace_back(NewSnarfRangeFilter(10));
+  for (const auto& policy : policies) {
+    for (const std::string& garbage : FuzzInputs(7, 60)) {
+      policy->KeyMayMatch(EncodeKey(42), garbage);
+      policy->RangeMayMatch(EncodeKey(10), EncodeKey(99), garbage);
+    }
+  }
+}
+
+TEST(FuzzTest, TableOpenRejectsGarbageFiles) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  TableOptions opts;
+  int index = 0;
+  for (const std::string& input : FuzzInputs(8, 150)) {
+    const std::string fname = "/t" + std::to_string(index++);
+    ASSERT_TRUE(WriteStringToFile(env.get(), input, fname).ok());
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(env->NewRandomAccessFile(fname, &file).ok());
+    std::unique_ptr<SSTable> table;
+    Status s = SSTable::Open(opts, std::move(file), input.size(), 1,
+                             nullptr, &table);
+    // Random bytes are never a valid table (the footer magic + CRCs see
+    // to that); opening must fail cleanly.
+    EXPECT_FALSE(s.ok());
+  }
+}
+
+TEST(FuzzTest, TableWithCorruptedTailFailsCleanly) {
+  // Build one valid table, then corrupt every region of it byte by byte
+  // (sampled) and verify opens/reads never crash.
+  std::unique_ptr<Env> env(NewMemEnv());
+  TableOptions opts;
+  opts.block_size = 512;
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("/good", &wfile).ok());
+  uint64_t file_size;
+  {
+    SSTableBuilder builder(opts, wfile.get());
+    for (int i = 0; i < 500; i++) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "k%06d", i);
+      builder.Add(key, "value");
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    file_size = builder.FileSize();
+  }
+  std::string good;
+  ASSERT_TRUE(ReadFileToString(env.get(), "/good", &good).ok());
+
+  Random rng(9);
+  for (int trial = 0; trial < 200; trial++) {
+    std::string bad = good;
+    const size_t pos = rng.Uniform(bad.size());
+    bad[pos] ^= static_cast<char>(1 + rng.Uniform(255));
+    ASSERT_TRUE(WriteStringToFile(env.get(), bad, "/bad").ok());
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(env->NewRandomAccessFile("/bad", &file).ok());
+    std::unique_ptr<SSTable> table;
+    Status s =
+        SSTable::Open(opts, std::move(file), file_size, 1, nullptr, &table);
+    if (!s.ok()) {
+      continue;  // rejected at open: fine
+    }
+    // Openable: iterate and probe; errors must flow through status().
+    std::unique_ptr<Iterator> it(table->NewIterator());
+    int steps = 0;
+    for (it->SeekToFirst(); it->Valid() && steps < 2000; it->Next()) {
+      steps++;
+    }
+    std::string value;
+    table->InternalGet("k000123", "k000123",
+                       [](const Slice&, const Slice&) {});
+  }
+}
+
+}  // namespace
+}  // namespace lsmlab

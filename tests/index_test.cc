@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "index/fence_pointers.h"
+#include "index/plr.h"
+#include "index/radix_spline.h"
+#include "index/remix.h"
+#include "util/random.h"
+#include "workload/keygen.h"
+
+namespace lsmlab {
+namespace {
+
+// ------------------------------------------------------- Fence pointers --
+
+TEST(FencePointersTest, FindBlockSemantics) {
+  FencePointers fences;
+  // Blocks end at keys 10, 20, 30 (encoded to keep bytewise order).
+  fences.Add(EncodeKey(10));
+  fences.Add(EncodeKey(20));
+  fences.Add(EncodeKey(30));
+
+  EXPECT_EQ(fences.FindBlock(EncodeKey(0)), 0u);
+  EXPECT_EQ(fences.FindBlock(EncodeKey(10)), 0u);  // inclusive upper bound
+  EXPECT_EQ(fences.FindBlock(EncodeKey(11)), 1u);
+  EXPECT_EQ(fences.FindBlock(EncodeKey(20)), 1u);
+  EXPECT_EQ(fences.FindBlock(EncodeKey(30)), 2u);
+  EXPECT_EQ(fences.FindBlock(EncodeKey(31)), FencePointers::npos);
+}
+
+TEST(FencePointersTest, EmptyRun) {
+  FencePointers fences;
+  EXPECT_EQ(fences.FindBlock("anything"), FencePointers::npos);
+}
+
+TEST(FencePointersTest, MemoryGrowsWithBlocks) {
+  FencePointers fences;
+  for (int i = 0; i < 1000; i++) {
+    fences.Add(EncodeKey(i * 100));
+  }
+  EXPECT_EQ(fences.num_blocks(), 1000u);
+  EXPECT_GT(fences.MemoryUsage(), 8000u);
+}
+
+// ------------------------------------------------- Learned index models --
+
+/// Shared property: for every fed key, the true position must be inside the
+/// returned [lo, hi] window. Checked over several distributions.
+template <typename Model>
+void CheckErrorBound(Model* model, const std::vector<uint64_t>& keys) {
+  for (uint64_t k : keys) {
+    model->Add(k);
+  }
+  model->Finish();
+  for (size_t i = 0; i < keys.size(); i++) {
+    size_t lo, hi;
+    model->Lookup(keys[i], &lo, &hi);
+    EXPECT_LE(lo, i) << "key " << keys[i];
+    EXPECT_GE(hi, i) << "key " << keys[i];
+  }
+}
+
+std::vector<uint64_t> MakeKeys(int distribution, size_t n, uint64_t seed) {
+  std::vector<uint64_t> keys;
+  Random rng(seed);
+  switch (distribution) {
+    case 0:  // uniform random
+      keys = SortedUniqueKeys(n, uint64_t{1} << 50, seed);
+      break;
+    case 1:  // sequential
+      for (size_t i = 0; i < n; i++) {
+        keys.push_back(i);
+      }
+      break;
+    case 2:  // piecewise: two dense clusters with a gap
+      for (size_t i = 0; i < n / 2; i++) {
+        keys.push_back(i * 3);
+      }
+      for (size_t i = 0; i < n - n / 2; i++) {
+        keys.push_back((uint64_t{1} << 40) + i * 7);
+      }
+      break;
+    case 3: {  // exponentially spaced
+      uint64_t v = 1;
+      for (size_t i = 0; i < n; i++) {
+        keys.push_back(v);
+        v += 1 + (v >> 4) + rng.Uniform(16);
+      }
+      break;
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+class LearnedIndexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LearnedIndexTest, PlrHonorsEpsilon) {
+  for (uint32_t epsilon : {0u, 4u, 16u, 64u}) {
+    PiecewiseLinearModel plr(epsilon);
+    CheckErrorBound(&plr, MakeKeys(GetParam(), 20000, 17));
+  }
+}
+
+TEST_P(LearnedIndexTest, RadixSplineHonorsEpsilon) {
+  for (uint32_t epsilon : {1u, 8u, 32u}) {
+    RadixSpline rs(epsilon, 10);
+    CheckErrorBound(&rs, MakeKeys(GetParam(), 20000, 23));
+  }
+}
+
+std::string DistributionName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "Uniform";
+    case 1:
+      return "Sequential";
+    case 2:
+      return "Clustered";
+    default:
+      return "Exponential";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, LearnedIndexTest,
+                         ::testing::Values(0, 1, 2, 3), DistributionName);
+
+TEST(PlrTest, WindowWidthMatchesEpsilon) {
+  PiecewiseLinearModel plr(16);
+  auto keys = MakeKeys(0, 50000, 99);
+  for (uint64_t k : keys) {
+    plr.Add(k);
+  }
+  plr.Finish();
+  for (size_t i = 0; i < keys.size(); i += 571) {
+    size_t lo, hi;
+    plr.Lookup(keys[i], &lo, &hi);
+    EXPECT_LE(hi - lo, 2u * 16 + 2);
+  }
+}
+
+TEST(PlrTest, SequentialDataNeedsOneSegment) {
+  PiecewiseLinearModel plr(4);
+  for (uint64_t i = 0; i < 10000; i++) {
+    plr.Add(i * 8);  // perfectly linear
+  }
+  plr.Finish();
+  EXPECT_EQ(plr.num_segments(), 1u);
+}
+
+TEST(PlrTest, MemorySmallerThanFences) {
+  // The E7 claim: learned models use far less memory than one fence per
+  // block on smooth data.
+  auto keys = MakeKeys(0, 100000, 7);
+  PiecewiseLinearModel plr(16);
+  FencePointers fences;
+  for (uint64_t k : keys) {
+    plr.Add(k);
+    fences.Add(EncodeKey(k));
+  }
+  plr.Finish();
+  EXPECT_LT(plr.MemoryUsage(), fences.MemoryUsage() / 10);
+}
+
+TEST(PlrTest, EmptyAndSingleKey) {
+  PiecewiseLinearModel empty(8);
+  empty.Finish();
+  size_t lo, hi;
+  empty.Lookup(42, &lo, &hi);
+  EXPECT_EQ(lo, 0u);
+
+  PiecewiseLinearModel one(8);
+  one.Add(100);
+  one.Finish();
+  one.Lookup(100, &lo, &hi);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_GE(hi, 0u);
+}
+
+TEST(RadixSplineTest, LookupOutsideDomainClamps) {
+  RadixSpline rs(8, 8);
+  for (uint64_t i = 100; i < 1100; i++) {
+    rs.Add(i * 10);
+  }
+  rs.Finish();
+  size_t lo, hi;
+  rs.Lookup(0, &lo, &hi);  // below min
+  EXPECT_EQ(lo, 0u);
+  rs.Lookup(~uint64_t{0}, &lo, &hi);  // above max
+  EXPECT_EQ(hi, 999u);
+}
+
+TEST(RadixSplineTest, SplineSmallerThanData) {
+  RadixSpline rs(32, 12);
+  auto keys = MakeKeys(0, 100000, 3);
+  for (uint64_t k : keys) {
+    rs.Add(k);
+  }
+  rs.Finish();
+  EXPECT_LT(rs.num_spline_points(), keys.size() / 10);
+}
+
+// ------------------------------------------------------------- RemixView --
+
+std::vector<std::vector<std::string>> MakeRuns(int num_runs, int per_run,
+                                               uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::vector<std::string>> runs(num_runs);
+  std::set<uint64_t> used;
+  for (auto& run : runs) {
+    std::set<uint64_t> keys;
+    while (static_cast<int>(keys.size()) < per_run) {
+      uint64_t v = rng.Uniform(1 << 24);
+      if (used.insert(v).second) {
+        keys.insert(v);
+      }
+    }
+    for (uint64_t v : keys) {
+      run.push_back(EncodeKey(v));
+    }
+  }
+  return runs;
+}
+
+TEST(RemixTest, GlobalOrderMatchesMerge) {
+  auto runs = MakeRuns(5, 400, 31);
+  std::vector<const std::vector<std::string>*> ptrs;
+  std::vector<std::string> expected;
+  for (auto& run : runs) {
+    ptrs.push_back(&run);
+    expected.insert(expected.end(), run.begin(), run.end());
+  }
+  std::sort(expected.begin(), expected.end());
+
+  RemixView view(ptrs);
+  EXPECT_EQ(view.num_entries(), expected.size());
+  auto cursor = view.NewCursor();
+  size_t i = 0;
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next(), i++) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(cursor.key(), expected[i]);
+  }
+  EXPECT_EQ(i, expected.size());
+}
+
+TEST(RemixTest, SeekLandsOnLowerBound) {
+  auto runs = MakeRuns(4, 300, 33);
+  std::vector<const std::vector<std::string>*> ptrs;
+  std::vector<std::string> all;
+  for (auto& run : runs) {
+    ptrs.push_back(&run);
+    all.insert(all.end(), run.begin(), run.end());
+  }
+  std::sort(all.begin(), all.end());
+  RemixView view(ptrs);
+
+  Random rng(35);
+  for (int t = 0; t < 500; t++) {
+    const std::string target = EncodeKey(rng.Uniform(1 << 24));
+    auto cursor = view.NewCursor();
+    cursor.Seek(target);
+    auto it = std::lower_bound(all.begin(), all.end(), target);
+    if (it == all.end()) {
+      EXPECT_FALSE(cursor.Valid());
+    } else {
+      ASSERT_TRUE(cursor.Valid());
+      EXPECT_EQ(cursor.key(), *it);
+    }
+  }
+}
+
+TEST(RemixTest, RunAttributionCorrect) {
+  auto runs = MakeRuns(3, 100, 37);
+  std::vector<const std::vector<std::string>*> ptrs;
+  for (auto& run : runs) {
+    ptrs.push_back(&run);
+  }
+  RemixView view(ptrs);
+  auto cursor = view.NewCursor();
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next()) {
+    const auto& run = runs[cursor.run()];
+    EXPECT_NE(std::find(run.begin(), run.end(), cursor.key()), run.end());
+  }
+}
+
+TEST(RemixTest, EmptyAndSingleRun) {
+  std::vector<std::string> one = {EncodeKey(1), EncodeKey(2)};
+  std::vector<const std::vector<std::string>*> ptrs = {&one};
+  RemixView view(ptrs);
+  EXPECT_EQ(view.num_entries(), 2u);
+  auto cursor = view.NewCursor();
+  cursor.Seek(EncodeKey(3));
+  EXPECT_FALSE(cursor.Valid());
+
+  std::vector<const std::vector<std::string>*> none;
+  RemixView empty(none);
+  EXPECT_EQ(empty.num_entries(), 0u);
+  auto c2 = empty.NewCursor();
+  c2.SeekToFirst();
+  EXPECT_FALSE(c2.Valid());
+}
+
+TEST(RemixTest, MemoryIsAboutOneBytePerEntry) {
+  auto runs = MakeRuns(8, 2000, 39);
+  std::vector<const std::vector<std::string>*> ptrs;
+  for (auto& run : runs) {
+    ptrs.push_back(&run);
+  }
+  RemixView view(ptrs);
+  // ~1 byte/entry for run ids + anchors (key + 8*4B cursors per 64).
+  EXPECT_LT(view.MemoryUsage(), view.num_entries() * 3);
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,232 @@
+#include "memtable/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "memtable/skiplist.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+// ------------------------------------------------------------- SkipList --
+
+struct IntComparator {
+  int operator()(uint64_t a, uint64_t b) const {
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+};
+
+TEST(SkipListTest, InsertAndContains) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  Random rng(301);
+  std::set<uint64_t> model;
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t v = rng.Uniform(10000);
+    if (model.insert(v).second) {
+      list.Insert(v);
+    }
+  }
+  for (uint64_t v = 0; v < 10000; v += 7) {
+    EXPECT_EQ(list.Contains(v), model.count(v) > 0) << v;
+  }
+}
+
+TEST(SkipListTest, IterationInOrder) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  std::set<uint64_t> model;
+  Random rng(302);
+  for (int i = 0; i < 1000; i++) {
+    const uint64_t v = rng.Next64() % 100000;
+    if (model.insert(v).second) {
+      list.Insert(v);
+    }
+  }
+  SkipList<uint64_t, IntComparator>::Iterator it(&list);
+  auto expect = model.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++expect) {
+    ASSERT_NE(expect, model.end());
+    EXPECT_EQ(it.key(), *expect);
+  }
+  EXPECT_EQ(expect, model.end());
+}
+
+TEST(SkipListTest, SeekAndPrev) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  for (uint64_t v = 0; v < 100; v += 10) {
+    list.Insert(v);
+  }
+  SkipList<uint64_t, IntComparator>::Iterator it(&list);
+  it.Seek(35);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 40u);
+  it.Prev();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30u);
+  it.SeekToLast();
+  EXPECT_EQ(it.key(), 90u);
+  it.Seek(1000);
+  EXPECT_FALSE(it.Valid());
+}
+
+// ------------------------------------------------------------- MemTable --
+
+class MemTableTest : public ::testing::TestWithParam<MemTable::Rep> {
+ protected:
+  MemTableTest() : icmp_(BytewiseComparator()) {}
+
+  MemTable* NewTable(bool hash_index = false) {
+    MemTable* mem = new MemTable(icmp_, GetParam(), hash_index);
+    mem->Ref();
+    return mem;
+  }
+
+  InternalKeyComparator icmp_;
+};
+
+TEST_P(MemTableTest, AddAndGetLatest) {
+  MemTable* mem = NewTable();
+  mem->Add(1, ValueType::kTypeValue, "key", "v1");
+  mem->Add(2, ValueType::kTypeValue, "key", "v2");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem->Get(LookupKey("key", kMaxSequenceNumber), &value, &s));
+  EXPECT_EQ(value, "v2");
+  mem->Unref();
+}
+
+TEST_P(MemTableTest, SnapshotVisibility) {
+  MemTable* mem = NewTable();
+  mem->Add(10, ValueType::kTypeValue, "key", "old");
+  mem->Add(20, ValueType::kTypeValue, "key", "new");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem->Get(LookupKey("key", 15), &value, &s));
+  EXPECT_EQ(value, "old");
+  ASSERT_TRUE(mem->Get(LookupKey("key", 25), &value, &s));
+  EXPECT_EQ(value, "new");
+  // Sequence before the first version: invisible.
+  EXPECT_FALSE(mem->Get(LookupKey("key", 5), &value, &s));
+  mem->Unref();
+}
+
+TEST_P(MemTableTest, TombstoneReportsNotFound) {
+  MemTable* mem = NewTable();
+  mem->Add(1, ValueType::kTypeValue, "key", "v");
+  mem->Add(2, ValueType::kTypeDeletion, "key", "");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem->Get(LookupKey("key", kMaxSequenceNumber), &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+  mem->Unref();
+}
+
+TEST_P(MemTableTest, MissingKey) {
+  MemTable* mem = NewTable();
+  mem->Add(1, ValueType::kTypeValue, "a", "v");
+  std::string value;
+  Status s;
+  EXPECT_FALSE(mem->Get(LookupKey("b", kMaxSequenceNumber), &value, &s));
+  mem->Unref();
+}
+
+TEST_P(MemTableTest, IteratorOrder) {
+  MemTable* mem = NewTable();
+  Random rng(303);
+  std::map<std::string, std::string> model;
+  SequenceNumber seq = 1;
+  for (int i = 0; i < 500; i++) {
+    const std::string k = "key" + std::to_string(rng.Uniform(200));
+    const std::string v = "v" + std::to_string(i);
+    mem->Add(seq++, ValueType::kTypeValue, k, v);
+    model[k] = v;
+  }
+  std::unique_ptr<Iterator> it(mem->NewIterator());
+  std::string last_user_key;
+  std::map<std::string, std::string> seen;
+  std::string prev_internal;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    const Slice ikey = it->key();
+    if (!prev_internal.empty()) {
+      EXPECT_LT(icmp_.Compare(Slice(prev_internal), ikey), 0);
+    }
+    prev_internal = ikey.ToString();
+    const std::string user = ExtractUserKey(ikey).ToString();
+    if (user != last_user_key) {
+      seen[user] = it->value().ToString();  // first = newest version
+      last_user_key = user;
+    }
+  }
+  EXPECT_EQ(seen, model);
+  mem->Unref();
+}
+
+TEST_P(MemTableTest, HashIndexFastPathMatchesOrderedPath) {
+  MemTable* with = NewTable(/*hash_index=*/true);
+  MemTable* without = NewTable(/*hash_index=*/false);
+  Random rng(304);
+  SequenceNumber seq = 1;
+  for (int i = 0; i < 1000; i++) {
+    const std::string k = "k" + std::to_string(rng.Uniform(300));
+    const std::string v = "v" + std::to_string(i);
+    with->Add(seq, ValueType::kTypeValue, k, v);
+    without->Add(seq, ValueType::kTypeValue, k, v);
+    seq++;
+  }
+  for (int i = 0; i < 300; i++) {
+    const std::string k = "k" + std::to_string(i);
+    std::string v1, v2;
+    Status s1, s2;
+    const bool f1 = with->Get(LookupKey(k, kMaxSequenceNumber), &v1, &s1);
+    const bool f2 = without->Get(LookupKey(k, kMaxSequenceNumber), &v2, &s2);
+    EXPECT_EQ(f1, f2) << k;
+    if (f1 && f2) {
+      EXPECT_EQ(v1, v2);
+    }
+  }
+  with->Unref();
+  without->Unref();
+}
+
+TEST_P(MemTableTest, MemoryUsageGrows) {
+  MemTable* mem = NewTable();
+  const size_t before = mem->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem->Add(i + 1, ValueType::kTypeValue, "key" + std::to_string(i),
+             std::string(100, 'v'));
+  }
+  EXPECT_GT(mem->ApproximateMemoryUsage(), before + 100 * 1000);
+  EXPECT_EQ(mem->num_entries(), 1000u);
+  mem->Unref();
+}
+
+TEST_P(MemTableTest, IteratorKeepsTableAliveViaRef) {
+  MemTable* mem = NewTable();
+  mem->Add(1, ValueType::kTypeValue, "k", "v");
+  Iterator* it = mem->NewIterator();
+  mem->Unref();  // iterator still holds a reference
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "k");
+  delete it;  // releases the final reference
+}
+
+INSTANTIATE_TEST_SUITE_P(Reps, MemTableTest,
+                         ::testing::Values(MemTable::Rep::kSkipList,
+                                           MemTable::Rep::kSortedVector),
+                         [](const auto& info) {
+                           return info.param == MemTable::Rep::kSkipList
+                                      ? "SkipList"
+                                      : "SortedVector";
+                         });
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,226 @@
+// Randomized model-based testing: the DB must behave exactly like a
+// std::map under arbitrary interleavings of puts, deletes, gets, scans,
+// flushes, compactions, snapshots, and reopens — across the whole design
+// space (merge policies x filters x indexes x caches).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/block_cache.h"
+#include "core/db.h"
+#include "filter/filter_policy.h"
+#include "rangefilter/range_filter.h"
+#include "storage/env.h"
+#include "util/random.h"
+#include "workload/keygen.h"
+
+namespace lsmlab {
+namespace {
+
+struct Config {
+  std::string name;
+  MergePolicy policy = MergePolicy::kLeveling;
+  FilterAllocation filters = FilterAllocation::kUniform;
+  bool block_cache = false;
+  bool hash_index = false;
+  TableOptions::IndexType index_type =
+      TableOptions::IndexType::kBinarySearch;
+  bool range_filter = false;
+  MemTable::Rep memtable = MemTable::Rep::kSkipList;
+  bool memtable_hash = false;
+  bool kv_separation = false;
+};
+
+class ModelCheckTest : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    env_.reset(NewMemEnv());
+    const Config& cfg = GetParam();
+    options_.env = env_.get();
+    options_.merge_policy = cfg.policy;
+    options_.size_ratio = 3;
+    options_.write_buffer_size = 4 << 10;  // tiny: constant flushing
+    options_.max_file_size = 4 << 10;
+    options_.level0_compaction_trigger = 2;
+    options_.filter_allocation = cfg.filters;
+    options_.block_hash_index = cfg.hash_index;
+    options_.index_type = cfg.index_type;
+    options_.memtable_rep = cfg.memtable;
+    options_.memtable_hash_index = cfg.memtable_hash;
+    if (cfg.block_cache) {
+      cache_ = std::make_unique<BlockCache>(64 << 10);  // tiny: evictions
+      options_.block_cache = cache_.get();
+      options_.prefetch_after_compaction = true;
+      options_.prefetch_hotness_threshold = 1;
+    }
+    if (cfg.kv_separation) {
+      options_.value_separation_threshold = 8;  // separate most values
+      options_.max_vlog_file_bytes = 16 << 10;
+    }
+    if (cfg.range_filter) {
+      range_filter_.reset(NewRosettaRangeFilter(18, 20));
+      options_.range_filter_policy = range_filter_.get();
+    }
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  std::string RandomKey(Random* rng) {
+    // Narrow domain so overwrites and deletes hit often.
+    return EncodeKey(rng->Uniform(400));
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<const RangeFilterPolicy> range_filter_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(ModelCheckTest, MatchesMapModel) {
+  Random rng(0xfeed + std::hash<std::string>{}(GetParam().name));
+  std::map<std::string, std::string> model;
+  // One saved snapshot with its frozen model copy.
+  const Snapshot* snapshot = nullptr;
+  std::map<std::string, std::string> snapshot_model;
+
+  const int kOps = 6000;
+  for (int i = 0; i < kOps; i++) {
+    const int action = static_cast<int>(rng.Uniform(100));
+    if (action < 45) {  // put
+      const std::string k = RandomKey(&rng);
+      const std::string v = "v" + std::to_string(i);
+      ASSERT_TRUE(db_->Put({}, k, v).ok());
+      model[k] = v;
+    } else if (action < 60) {  // delete
+      const std::string k = RandomKey(&rng);
+      ASSERT_TRUE(db_->Delete({}, k).ok());
+      model.erase(k);
+    } else if (action < 80) {  // get
+      const std::string k = RandomKey(&rng);
+      std::string value;
+      Status s = db_->Get({}, k, &value);
+      auto it = model.find(k);
+      if (it == model.end()) {
+        EXPECT_TRUE(s.IsNotFound()) << "key " << DecodeKey(k);
+      } else {
+        ASSERT_TRUE(s.ok()) << "key " << DecodeKey(k) << ": " << s.ToString();
+        EXPECT_EQ(value, it->second);
+      }
+    } else if (action < 88) {  // scan
+      uint64_t lo = rng.Uniform(400);
+      uint64_t hi = lo + rng.Uniform(50);
+      std::vector<std::pair<std::string, std::string>> results;
+      ASSERT_TRUE(
+          db_->Scan({}, EncodeKey(lo), EncodeKey(hi), 1000, &results).ok());
+      auto it = model.lower_bound(EncodeKey(lo));
+      size_t idx = 0;
+      for (; it != model.end() && it->first <= EncodeKey(hi); ++it, ++idx) {
+        ASSERT_LT(idx, results.size())
+            << "scan missing key " << DecodeKey(it->first);
+        EXPECT_EQ(results[idx].first, it->first);
+        EXPECT_EQ(results[idx].second, it->second);
+      }
+      EXPECT_EQ(idx, results.size());
+    } else if (action < 92) {  // flush or full compaction
+      if (rng.OneIn(2)) {
+        ASSERT_TRUE(db_->Flush().ok());
+      } else {
+        ASSERT_TRUE(db_->CompactAll().ok());
+      }
+    } else if (action < 95) {  // snapshot management
+      if (snapshot == nullptr) {
+        snapshot = db_->GetSnapshot();
+        snapshot_model = model;
+      } else {
+        // Verify a random key at the snapshot, then release it.
+        const std::string k = RandomKey(&rng);
+        ReadOptions ropts;
+        ropts.snapshot = snapshot;
+        std::string value;
+        Status s = db_->Get(ropts, k, &value);
+        auto it = snapshot_model.find(k);
+        if (it == snapshot_model.end()) {
+          EXPECT_TRUE(s.IsNotFound());
+        } else {
+          ASSERT_TRUE(s.ok());
+          EXPECT_EQ(value, it->second);
+        }
+        db_->ReleaseSnapshot(snapshot);
+        snapshot = nullptr;
+      }
+    } else {  // reopen (crash-free restart)
+      if (snapshot != nullptr) {
+        db_->ReleaseSnapshot(snapshot);
+        snapshot = nullptr;
+      }
+      db_.reset();
+      ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+    }
+  }
+  if (snapshot != nullptr) {
+    db_->ReleaseSnapshot(snapshot);
+  }
+
+  // Final full iteration must equal the model exactly.
+  std::unique_ptr<Iterator> it(db_->NewIterator({}));
+  auto mit = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++mit) {
+    ASSERT_NE(mit, model.end()) << "extra key " << DecodeKey(it->key().ToString());
+    EXPECT_EQ(it->key().ToString(), mit->first);
+    EXPECT_EQ(it->value().ToString(), mit->second);
+  }
+  EXPECT_EQ(mit, model.end());
+  EXPECT_TRUE(it->status().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ModelCheckTest,
+    ::testing::Values(
+        Config{.name = "leveling_default",
+               .policy = MergePolicy::kLeveling},
+        Config{.name = "tiering", .policy = MergePolicy::kTiering},
+        Config{.name = "lazy", .policy = MergePolicy::kLazyLeveling},
+        Config{.name = "monkey_cache",
+               .policy = MergePolicy::kLeveling,
+               .filters = FilterAllocation::kMonkey,
+               .block_cache = true},
+        Config{.name = "no_filters",
+               .policy = MergePolicy::kTiering,
+               .filters = FilterAllocation::kNone},
+        Config{.name = "hash_index",
+               .policy = MergePolicy::kLeveling,
+               .hash_index = true},
+        Config{.name = "learned_plr",
+               .policy = MergePolicy::kLeveling,
+               .index_type = TableOptions::IndexType::kLearnedPlr},
+        Config{.name = "radix_spline",
+               .policy = MergePolicy::kTiering,
+               .index_type = TableOptions::IndexType::kRadixSpline},
+        Config{.name = "range_filtered",
+               .policy = MergePolicy::kLeveling,
+               .range_filter = true},
+        Config{.name = "vector_memtable",
+               .policy = MergePolicy::kLeveling,
+               .memtable = MemTable::Rep::kSortedVector,
+               .memtable_hash = true},
+        Config{.name = "kv_separation",
+               .policy = MergePolicy::kLeveling,
+               .kv_separation = true},
+        Config{.name = "kitchen_sink",
+               .policy = MergePolicy::kLazyLeveling,
+               .filters = FilterAllocation::kMonkey,
+               .block_cache = true,
+               .hash_index = true,
+               .range_filter = true,
+               .memtable_hash = true,
+               .kv_separation = true}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace lsmlab

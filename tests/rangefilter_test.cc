@@ -1,0 +1,308 @@
+#include "rangefilter/range_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/keygen.h"
+
+namespace lsmlab {
+namespace {
+
+struct RangeFilterCase {
+  std::string name;
+  std::function<const RangeFilterPolicy*()> make;
+  bool supports_wide_ranges;  // prefix bloom answers only narrow ranges
+};
+
+class RangeFilterTest : public ::testing::TestWithParam<RangeFilterCase> {
+ protected:
+  void SetUp() override { policy_.reset(GetParam().make()); }
+
+  /// Builds a filter over sorted numeric keys.
+  std::string Build(const std::vector<uint64_t>& values) {
+    keys_.clear();
+    for (uint64_t v : values) {
+      keys_.push_back(EncodeKey(v));
+    }
+    std::vector<Slice> slices;
+    for (const auto& k : keys_) {
+      slices.emplace_back(k);
+    }
+    std::string filter;
+    policy_->CreateFilter(slices, &filter);
+    return filter;
+  }
+
+  std::unique_ptr<const RangeFilterPolicy> policy_;
+  std::vector<std::string> keys_;
+};
+
+TEST_P(RangeFilterTest, NoFalseNegativesOnPoints) {
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 5000; i++) {
+    values.push_back(i * 97 + 13);
+  }
+  const std::string filter = Build(values);
+  for (uint64_t v : values) {
+    EXPECT_TRUE(policy_->KeyMayMatch(EncodeKey(v), filter))
+        << GetParam().name << " value " << v;
+  }
+}
+
+TEST_P(RangeFilterTest, NoFalseNegativesOnRanges) {
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 2000; i++) {
+    values.push_back(i * 1000);
+  }
+  const std::string filter = Build(values);
+  Random rng(5);
+  for (int trial = 0; trial < 2000; trial++) {
+    // Random range guaranteed to contain at least one key.
+    const uint64_t target = values[rng.Uniform(values.size())];
+    const uint64_t lo = target - rng.Uniform(500);
+    const uint64_t hi = target + rng.Uniform(500);
+    EXPECT_TRUE(
+        policy_->RangeMayMatch(EncodeKey(lo), EncodeKey(hi), filter))
+        << GetParam().name << " range [" << lo << "," << hi << "] contains "
+        << target;
+  }
+}
+
+TEST_P(RangeFilterTest, RejectsSomeEmptyRanges) {
+  if (!GetParam().supports_wide_ranges) {
+    GTEST_SKIP() << "prefix bloom only answers intra-bucket ranges";
+  }
+  // Keys spaced 2^20 apart leave huge empty gaps.
+  std::vector<uint64_t> values;
+  for (uint64_t i = 1; i <= 2000; i++) {
+    values.push_back(i << 20);
+  }
+  const std::string filter = Build(values);
+  int rejected = 0;
+  Random rng(6);
+  const int trials = 1000;
+  for (int t = 0; t < trials; t++) {
+    // Empty ranges around the middle of a gap — far from any stored key,
+    // where every range filter design has the information to reject.
+    const uint64_t base = (1 + rng.Uniform(1999)) << 20;
+    const uint64_t lo = base + (1 << 19) + rng.Uniform(1 << 18);
+    const uint64_t hi = lo + rng.Uniform(64);
+    if (!policy_->RangeMayMatch(EncodeKey(lo), EncodeKey(hi), filter)) {
+      rejected++;
+    }
+  }
+  // A useful range filter rejects the clear majority of empty short ranges.
+  EXPECT_GT(rejected, trials / 2) << GetParam().name;
+}
+
+TEST_P(RangeFilterTest, EmptyAndGarbageFiltersNeverReject) {
+  EXPECT_TRUE(policy_->RangeMayMatch(EncodeKey(1), EncodeKey(2), ""));
+  EXPECT_TRUE(policy_->RangeMayMatch(EncodeKey(1), EncodeKey(2), "xyz"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRangeFilters, RangeFilterTest,
+    ::testing::Values(
+        RangeFilterCase{"SuRF8", [] { return NewSurfRangeFilter(8); }, true},
+        RangeFilterCase{"Rosetta22",
+                        [] { return NewRosettaRangeFilter(22, 24); }, true},
+        RangeFilterCase{"SNARF10", [] { return NewSnarfRangeFilter(10); },
+                        true},
+        RangeFilterCase{"PrefixBloom",
+                        [] { return NewPrefixBloomRangeFilter(7, 10); },
+                        false}),
+    [](const ::testing::TestParamInfo<RangeFilterCase>& info) {
+      return info.param.name;
+    });
+
+// --- SuRF-specific: lower-bound correctness against brute force ----------
+
+TEST(SurfTest, RangeQueriesMatchBruteForceUpToFalsePositives) {
+  std::unique_ptr<const RangeFilterPolicy> surf(NewSurfRangeFilter(16));
+  Random rng(7);
+  std::set<uint64_t> key_set;
+  while (key_set.size() < 3000) {
+    key_set.insert(rng.Next64() >> 20);  // clustered domain
+  }
+  std::vector<uint64_t> values(key_set.begin(), key_set.end());
+  std::vector<std::string> keys;
+  for (uint64_t v : values) {
+    keys.push_back(EncodeKey(v));
+  }
+  std::vector<Slice> slices;
+  for (const auto& k : keys) {
+    slices.emplace_back(k);
+  }
+  std::string filter;
+  surf->CreateFilter(slices, &filter);
+
+  int false_positives = 0;
+  int checked_empty = 0;
+  for (int t = 0; t < 5000; t++) {
+    const uint64_t lo = rng.Next64() >> 20;
+    const uint64_t hi = lo + rng.Uniform(1 << 12);
+    const bool truth =
+        key_set.lower_bound(lo) != key_set.end() &&
+        *key_set.lower_bound(lo) <= hi;
+    const bool answer =
+        surf->RangeMayMatch(EncodeKey(lo), EncodeKey(hi), filter);
+    if (truth) {
+      ASSERT_TRUE(answer) << "false negative on [" << lo << "," << hi << "]";
+    } else {
+      checked_empty++;
+      if (answer) {
+        false_positives++;
+      }
+    }
+  }
+  ASSERT_GT(checked_empty, 1000);
+  EXPECT_LT(static_cast<double>(false_positives) / checked_empty, 0.5);
+}
+
+TEST(SurfTest, VariableLengthStringKeys) {
+  std::unique_ptr<const RangeFilterPolicy> surf(NewSurfRangeFilter(8));
+  std::vector<std::string> raw = {"app", "apple", "applesauce", "banana",
+                                  "band", "bandana", "zebra"};
+  std::vector<Slice> slices;
+  for (const auto& k : raw) {
+    slices.emplace_back(k);
+  }
+  std::string filter;
+  surf->CreateFilter(slices, &filter);
+  for (const auto& k : raw) {
+    EXPECT_TRUE(surf->KeyMayMatch(k, filter)) << k;
+  }
+  // A range covering a stored key.
+  EXPECT_TRUE(surf->RangeMayMatch("ba", "bb", filter));
+  // A clearly empty range far from all keys.
+  EXPECT_FALSE(surf->RangeMayMatch("cc", "cz", filter));
+}
+
+// --- Rosetta-specific: short ranges are its sweet spot --------------------
+
+TEST(RosettaTest, ShortRangesBeatLongRanges) {
+  std::unique_ptr<const RangeFilterPolicy> rosetta(
+      NewRosettaRangeFilter(20, 24));
+  Random rng(8);
+  std::set<uint64_t> key_set;
+  while (key_set.size() < 5000) {
+    key_set.insert(rng.Next64() >> 16);
+  }
+  std::vector<std::string> keys;
+  for (uint64_t v : key_set) {
+    keys.push_back(EncodeKey(v));
+  }
+  std::vector<Slice> slices;
+  for (const auto& k : keys) {
+    slices.emplace_back(k);
+  }
+  std::string filter;
+  rosetta->CreateFilter(slices, &filter);
+
+  auto empty_range_fpr = [&](uint64_t width) {
+    int fp = 0, total = 0;
+    Random r2(9);
+    for (int t = 0; t < 500; t++) {
+      const uint64_t lo = r2.Next64() >> 16;
+      const uint64_t hi = lo + width;
+      auto it = key_set.lower_bound(lo);
+      if (it != key_set.end() && *it <= hi) {
+        continue;  // non-empty; skip
+      }
+      total++;
+      if (rosetta->RangeMayMatch(EncodeKey(lo), EncodeKey(hi), filter)) {
+        fp++;
+      }
+    }
+    return total == 0 ? 1.0 : static_cast<double>(fp) / total;
+  };
+
+  EXPECT_LT(empty_range_fpr(4), 0.2);
+}
+
+// --- SNARF-specific: distribution awareness --------------------------------
+
+TEST(SnarfTest, SkewedDistributionStillFilters) {
+  std::unique_ptr<const RangeFilterPolicy> snarf(NewSnarfRangeFilter(12));
+  // Heavily clustered keys: 99% in a narrow band, 1% spread wide.
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 5000; i++) {
+    values.push_back((1ull << 40) + i * 3);
+  }
+  for (uint64_t i = 0; i < 50; i++) {
+    values.push_back(i * (1ull << 50));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::vector<std::string> keys;
+  for (uint64_t v : values) {
+    keys.push_back(EncodeKey(v));
+  }
+  std::vector<Slice> slices;
+  for (const auto& k : keys) {
+    slices.emplace_back(k);
+  }
+  std::string filter;
+  snarf->CreateFilter(slices, &filter);
+
+  // Points in the dense cluster must all be found.
+  for (uint64_t i = 0; i < 5000; i += 111) {
+    EXPECT_TRUE(
+        snarf->KeyMayMatch(EncodeKey((1ull << 40) + i * 3), filter));
+  }
+  // Ranges inside the dense cluster but between keys: mostly rejected,
+  // because the model allocates most bit-space to the cluster.
+  int rejected = 0;
+  for (uint64_t i = 0; i < 1000; i++) {
+    const uint64_t lo = (1ull << 40) + i * 3 + 1;
+    if (!snarf->RangeMayMatch(EncodeKey(lo), EncodeKey(lo + 1), filter)) {
+      rejected++;
+    }
+  }
+  EXPECT_GT(rejected, 500);
+}
+
+// --- Prefix bloom specifics ------------------------------------------------
+
+TEST(PrefixBloomTest, IntraPrefixRangesAreFiltered) {
+  std::unique_ptr<const RangeFilterPolicy> pb(
+      NewPrefixBloomRangeFilter(4, 12));
+  std::vector<std::string> raw;
+  for (int i = 0; i < 1000; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-suffix", i * 2);
+    raw.push_back(buf);
+  }
+  std::vector<Slice> slices;
+  for (const auto& k : raw) {
+    slices.emplace_back(k);
+  }
+  std::string filter;
+  pb->CreateFilter(slices, &filter);
+
+  // Query inside a present prefix: maybe.
+  EXPECT_TRUE(pb->RangeMayMatch("0002-a", "0002-z", filter));
+  // Query inside an absent prefix bucket: rejected (odd prefixes absent).
+  int rejected = 0;
+  for (int i = 0; i < 500; i++) {
+    char lo[16], hi[16];
+    std::snprintf(lo, sizeof(lo), "%04d-a", i * 2 + 1);
+    std::snprintf(hi, sizeof(hi), "%04d-z", i * 2 + 1);
+    if (!pb->RangeMayMatch(lo, hi, filter)) {
+      rejected++;
+    }
+  }
+  EXPECT_GT(rejected, 480);
+  // Cross-prefix query: cannot answer, must say maybe.
+  EXPECT_TRUE(pb->RangeMayMatch("0001", "0999", filter));
+}
+
+}  // namespace
+}  // namespace lsmlab

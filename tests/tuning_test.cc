@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuning/cost_model.h"
+#include "tuning/endure.h"
+#include "tuning/monkey.h"
+#include "tuning/navigator.h"
+
+namespace lsmlab {
+namespace {
+
+constexpr double kLn2Sq = 0.4804530139182014;
+
+// ----------------------------------------------------------------- Monkey --
+
+TEST(MonkeyTest, ShallowLevelsGetMoreBits) {
+  auto bits = MonkeyBitsPerLevel(10, 5, 10);
+  ASSERT_EQ(bits.size(), 5u);
+  for (size_t i = 1; i < bits.size(); i++) {
+    EXPECT_GE(bits[i - 1], bits[i]) << "level " << i;
+  }
+  EXPECT_GT(bits[0], 10);  // shallow levels exceed the average
+}
+
+TEST(MonkeyTest, PreservesTotalMemoryBudget) {
+  const double avg = 8;
+  const int levels = 6;
+  const int t = 4;
+  auto bits = MonkeyBitsPerLevel(avg, levels, t);
+  double total_keys = 0, total_bits = 0;
+  for (int i = 0; i < levels; i++) {
+    const double n = std::pow(t, i);
+    total_keys += n;
+    total_bits += n * bits[i];
+  }
+  EXPECT_NEAR(total_bits / total_keys, avg, 0.05);
+}
+
+TEST(MonkeyTest, BeatsUniformInExpectedLookupCost) {
+  // The Monkey headline claim (E4): at equal memory, the optimal
+  // allocation has a lower sum of false-positive rates.
+  for (int t : {4, 10}) {
+    for (double avg : {5.0, 10.0}) {
+      const int levels = 5;
+      auto monkey_bits = MonkeyBitsPerLevel(avg, levels, t);
+      std::vector<double> uniform_bits(levels, avg);
+      const double monkey_cost =
+          ExpectedZeroResultLookupIos(monkey_bits, 1);
+      const double uniform_cost =
+          ExpectedZeroResultLookupIos(uniform_bits, 1);
+      EXPECT_LT(monkey_cost, uniform_cost)
+          << "T=" << t << " avg=" << avg;
+    }
+  }
+}
+
+TEST(MonkeyTest, ZeroBudgetMeansNoFilters) {
+  auto bits = MonkeyBitsPerLevel(0, 4, 10);
+  for (double b : bits) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(MonkeyTest, DeepestLevelMayDropFilterUnderTightBudget) {
+  // A very tight budget (~0.25 bits/key average) makes filtering the huge
+  // bottom level not worth it; Monkey turns it off entirely.
+  auto bits = MonkeyBitsPerLevel(0.25, 6, 10);
+  EXPECT_EQ(bits.back(), 0);   // FPR 1 at the huge bottom level
+  EXPECT_GT(bits.front(), 0);  // but the small levels stay filtered
+}
+
+// ------------------------------------------------------------- Cost model --
+
+LsmDesignSpec BaseSpec(LsmDesignSpec::Policy policy, int t = 10) {
+  LsmDesignSpec spec;
+  spec.policy = policy;
+  spec.size_ratio = t;
+  spec.num_entries = 100'000'000;
+  spec.entry_bytes = 64;
+  spec.buffer_bytes = 8 << 20;
+  spec.filter_bits_per_key = 10;
+  return spec;
+}
+
+TEST(CostModelTest, TieringWritesCheaperLeveling) {
+  LsmCostModel level(BaseSpec(LsmDesignSpec::Policy::kLeveling));
+  LsmCostModel tier(BaseSpec(LsmDesignSpec::Policy::kTiering));
+  EXPECT_LT(tier.WriteCost(), level.WriteCost());
+}
+
+TEST(CostModelTest, TieringReadsCostlier) {
+  LsmCostModel level(BaseSpec(LsmDesignSpec::Policy::kLeveling));
+  LsmCostModel tier(BaseSpec(LsmDesignSpec::Policy::kTiering));
+  EXPECT_GT(tier.ZeroResultPointLookup(), level.ZeroResultPointLookup());
+  EXPECT_GT(tier.ShortScanCost(), level.ShortScanCost());
+}
+
+TEST(CostModelTest, LazyLevelingSitsBetween) {
+  LsmCostModel level(BaseSpec(LsmDesignSpec::Policy::kLeveling));
+  LsmCostModel tier(BaseSpec(LsmDesignSpec::Policy::kTiering));
+  LsmCostModel lazy(BaseSpec(LsmDesignSpec::Policy::kLazyLeveling));
+  EXPECT_LT(lazy.WriteCost(), level.WriteCost());
+  EXPECT_LE(lazy.ZeroResultPointLookup() * 0.99,
+            tier.ZeroResultPointLookup());
+  // Lazy leveling's point reads are close to leveling (dominated by the
+  // single-run largest level), far below tiering.
+  EXPECT_LT(lazy.ZeroResultPointLookup(),
+            tier.ZeroResultPointLookup());
+}
+
+TEST(CostModelTest, GrowingTLowersLookupRaisesWritesUnderLeveling) {
+  double last_read = 1e9;
+  double last_write = 0;
+  for (int t : {2, 4, 8, 16}) {
+    LsmCostModel m(BaseSpec(LsmDesignSpec::Policy::kLeveling, t));
+    EXPECT_LE(m.levels(), last_read);  // fewer levels as T grows
+    last_read = m.levels();
+    (void)last_write;
+  }
+}
+
+TEST(CostModelTest, SpaceAmpDirections) {
+  LsmCostModel level(BaseSpec(LsmDesignSpec::Policy::kLeveling));
+  LsmCostModel tier(BaseSpec(LsmDesignSpec::Policy::kTiering));
+  EXPECT_LT(level.SpaceAmplification(), 1.0);
+  EXPECT_GT(tier.SpaceAmplification(), 1.0);
+}
+
+TEST(CostModelTest, MoreFilterBitsCutLookupCost) {
+  auto spec = BaseSpec(LsmDesignSpec::Policy::kLeveling);
+  spec.filter_bits_per_key = 5;
+  LsmCostModel few(spec);
+  spec.filter_bits_per_key = 15;
+  LsmCostModel many(spec);
+  EXPECT_GT(few.ZeroResultPointLookup(), many.ZeroResultPointLookup());
+  EXPECT_NEAR(many.ZeroResultPointLookup(),
+              std::exp(-15 * kLn2Sq) * many.levels(), 1e-9);
+}
+
+// -------------------------------------------------------------- Navigator --
+
+TEST(NavigatorTest, WriteHeavyWorkloadPicksTiering) {
+  // Scans are kept at zero: even 1% short scans pay O(T*L) runs under
+  // tiering and flip the optimum back to leveling.
+  WorkloadMix mix;
+  mix.writes = 0.95;
+  mix.zero_result_lookups = 0.03;
+  mix.existing_lookups = 0.02;
+  mix.short_scans = 0.0;
+  auto candidates = NavigateDesignSpace(10'000'000, 64, 64 << 20, mix);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates.front().spec.policy,
+            LsmDesignSpec::Policy::kTiering)
+      << candidates.front().Describe();
+}
+
+TEST(NavigatorTest, ReadHeavyWorkloadAvoidsTiering) {
+  WorkloadMix mix;
+  mix.writes = 0.02;
+  mix.zero_result_lookups = 0.3;
+  mix.existing_lookups = 0.38;
+  mix.short_scans = 0.3;
+  auto candidates = NavigateDesignSpace(10'000'000, 64, 64 << 20, mix);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_NE(candidates.front().spec.policy, LsmDesignSpec::Policy::kTiering)
+      << candidates.front().Describe();
+}
+
+TEST(NavigatorTest, CandidatesSortedByCost) {
+  WorkloadMix mix;
+  auto candidates = NavigateDesignSpace(1'000'000, 64, 16 << 20, mix);
+  for (size_t i = 1; i < candidates.size(); i++) {
+    EXPECT_LE(candidates[i - 1].cost, candidates[i].cost);
+  }
+}
+
+TEST(NavigatorTest, MemorySplitHasInteriorOptimum) {
+  // E9: neither "all memory to buffer" nor "all to filters" is optimal for
+  // a mixed workload.
+  WorkloadMix mix;  // balanced default
+  auto candidates = NavigateDesignSpace(10'000'000, 64, 32 << 20, mix);
+  const auto& best = candidates.front().spec;
+  const double frac = static_cast<double>(best.buffer_bytes) / (32 << 20);
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.99);
+}
+
+// ----------------------------------------------------------------- Endure --
+
+TEST(EndureTest, KlDivergenceBasics) {
+  WorkloadMix w;
+  EXPECT_NEAR(WorkloadKlDivergence(w, w), 0.0, 1e-12);
+  WorkloadMix skewed;
+  skewed.writes = 0.97;
+  skewed.zero_result_lookups = 0.01;
+  skewed.existing_lookups = 0.01;
+  skewed.short_scans = 0.01;
+  EXPECT_GT(WorkloadKlDivergence(skewed, w), 0.5);
+}
+
+TEST(EndureTest, NeighborhoodSamplesRespectRho) {
+  WorkloadMix w;
+  const double rho = 0.2;
+  auto samples = SampleWorkloadNeighborhood(w, rho, 200);
+  EXPECT_GT(samples.size(), 50u);
+  for (const auto& s : samples) {
+    EXPECT_LE(WorkloadKlDivergence(s, w), rho + 1e-9);
+  }
+}
+
+TEST(EndureTest, RobustTuningBoundsWorstCase) {
+  WorkloadMix expected;
+  expected.writes = 0.9;  // expect write-heavy...
+  expected.zero_result_lookups = 0.04;
+  expected.existing_lookups = 0.03;
+  expected.short_scans = 0.03;
+  auto result = RobustTune(10'000'000, 64, 64 << 20, expected, /*rho=*/0.6);
+  // The robust design can never have a worse worst-case than the nominal
+  // one (it minimizes exactly that objective over the same candidates).
+  EXPECT_LE(result.robust_worst_cost, result.nominal_worst_cost + 1e-9);
+}
+
+TEST(EndureTest, RobustCostsMoreAtExpectedWorkload) {
+  // Robustness is not free: at the expected workload the robust design is
+  // at best as good as the nominal optimum.
+  WorkloadMix expected;
+  expected.writes = 0.9;
+  expected.zero_result_lookups = 0.04;
+  expected.existing_lookups = 0.03;
+  expected.short_scans = 0.03;
+  auto result = RobustTune(10'000'000, 64, 64 << 20, expected, /*rho=*/0.6);
+  const double nominal_at_expected =
+      WorkloadCost(result.nominal.spec, expected);
+  const double robust_at_expected =
+      WorkloadCost(result.robust.spec, expected);
+  EXPECT_GE(robust_at_expected, nominal_at_expected - 1e-9);
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/bitvector.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/crc32c.h"
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+namespace {
+
+// ---------------------------------------------------------------- Slice --
+
+TEST(SliceTest, Basics) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_FALSE(s.empty());
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+  s.remove_suffix(1);
+  EXPECT_EQ(s.ToString(), "ll");
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, Compare) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("ab").compare(Slice("ab")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+  EXPECT_TRUE(Slice("abc").starts_with(Slice("ab")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+TEST(SliceTest, BinaryDataSafe) {
+  const char raw[] = {'\0', '\xff', '\x01'};
+  Slice s(raw, 3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ToString().size(), 3u);
+}
+
+// --------------------------------------------------------------- Status --
+
+TEST(StatusTest, Classification) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+TEST(StatusTest, MessageFormatting) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::NotFound("a", "b").ToString(), "NotFound: a: b");
+}
+
+// --------------------------------------------------------------- Coding --
+
+TEST(CodingTest, Fixed) {
+  std::string s;
+  PutFixed32(&s, 0xdeadbeef);
+  PutFixed64(&s, 0x0123456789abcdefull);
+  EXPECT_EQ(DecodeFixed32(s.data()), 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed64(s.data() + 4), 0x0123456789abcdefull);
+}
+
+TEST(CodingTest, Varint32Roundtrip) {
+  std::string s;
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 32; i++) {
+    values.push_back(1u << i);
+    values.push_back((1u << i) - 1);
+  }
+  for (uint32_t v : values) {
+    PutVarint32(&s, v);
+  }
+  Slice input(s);
+  for (uint32_t expected : values) {
+    uint32_t v;
+    ASSERT_TRUE(GetVarint32(&input, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64Roundtrip) {
+  std::string s;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  ~uint64_t{0}, uint64_t{1} << 63};
+  for (uint64_t v : values) {
+    PutVarint64(&s, v);
+  }
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&input, &v));
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 40, ~uint64_t{0}}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string s;
+  PutVarint32(&s, 1u << 28);
+  s.resize(s.size() - 1);
+  Slice input(s);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSlice) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("hello"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  Slice input(s);
+  Slice a, b;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &b));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+}
+
+// --------------------------------------------------------------- CRC32C --
+
+TEST(Crc32cTest, KnownValues) {
+  // Standard test vector: 32 zero bytes.
+  char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8a9136aau);
+  // "123456789" -> 0xe3069283 (Castagnoli check value).
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ExtendEqualsWhole) {
+  const std::string data = "hello world, this is lsmlab";
+  const uint32_t whole = crc32c::Value(data.data(), data.size());
+  uint32_t split = crc32c::Value(data.data(), 5);
+  split = crc32c::Extend(split, data.data() + 5, data.size() - 5);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, MaskRoundtrip) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, ~0u}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);
+  }
+}
+
+// --------------------------------------------------------------- Random --
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(42), b(42), c(43);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random rng(2);
+  for (int i = 0; i < 10000; i++) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ----------------------------------------------------------------- Hash --
+
+TEST(HashTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(Hash64("abc", 3), Hash64("abc", 3));
+  EXPECT_NE(Hash64("abc", 3, 1), Hash64("abc", 3, 2));
+  EXPECT_NE(Hash64("abc", 3), Hash64("abd", 3));
+}
+
+TEST(HashTest, AllLengthsCovered) {
+  // Exercise every tail-handling branch.
+  std::string data(100, 'x');
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= 64; len++) {
+    hashes.insert(Hash64(data.data(), len));
+  }
+  EXPECT_EQ(hashes.size(), 65u);  // no collisions among lengths
+}
+
+// ---------------------------------------------------------------- Arena --
+
+TEST(ArenaTest, AllocatesUsableMemory) {
+  Arena arena;
+  std::vector<std::pair<char*, size_t>> allocs;
+  Random rng(3);
+  for (int i = 0; i < 1000; i++) {
+    const size_t n = 1 + rng.Uniform(300);
+    char* p = arena.Allocate(n);
+    memset(p, static_cast<int>(i & 0xff), n);
+    allocs.emplace_back(p, n);
+  }
+  // All blocks retain their bytes (no overlap).
+  for (size_t i = 0; i < allocs.size(); i++) {
+    for (size_t j = 0; j < allocs[i].second; j++) {
+      EXPECT_EQ(static_cast<unsigned char>(allocs[i].first[j]), i & 0xff);
+    }
+  }
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+}
+
+TEST(ArenaTest, AlignedAllocation) {
+  Arena arena;
+  for (int i = 0; i < 100; i++) {
+    arena.Allocate(1);  // misalign the bump pointer
+    char* p = arena.AllocateAligned(16);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+  }
+}
+
+// ------------------------------------------------------------ BitVector --
+
+TEST(BitVectorTest, RankMatchesNaive) {
+  Random rng(11);
+  BitVector bv;
+  std::vector<bool> naive;
+  for (int i = 0; i < 5000; i++) {
+    const bool bit = rng.OneIn(3);
+    bv.PushBack(bit);
+    naive.push_back(bit);
+  }
+  bv.BuildRank();
+  size_t ones = 0;
+  for (size_t i = 0; i <= naive.size(); i++) {
+    EXPECT_EQ(bv.Rank1(i), ones) << "at " << i;
+    EXPECT_EQ(bv.Rank0(i), i - ones);
+    if (i < naive.size() && naive[i]) {
+      ones++;
+    }
+  }
+}
+
+TEST(BitVectorTest, SelectInvertsRank) {
+  Random rng(12);
+  BitVector bv;
+  for (int i = 0; i < 3000; i++) {
+    bv.PushBack(rng.OneIn(5));
+  }
+  bv.BuildRank();
+  for (size_t k = 0; k < bv.OneCount(); k++) {
+    const size_t pos = bv.Select1(k);
+    EXPECT_TRUE(bv.Get(pos));
+    EXPECT_EQ(bv.Rank1(pos), k);
+  }
+  EXPECT_EQ(bv.Select1(bv.OneCount()), bv.size());
+}
+
+// ------------------------------------------------------------ Histogram --
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_NEAR(h.Average(), 50.5, 0.01);
+  EXPECT_NEAR(h.Median(), 50, 10);
+  EXPECT_GE(h.Percentile(99), h.Percentile(50));
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Add(1);
+  b.Add(100);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Min(), 1);
+  EXPECT_DOUBLE_EQ(a.Max(), 100);
+}
+
+// ----------------------------------------------------------- Comparator --
+
+TEST(ComparatorTest, ShortestSeparator) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string start = "abcdef";
+  cmp->FindShortestSeparator(&start, Slice("abzzzz"));
+  EXPECT_LT(Slice("abcdef").compare(Slice(start)), 0);
+  EXPECT_LT(Slice(start).compare(Slice("abzzzz")), 0);
+  EXPECT_LE(start.size(), 6u);
+}
+
+TEST(ComparatorTest, SeparatorNoopWhenPrefix) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string start = "ab";
+  cmp->FindShortestSeparator(&start, Slice("abc"));
+  EXPECT_EQ(start, "ab");
+}
+
+TEST(ComparatorTest, ShortSuccessor) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string key = "abc";
+  cmp->FindShortSuccessor(&key);
+  EXPECT_GT(Slice(key).compare(Slice("abc")), 0);
+  std::string all_ff = "\xff\xff";
+  cmp->FindShortSuccessor(&all_ff);
+  EXPECT_EQ(all_ff, "\xff\xff");  // unchanged
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "workload/keygen.h"
+#include "workload/workload.h"
+
+namespace lsmlab {
+namespace {
+
+TEST(KeygenTest, EncodePreservesOrder) {
+  uint64_t values[] = {0, 1, 255, 256, 1 << 20, uint64_t{1} << 40,
+                       ~uint64_t{0}};
+  for (size_t i = 1; i < std::size(values); i++) {
+    EXPECT_LT(EncodeKey(values[i - 1]), EncodeKey(values[i]));
+  }
+}
+
+TEST(KeygenTest, EncodeDecodeRoundtrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{42}, uint64_t{1} << 33,
+                     ~uint64_t{0}}) {
+    EXPECT_EQ(DecodeKey(EncodeKey(v)), v);
+  }
+}
+
+TEST(KeygenTest, UniformCoversDomain) {
+  auto gen = NewUniformGenerator(100, 1);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    const uint64_t k = gen->Next();
+    ASSERT_LT(k, 100u);
+    counts[k]++;
+  }
+  EXPECT_EQ(counts.size(), 100u);
+  // Rough uniformity: all counts within 3x of expectation.
+  for (const auto& [k, c] : counts) {
+    EXPECT_GT(c, 1000 / 3);
+    EXPECT_LT(c, 3000);
+  }
+}
+
+TEST(KeygenTest, SequentialIsMonotonic) {
+  auto gen = NewSequentialGenerator(10);
+  for (uint64_t i = 10; i < 100; i++) {
+    EXPECT_EQ(gen->Next(), i);
+  }
+}
+
+TEST(KeygenTest, ZipfianIsSkewed) {
+  auto gen = NewZipfianGenerator(100000, 0.99, 1, /*scramble=*/false);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) {
+    counts[gen->Next()]++;
+  }
+  // Rank 0 should receive a few percent of all accesses; the hottest 10
+  // ranks a large share.
+  int hot10 = 0;
+  for (uint64_t r = 0; r < 10; r++) {
+    hot10 += counts.count(r) ? counts[r] : 0;
+  }
+  EXPECT_GT(static_cast<double>(counts[0]) / n, 0.02);
+  EXPECT_GT(static_cast<double>(hot10) / n, 0.1);
+  // But the tail is still touched.
+  EXPECT_GT(counts.size(), 10000u);
+}
+
+TEST(KeygenTest, ZipfianScrambleSpreadsHotKeys) {
+  auto gen = NewZipfianGenerator(100000, 0.99, 1, /*scramble=*/true);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[gen->Next()]++;
+  }
+  // The hottest key should NOT be key 0 with overwhelming probability.
+  auto hottest = std::max_element(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  EXPECT_GT(hottest->second, 1000);
+}
+
+TEST(KeygenTest, SortedUniqueKeysProperties) {
+  auto keys = SortedUniqueKeys(10000, uint64_t{1} << 40, 9);
+  EXPECT_EQ(keys.size(), 10000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(WorkloadTest, MixFractionsRespected) {
+  WorkloadSpec spec;
+  spec.put_fraction = 0.6;
+  spec.get_fraction = 0.3;
+  spec.scan_fraction = 0.1;
+  spec.delete_fraction = 0;
+  auto ops = GenerateWorkload(spec, 50000);
+  int puts = 0, gets = 0, scans = 0;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::kPut:
+        puts++;
+        break;
+      case Op::Kind::kGet:
+        gets++;
+        break;
+      case Op::Kind::kScan:
+        scans++;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_NEAR(puts / 50000.0, 0.6, 0.02);
+  EXPECT_NEAR(gets / 50000.0, 0.3, 0.02);
+  EXPECT_NEAR(scans / 50000.0, 0.1, 0.02);
+}
+
+TEST(WorkloadTest, ValuesAreDeterministicPerKey) {
+  const std::string key = EncodeKey(123);
+  EXPECT_EQ(ValueForKey(key, 64), ValueForKey(key, 64));
+  EXPECT_NE(ValueForKey(key, 64), ValueForKey(EncodeKey(124), 64));
+  EXPECT_EQ(ValueForKey(key, 100).size(), 100u);
+}
+
+TEST(WorkloadTest, ScansCarryEndKeys) {
+  WorkloadSpec spec;
+  spec.put_fraction = 0;
+  spec.get_fraction = 0;
+  spec.scan_fraction = 1;
+  spec.scan_width = 50;
+  auto ops = GenerateWorkload(spec, 100);
+  for (const auto& op : ops) {
+    ASSERT_EQ(op.kind, Op::Kind::kScan);
+    EXPECT_LE(op.key, op.end_key);
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  auto a = GenerateWorkload(spec, 100);
+  auto b = GenerateWorkload(spec, 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(static_cast<int>(a[i].kind), static_cast<int>(b[i].kind));
+  }
+}
+
+}  // namespace
+}  // namespace lsmlab
