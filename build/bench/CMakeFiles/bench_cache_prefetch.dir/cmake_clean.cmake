@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_prefetch.dir/bench_cache_prefetch.cc.o"
+  "CMakeFiles/bench_cache_prefetch.dir/bench_cache_prefetch.cc.o.d"
+  "bench_cache_prefetch"
+  "bench_cache_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filter_zoo.dir/bench_filter_zoo.cc.o"
+  "CMakeFiles/bench_filter_zoo.dir/bench_filter_zoo.cc.o.d"
+  "bench_filter_zoo"
+  "bench_filter_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_layouts.dir/bench_hybrid_layouts.cc.o"
+  "CMakeFiles/bench_hybrid_layouts.dir/bench_hybrid_layouts.cc.o.d"
+  "bench_hybrid_layouts"
+  "bench_hybrid_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

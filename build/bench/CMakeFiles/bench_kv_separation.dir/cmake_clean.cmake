@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kv_separation.dir/bench_kv_separation.cc.o"
+  "CMakeFiles/bench_kv_separation.dir/bench_kv_separation.cc.o.d"
+  "bench_kv_separation"
+  "bench_kv_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kv_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

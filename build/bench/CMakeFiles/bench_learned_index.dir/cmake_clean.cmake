@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learned_index.dir/bench_learned_index.cc.o"
+  "CMakeFiles/bench_learned_index.dir/bench_learned_index.cc.o.d"
+  "bench_learned_index"
+  "bench_learned_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learned_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

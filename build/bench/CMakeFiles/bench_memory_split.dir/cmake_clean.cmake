@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_split.dir/bench_memory_split.cc.o"
+  "CMakeFiles/bench_memory_split.dir/bench_memory_split.cc.o.d"
+  "bench_memory_split"
+  "bench_memory_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memtable.dir/bench_memtable.cc.o"
+  "CMakeFiles/bench_memtable.dir/bench_memtable.cc.o.d"
+  "bench_memtable"
+  "bench_memtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

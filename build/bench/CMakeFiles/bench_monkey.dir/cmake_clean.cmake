@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monkey.dir/bench_monkey.cc.o"
+  "CMakeFiles/bench_monkey.dir/bench_monkey.cc.o.d"
+  "bench_monkey"
+  "bench_monkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_compaction.dir/bench_partial_compaction.cc.o"
+  "CMakeFiles/bench_partial_compaction.dir/bench_partial_compaction.cc.o.d"
+  "bench_partial_compaction"
+  "bench_partial_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioned_filters.dir/bench_partitioned_filters.cc.o"
+  "CMakeFiles/bench_partitioned_filters.dir/bench_partitioned_filters.cc.o.d"
+  "bench_partitioned_filters"
+  "bench_partitioned_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioned_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_filters.dir/bench_range_filters.cc.o"
+  "CMakeFiles/bench_range_filters.dir/bench_range_filters.cc.o.d"
+  "bench_range_filters"
+  "bench_range_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robust_tuning.dir/bench_robust_tuning.cc.o"
+  "CMakeFiles/bench_robust_tuning.dir/bench_robust_tuning.cc.o.d"
+  "bench_robust_tuning"
+  "bench_robust_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robust_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

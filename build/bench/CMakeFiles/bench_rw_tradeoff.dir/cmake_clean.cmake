@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rw_tradeoff.dir/bench_rw_tradeoff.cc.o"
+  "CMakeFiles/bench_rw_tradeoff.dir/bench_rw_tradeoff.cc.o.d"
+  "bench_rw_tradeoff"
+  "bench_rw_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rw_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

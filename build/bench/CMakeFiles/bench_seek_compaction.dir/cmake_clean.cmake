@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seek_compaction.dir/bench_seek_compaction.cc.o"
+  "CMakeFiles/bench_seek_compaction.dir/bench_seek_compaction.cc.o.d"
+  "bench_seek_compaction"
+  "bench_seek_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seek_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

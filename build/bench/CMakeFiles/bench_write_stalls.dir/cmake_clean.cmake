@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_write_stalls.dir/bench_write_stalls.cc.o"
+  "CMakeFiles/bench_write_stalls.dir/bench_write_stalls.cc.o.d"
+  "bench_write_stalls"
+  "bench_write_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

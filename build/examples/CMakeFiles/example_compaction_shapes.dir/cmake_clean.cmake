@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compaction_shapes.dir/compaction_shapes.cc.o"
+  "CMakeFiles/example_compaction_shapes.dir/compaction_shapes.cc.o.d"
+  "example_compaction_shapes"
+  "example_compaction_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compaction_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

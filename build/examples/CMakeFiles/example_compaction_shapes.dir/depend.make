@@ -1,0 +1,2 @@
+# Empty dependencies file for example_compaction_shapes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_range_filter_lab.dir/range_filter_lab.cc.o"
+  "CMakeFiles/example_range_filter_lab.dir/range_filter_lab.cc.o.d"
+  "example_range_filter_lab"
+  "example_range_filter_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_range_filter_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_robust_tuning_demo.dir/robust_tuning_demo.cc.o"
+  "CMakeFiles/example_robust_tuning_demo.dir/robust_tuning_demo.cc.o.d"
+  "example_robust_tuning_demo"
+  "example_robust_tuning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_robust_tuning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_cache.cc" "src/CMakeFiles/lsmlab.dir/cache/block_cache.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/cache/block_cache.cc.o.d"
+  "/root/repo/src/cache/lru_cache.cc" "src/CMakeFiles/lsmlab.dir/cache/lru_cache.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/cache/lru_cache.cc.o.d"
+  "/root/repo/src/core/compaction/compaction_policy.cc" "src/CMakeFiles/lsmlab.dir/core/compaction/compaction_policy.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/compaction/compaction_policy.cc.o.d"
+  "/root/repo/src/core/db_impl.cc" "src/CMakeFiles/lsmlab.dir/core/db_impl.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/db_impl.cc.o.d"
+  "/root/repo/src/core/db_iter.cc" "src/CMakeFiles/lsmlab.dir/core/db_iter.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/db_iter.cc.o.d"
+  "/root/repo/src/core/dbformat.cc" "src/CMakeFiles/lsmlab.dir/core/dbformat.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/dbformat.cc.o.d"
+  "/root/repo/src/core/filename.cc" "src/CMakeFiles/lsmlab.dir/core/filename.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/filename.cc.o.d"
+  "/root/repo/src/core/merging_iterator.cc" "src/CMakeFiles/lsmlab.dir/core/merging_iterator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/merging_iterator.cc.o.d"
+  "/root/repo/src/core/table_cache.cc" "src/CMakeFiles/lsmlab.dir/core/table_cache.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/table_cache.cc.o.d"
+  "/root/repo/src/core/version.cc" "src/CMakeFiles/lsmlab.dir/core/version.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/version.cc.o.d"
+  "/root/repo/src/core/write_batch.cc" "src/CMakeFiles/lsmlab.dir/core/write_batch.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/core/write_batch.cc.o.d"
+  "/root/repo/src/filter/blocked_bloom.cc" "src/CMakeFiles/lsmlab.dir/filter/blocked_bloom.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/blocked_bloom.cc.o.d"
+  "/root/repo/src/filter/bloom.cc" "src/CMakeFiles/lsmlab.dir/filter/bloom.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/bloom.cc.o.d"
+  "/root/repo/src/filter/cuckoo.cc" "src/CMakeFiles/lsmlab.dir/filter/cuckoo.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/cuckoo.cc.o.d"
+  "/root/repo/src/filter/elastic.cc" "src/CMakeFiles/lsmlab.dir/filter/elastic.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/elastic.cc.o.d"
+  "/root/repo/src/filter/ribbon.cc" "src/CMakeFiles/lsmlab.dir/filter/ribbon.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/ribbon.cc.o.d"
+  "/root/repo/src/format/block.cc" "src/CMakeFiles/lsmlab.dir/format/block.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/format/block.cc.o.d"
+  "/root/repo/src/format/block_builder.cc" "src/CMakeFiles/lsmlab.dir/format/block_builder.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/format/block_builder.cc.o.d"
+  "/root/repo/src/format/format.cc" "src/CMakeFiles/lsmlab.dir/format/format.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/format/format.cc.o.d"
+  "/root/repo/src/format/sstable_builder.cc" "src/CMakeFiles/lsmlab.dir/format/sstable_builder.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/format/sstable_builder.cc.o.d"
+  "/root/repo/src/format/sstable_reader.cc" "src/CMakeFiles/lsmlab.dir/format/sstable_reader.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/format/sstable_reader.cc.o.d"
+  "/root/repo/src/format/two_level_iterator.cc" "src/CMakeFiles/lsmlab.dir/format/two_level_iterator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/format/two_level_iterator.cc.o.d"
+  "/root/repo/src/index/fence_pointers.cc" "src/CMakeFiles/lsmlab.dir/index/fence_pointers.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/index/fence_pointers.cc.o.d"
+  "/root/repo/src/index/plr.cc" "src/CMakeFiles/lsmlab.dir/index/plr.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/index/plr.cc.o.d"
+  "/root/repo/src/index/radix_spline.cc" "src/CMakeFiles/lsmlab.dir/index/radix_spline.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/index/radix_spline.cc.o.d"
+  "/root/repo/src/index/remix.cc" "src/CMakeFiles/lsmlab.dir/index/remix.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/index/remix.cc.o.d"
+  "/root/repo/src/memtable/memtable.cc" "src/CMakeFiles/lsmlab.dir/memtable/memtable.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/memtable/memtable.cc.o.d"
+  "/root/repo/src/rangefilter/prefix_bloom.cc" "src/CMakeFiles/lsmlab.dir/rangefilter/prefix_bloom.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/rangefilter/prefix_bloom.cc.o.d"
+  "/root/repo/src/rangefilter/rosetta.cc" "src/CMakeFiles/lsmlab.dir/rangefilter/rosetta.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/rangefilter/rosetta.cc.o.d"
+  "/root/repo/src/rangefilter/snarf.cc" "src/CMakeFiles/lsmlab.dir/rangefilter/snarf.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/rangefilter/snarf.cc.o.d"
+  "/root/repo/src/rangefilter/surf.cc" "src/CMakeFiles/lsmlab.dir/rangefilter/surf.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/rangefilter/surf.cc.o.d"
+  "/root/repo/src/storage/fault_env.cc" "src/CMakeFiles/lsmlab.dir/storage/fault_env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/storage/fault_env.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/lsmlab.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/mem_env.cc" "src/CMakeFiles/lsmlab.dir/storage/mem_env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/storage/mem_env.cc.o.d"
+  "/root/repo/src/storage/posix_env.cc" "src/CMakeFiles/lsmlab.dir/storage/posix_env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/storage/posix_env.cc.o.d"
+  "/root/repo/src/tuning/cost_model.cc" "src/CMakeFiles/lsmlab.dir/tuning/cost_model.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/tuning/cost_model.cc.o.d"
+  "/root/repo/src/tuning/endure.cc" "src/CMakeFiles/lsmlab.dir/tuning/endure.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/tuning/endure.cc.o.d"
+  "/root/repo/src/tuning/monkey.cc" "src/CMakeFiles/lsmlab.dir/tuning/monkey.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/tuning/monkey.cc.o.d"
+  "/root/repo/src/tuning/navigator.cc" "src/CMakeFiles/lsmlab.dir/tuning/navigator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/tuning/navigator.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/lsmlab.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/bitvector.cc" "src/CMakeFiles/lsmlab.dir/util/bitvector.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/bitvector.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/lsmlab.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/CMakeFiles/lsmlab.dir/util/comparator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/lsmlab.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/lsmlab.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/lsmlab.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/iterator.cc" "src/CMakeFiles/lsmlab.dir/util/iterator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/iterator.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/lsmlab.dir/util/status.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/status.cc.o.d"
+  "/root/repo/src/vlog/value_log.cc" "src/CMakeFiles/lsmlab.dir/vlog/value_log.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/vlog/value_log.cc.o.d"
+  "/root/repo/src/wal/log_reader.cc" "src/CMakeFiles/lsmlab.dir/wal/log_reader.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/wal/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/lsmlab.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/wal/log_writer.cc.o.d"
+  "/root/repo/src/workload/keygen.cc" "src/CMakeFiles/lsmlab.dir/workload/keygen.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/workload/keygen.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/lsmlab.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

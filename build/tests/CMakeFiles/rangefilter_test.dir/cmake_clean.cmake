@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rangefilter_test.dir/rangefilter_test.cc.o"
+  "CMakeFiles/rangefilter_test.dir/rangefilter_test.cc.o.d"
+  "rangefilter_test"
+  "rangefilter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rangefilter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
