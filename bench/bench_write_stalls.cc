@@ -9,7 +9,12 @@
 // cautionary row: naive pacing (deferring compactions) in an engine with
 // no background threads just accumulates compaction debt that later
 // writes repay with interest — Luo & Carey's point that stability needs
-// compaction to keep up, not merely be postponed.
+// compaction to keep up, not merely be postponed. (iv) Moving flush and
+// compaction to a background thread takes merge work off the write path
+// entirely: writers only block in the controller (1ms slowdown delays
+// past l0_slowdown_trigger, hard stalls at l0_stop_trigger / full imm),
+// so the put tail collapses to controller-shaped waits and the stall
+// columns report exactly where the remaining latency lives.
 
 #include "bench_common.h"
 #include "util/histogram.h"
@@ -21,22 +26,29 @@ namespace {
 void Run() {
   PrintHeader("E17 write latency tail vs compaction scheduling",
               "config,p50_us,p99_us,p999_us,p9999_us,max_ms,write_amp,"
-              "runs_after");
+              "runs_after,slowdowns,stalls,slowdown_ms,stall_ms");
   const size_t kN = 60000;
   struct Cfg {
     const char* name;
     MergePolicy policy;
     CompactionFilePicker picker;
     int pace;
+    bool background;
   } cfgs[] = {
       {"whole_level", MergePolicy::kLeveling,
-       CompactionFilePicker::kWholeLevel, 0},
+       CompactionFilePicker::kWholeLevel, 0, false},
       {"partial_minoverlap", MergePolicy::kLeveling,
-       CompactionFilePicker::kMinOverlap, 0},
+       CompactionFilePicker::kMinOverlap, 0, false},
       {"tiering", MergePolicy::kTiering,
-       CompactionFilePicker::kWholeLevel, 0},
+       CompactionFilePicker::kWholeLevel, 0, false},
       {"deferred_paced_1", MergePolicy::kLeveling,
-       CompactionFilePicker::kMinOverlap, 1},
+       CompactionFilePicker::kMinOverlap, 1, false},
+      {"background_whole", MergePolicy::kLeveling,
+       CompactionFilePicker::kWholeLevel, 0, true},
+      {"background_partial", MergePolicy::kLeveling,
+       CompactionFilePicker::kMinOverlap, 0, true},
+      {"background_tiering", MergePolicy::kTiering,
+       CompactionFilePicker::kWholeLevel, 0, true},
   };
   for (const Cfg& cfg : cfgs) {
     Options options;
@@ -48,6 +60,7 @@ void Run() {
     options.file_picker = cfg.picker;
     options.max_compactions_per_write = cfg.pace;
     options.filter_allocation = FilterAllocation::kNone;
+    options.background_compaction = cfg.background;
 
     TestDb db;
     db.env.reset(NewMemEnv());
@@ -65,18 +78,29 @@ void Run() {
       lat.Add(ms * 1000.0);  // microseconds
       max_ms = std::max(max_ms, ms);
     }
+    // Quiesce so runs_after/write_amp reflect comparable end states.
+    if (cfg.background) {
+      db.db->Flush();
+    }
     DBStats stats = db.db->GetStats();
-    std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%d\n", cfg.name,
-                lat.Percentile(50), lat.Percentile(99),
+    std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%d,%llu,%llu,%.1f,%.1f\n",
+                cfg.name, lat.Percentile(50), lat.Percentile(99),
                 lat.Percentile(99.9), lat.Percentile(99.99), max_ms,
-                stats.WriteAmplification(), stats.total_runs);
+                stats.WriteAmplification(), stats.total_runs,
+                static_cast<unsigned long long>(stats.write_slowdowns),
+                static_cast<unsigned long long>(stats.write_stalls),
+                stats.write_slowdown_micros / 1000.0,
+                stats.write_stall_micros / 1000.0);
   }
   std::printf(
       "# expect: p50 flat everywhere (most writes only touch the\n"
       "# memtable); whole_level max dwarfs partial/tiering by 10-100x;\n"
       "# partial pays more frequent-but-small stalls (higher p99.9, far\n"
       "# lower max); deferred pacing inflates write_amp and the tail —\n"
-      "# debt must be repaid.\n");
+      "# debt must be repaid. background_* rows move merges off the write\n"
+      "# path: p99/p999 drop well below the inline rows and the residual\n"
+      "# tail shows up in the slowdown/stall columns instead (nonzero\n"
+      "# once the single background thread falls behind the L0 triggers).\n");
 }
 
 }  // namespace

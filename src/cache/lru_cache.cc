@@ -63,11 +63,31 @@ struct LruCache::Shard {
   }
 };
 
+namespace {
+
+// A shard with zero capacity evicts everything on insert, so a tiny cache
+// must not be split into more shards than it has bytes.
+int ClampShards(int num_shards, size_t capacity) {
+  if (num_shards < 1) {
+    num_shards = 1;
+  }
+  if (capacity > 0 && static_cast<size_t>(num_shards) > capacity) {
+    num_shards = static_cast<int>(capacity);
+  }
+  return num_shards;
+}
+
+}  // namespace
+
 LruCache::LruCache(size_t capacity, int num_shards)
-    : capacity_(capacity), num_shards_(num_shards < 1 ? 1 : num_shards) {
+    : capacity_(capacity), num_shards_(ClampShards(num_shards, capacity)) {
   shards_ = new Shard[num_shards_];
+  // Distribute the budget evenly; the first `capacity % num_shards_` shards
+  // absorb the remainder so no byte of the budget is dropped.
+  const size_t base = capacity / num_shards_;
+  const size_t remainder = capacity % num_shards_;
   for (int i = 0; i < num_shards_; i++) {
-    shards_[i].capacity = capacity / num_shards_;
+    shards_[i].capacity = base + (static_cast<size_t>(i) < remainder ? 1 : 0);
   }
 }
 

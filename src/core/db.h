@@ -45,6 +45,13 @@ struct DBStats {
                      static_cast<double>(bytes_flushed);
   }
 
+  // Write controller (background pipeline; see Options::l0_slowdown_trigger
+  // and Options::l0_stop_trigger).
+  uint64_t write_slowdowns = 0;        ///< writes delayed by the L0 trigger
+  uint64_t write_stalls = 0;           ///< waits on flush/compaction backlog
+  uint64_t write_slowdown_micros = 0;  ///< total delay injected into writers
+  uint64_t write_stall_micros = 0;     ///< total time writers spent blocked
+
   // Read path.
   uint64_t gets = 0;
   uint64_t gets_found = 0;
@@ -65,9 +72,13 @@ struct DBStats {
 
 /// A log-structured merge key-value store over an Env.
 ///
-/// Thread-compatible: one writer at a time; concurrent readers are safe
-/// against the writer. Flushes and compactions run inline on the writing
-/// thread (deterministic by design — the benchmark substrate).
+/// Concurrent readers are always safe against the writer. By default
+/// flushes and compactions run inline on the writing thread, one writer at
+/// a time (deterministic by design — the benchmark substrate). With
+/// Options::background_compaction they run on a background thread instead:
+/// writers (any number; they serialize internally) hand full memtables off
+/// and are paced by the L0 slowdown/stop triggers rather than doing the
+/// merge work themselves.
 class DB {
  public:
   /// Opens (creating if needed) the database at `name`.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "cache/block_cache.h"
 #include "core/db_iter.h"
@@ -37,9 +39,30 @@ DBImpl::DBImpl(const Options& options, std::string dbname)
     vlog_ = std::make_unique<ValueLog>(options_.env, dbname_,
                                        options_.max_vlog_file_bytes);
   }
+  if (options_.background_compaction) {
+    // One worker: flushes and compactions are serialized on it, which is
+    // the mutual-exclusion backbone of the pipeline (no two merges can
+    // pick overlapping inputs).
+    bg_pool_ = std::make_unique<ThreadPool>(1);
+  }
 }
 
 DBImpl::~DBImpl() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    // A queued task will still run (the pool drains before joining) but
+    // exits promptly once it observes shutting_down_.
+    while (bg_scheduled_) {
+      bg_cv_.wait(lock);
+    }
+  }
+  bg_pool_.reset();  // joins the worker thread
+  // An unflushed imm_ is safe to drop: its WAL is only deleted after the
+  // flush lands in the manifest, so recovery replays it.
+  if (imm_ != nullptr) {
+    imm_->Unref();
+  }
   if (mem_ != nullptr) {
     mem_->Unref();
   }
@@ -298,12 +321,12 @@ Status DBImpl::RecoverWal() {
   versions_->SetLastSequence(max_sequence);
 
   if (mem_->num_entries() > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     s = FlushMemTableLocked();
     if (!s.ok()) {
       return s;
     }
-    s = MaybeCompactLocked();
+    s = MaybeCompact(lock);
   }
   return s;
 }
@@ -338,7 +361,15 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 }
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bg_pool_ != nullptr) {
+    // Background mode: make room first so the batch lands in the memtable
+    // and WAL that will stay current (a freeze rotates both).
+    Status rs = MakeRoomForWrite(lock);
+    if (!rs.ok()) {
+      return rs;
+    }
+  }
   const SequenceNumber base = versions_->last_sequence() + 1;
 
   Status s = MaybeSeparateBatch(updates);
@@ -369,36 +400,273 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   }
   versions_->SetLastSequence(base + updates->Count() - 1);
 
+  if (bg_pool_ != nullptr) {
+    if (pending_seek_compaction_.exchange(false, std::memory_order_relaxed)) {
+      // Reads flagged a file that keeps wasting probes; wake the
+      // background thread to service it (tutorial I-2 trigger primitive).
+      bg_compaction_hint_ = true;
+      MaybeScheduleBackgroundWork();
+    }
+    return s;
+  }
+
   if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
     s = FlushMemTableLocked();
     if (s.ok()) {
-      s = MaybeCompactLocked(options_.max_compactions_per_write);
+      s = MaybeCompact(lock, options_.max_compactions_per_write);
     }
   } else if (pending_seek_compaction_.exchange(
                  false, std::memory_order_relaxed)) {
-    // Reads flagged a file that keeps wasting probes; service the
-    // read-triggered compaction now (tutorial I-2 trigger primitive).
-    s = MaybeCompactLocked(options_.max_compactions_per_write);
+    // Inline mode services the read-triggered compaction on this write.
+    s = MaybeCompact(lock, options_.max_compactions_per_write);
   }
   return s;
 }
 
-Status DBImpl::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (mem_->num_entries() == 0) {
-    return Status::OK();
+// ------------------------------------------------- Background pipeline --
+
+Status DBImpl::FreezeMemTableLocked() {
+  assert(imm_ == nullptr);
+  // WiscKey durability order: the frozen entries' values must be durable
+  // in the value log before their pointers can become durable in tables.
+  if (vlog_ != nullptr) {
+    Status vs = vlog_->Sync(/*fsync=*/true);
+    if (!vs.ok()) {
+      return vs;
+    }
   }
-  return FlushMemTableLocked();
+  // Rotate the WAL so writes into the fresh memtable land in a fresh log;
+  // the old log is pinned until the frozen memtable's flush is durable.
+  const uint64_t old_wal = wal_number_;
+  Status s = NewWal();
+  if (!s.ok()) {
+    return s;
+  }
+  imm_ = mem_;
+  imm_log_number_ = wal_number_;
+  imm_wal_to_delete_ = old_wal;
+  mem_ = new MemTable(icmp_, options_.memtable_rep,
+                      options_.memtable_hash_index);
+  mem_->Ref();
+  return Status::OK();
+}
+
+void DBImpl::StallWait(std::unique_lock<std::mutex>& lock) {
+  const auto start = std::chrono::steady_clock::now();
+  bg_cv_.wait(lock);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  write_stalls_.fetch_add(1, std::memory_order_relaxed);
+  write_stall_micros_.fetch_add(static_cast<uint64_t>(micros),
+                                std::memory_order_relaxed);
+}
+
+Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  bool allow_delay = true;
+  // The stop trigger must sit at or above the compaction trigger, or the
+  // stall below could wait for a compaction the policy never picks.
+  const int stop_trigger =
+      std::max(options_.l0_stop_trigger, options_.level0_compaction_trigger);
+  while (true) {
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    const int l0_runs = static_cast<int>(
+        versions_->current()->levels()[0].runs.size());
+    if (allow_delay && options_.l0_slowdown_trigger > 0 &&
+        l0_runs >= options_.l0_slowdown_trigger && l0_runs < stop_trigger) {
+      // Close to the stop limit: surrender one millisecond per write so
+      // compaction gains ground gradually, instead of stalling this writer
+      // for seconds once the hard limit is hit.
+      lock.unlock();
+      const auto start = std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const auto micros =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      write_slowdowns_.fetch_add(1, std::memory_order_relaxed);
+      write_slowdown_micros_.fetch_add(static_cast<uint64_t>(micros),
+                                       std::memory_order_relaxed);
+      allow_delay = false;  // at most one delay per write
+      lock.lock();
+    } else if (mem_->ApproximateMemoryUsage() < options_.write_buffer_size) {
+      return Status::OK();
+    } else if (imm_ != nullptr) {
+      // The previous memtable is still flushing: hard stall until the
+      // background thread installs it.
+      StallWait(lock);
+    } else if (l0_runs >= stop_trigger) {
+      // Too many L0 runs: every extra run taxes reads, so block until
+      // compaction digests the backlog.
+      bg_compaction_hint_ = true;
+      MaybeScheduleBackgroundWork();
+      StallWait(lock);
+    } else {
+      Status s = FreezeMemTableLocked();
+      if (!s.ok()) {
+        return s;
+      }
+      MaybeScheduleBackgroundWork();
+    }
+  }
+}
+
+void DBImpl::MaybeScheduleBackgroundWork() {
+  if (bg_pool_ == nullptr || bg_scheduled_ || shutting_down_ ||
+      !bg_error_.ok()) {
+    return;
+  }
+  // While CompactAll holds the token a hint alone schedules nothing (the
+  // task would spin: it defers compactions until the token is released).
+  if (imm_ == nullptr && !(bg_compaction_hint_ && !manual_compaction_)) {
+    return;
+  }
+  bg_scheduled_ = true;
+  bg_pool_->Schedule([this] { BackgroundCall(); });
+}
+
+void DBImpl::BackgroundCall() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(bg_scheduled_);
+  if (!shutting_down_) {
+    BackgroundWork(lock);
+  }
+  bg_scheduled_ = false;
+  // Work may have arrived while the lock was released during a build.
+  MaybeScheduleBackgroundWork();
+  bg_cv_.notify_all();
+}
+
+void DBImpl::BackgroundWork(std::unique_lock<std::mutex>& lock) {
+  while (!shutting_down_ && bg_error_.ok()) {
+    if (imm_ != nullptr) {
+      // Flush has priority: a pending imm_ is what stalls writers.
+      FlushImmMemTable(lock);
+      continue;
+    }
+    if (manual_compaction_) {
+      // CompactAll owns the compaction token; it drains the shape itself.
+      break;
+    }
+    auto pick = policy_->Pick(*versions_->current());
+    if (!pick.has_value()) {
+      bg_compaction_hint_ = false;
+      break;
+    }
+    Status s = DoCompaction(*pick, lock);
+    if (!s.ok()) {
+      bg_error_ = s;
+    }
+    bg_cv_.notify_all();
+  }
+}
+
+Status DBImpl::FlushImmMemTable(std::unique_lock<std::mutex>& lock) {
+  assert(imm_ != nullptr);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  ReconfigureMonkeyLocked(/*output_level=*/0);
+
+  MemTable* imm = imm_;
+  const SequenceNumber smallest_snapshot = SmallestSnapshotLocked();
+  const uint64_t log_number = imm_log_number_;
+  const uint64_t wal_to_delete = imm_wal_to_delete_;
+
+  // Build the L0 tables without the lock: imm_ is immutable and writers
+  // must be able to keep filling mem_ meanwhile.
+  lock.unlock();
+  std::unique_ptr<Iterator> iter(imm->NewIterator());
+  std::vector<FileMetaData> outputs;
+  uint64_t bytes_written = 0;
+  Status s = BuildTables(iter.get(), /*output_level=*/0,
+                         /*drop_shadowed=*/false, /*drop_tombstones=*/false,
+                         smallest_snapshot, &outputs, &bytes_written);
+  iter.reset();
+  lock.lock();
+
+  if (!s.ok()) {
+    bg_error_ = s;
+    return s;
+  }
+  bytes_flushed_.fetch_add(bytes_written, std::memory_order_relaxed);
+
+  VersionEdit edit;
+  const uint64_t run_seq = versions_->NewRunSeq();
+  for (FileMetaData& meta : outputs) {
+    meta.run_seq = run_seq;
+    edit.AddFile(0, meta);
+  }
+  edit.SetLogNumber(log_number);  // everything older is durable in tables
+  s = versions_->LogAndApply(&edit);
+  if (!s.ok()) {
+    bg_error_ = s;
+    return s;
+  }
+
+  imm_->Unref();
+  imm_ = nullptr;
+  if (options_.enable_wal && wal_to_delete != 0) {
+    options_.env->RemoveFile(WalFileName(dbname_, wal_to_delete));
+  }
+  // A fresh L0 run may now violate the shape: fall through to compaction.
+  bg_compaction_hint_ = true;
+  bg_cv_.notify_all();
+  return Status::OK();
+}
+
+void DBImpl::WaitForBackgroundLocked(std::unique_lock<std::mutex>& lock) {
+  while (bg_scheduled_) {
+    bg_cv_.wait(lock);
+  }
+}
+
+Status DBImpl::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bg_pool_ == nullptr) {
+    if (mem_->num_entries() == 0) {
+      return Status::OK();
+    }
+    return FlushMemTableLocked();
+  }
+  // Background mode: freeze (waiting for a previous freeze to drain
+  // first), then wait until the background thread installs the flush.
+  while (imm_ != nullptr && bg_error_.ok()) {
+    bg_cv_.wait(lock);
+  }
+  if (!bg_error_.ok()) {
+    return bg_error_;
+  }
+  if (mem_->num_entries() > 0) {
+    Status s = FreezeMemTableLocked();
+    if (!s.ok()) {
+      return s;
+    }
+    MaybeScheduleBackgroundWork();
+    while (imm_ != nullptr && bg_error_.ok()) {
+      bg_cv_.wait(lock);
+    }
+  }
+  return bg_error_;
 }
 
 Status DBImpl::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  Status s = Status::OK();
-  if (mem_->num_entries() > 0) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Take the compaction token: background work already running finishes
+  // first, and the background thread then leaves compaction picks to us
+  // (concurrent flushes of frozen memtables remain fine — they only add
+  // newer L0 runs, which never invalidates a pick of older files).
+  manual_compaction_ = true;
+  WaitForBackgroundLocked(lock);
+  Status s = bg_error_.ok() ? Status::OK() : bg_error_;
+  if (s.ok() && imm_ != nullptr) {
+    s = FlushImmMemTable(lock);
+  }
+  if (s.ok() && mem_->num_entries() > 0) {
     s = FlushMemTableLocked();
   }
   if (s.ok()) {
-    s = MaybeCompactLocked();
+    s = MaybeCompact(lock);
   }
   // Major compaction: merge level by level until the whole tree is a
   // single sorted run at the deepest populated level, so bottom-level
@@ -433,8 +701,10 @@ Status DBImpl::CompactAll() {
                                     run.files.begin(), run.files.end());
       }
     }
-    s = DoCompactionLocked(pick);
+    s = DoCompaction(pick, lock);
   }
+  manual_compaction_ = false;
+  MaybeScheduleBackgroundWork();
   return s;
 }
 
@@ -477,9 +747,9 @@ Status DBImpl::FlushMemTableLocked() {
   std::unique_ptr<Iterator> iter(mem_->NewIterator());
   std::vector<FileMetaData> outputs;
   uint64_t bytes_written = 0;
-  s = BuildTablesLocked(iter.get(), /*output_level=*/0,
-                        /*drop_shadowed=*/false, /*drop_tombstones=*/false,
-                        &outputs, &bytes_written);
+  s = BuildTables(iter.get(), /*output_level=*/0,
+                  /*drop_shadowed=*/false, /*drop_tombstones=*/false,
+                  SmallestSnapshotLocked(), &outputs, &bytes_written);
   if (!s.ok()) {
     return s;
   }
@@ -508,14 +778,14 @@ Status DBImpl::FlushMemTableLocked() {
   return Status::OK();
 }
 
-Status DBImpl::BuildTablesLocked(Iterator* iter, int output_level,
-                                 bool drop_shadowed, bool drop_tombstones,
-                                 std::vector<FileMetaData>* outputs,
-                                 uint64_t* bytes_written) {
+Status DBImpl::BuildTables(Iterator* iter, int output_level,
+                           bool drop_shadowed, bool drop_tombstones,
+                           SequenceNumber smallest_snapshot,
+                           std::vector<FileMetaData>* outputs,
+                           uint64_t* bytes_written) {
   outputs->clear();
   *bytes_written = 0;
   const TableOptions& topts = table_cache_->TableOptionsForLevel(output_level);
-  const SequenceNumber smallest_snapshot = SmallestSnapshotLocked();
 
   std::unique_ptr<WritableFile> file;
   std::unique_ptr<SSTableBuilder> builder;
@@ -629,7 +899,8 @@ SequenceNumber DBImpl::SmallestSnapshotLocked() const {
 
 // ------------------------------------------------------------ Compaction --
 
-Status DBImpl::MaybeCompactLocked(int max_picks) {
+Status DBImpl::MaybeCompact(std::unique_lock<std::mutex>& lock,
+                            int max_picks) {
   Status s;
   int done = 0;
   while (s.ok() && (max_picks == 0 || done < max_picks)) {
@@ -637,13 +908,14 @@ Status DBImpl::MaybeCompactLocked(int max_picks) {
     if (!pick.has_value()) {
       break;
     }
-    s = DoCompactionLocked(*pick);
+    s = DoCompaction(*pick, lock);
     done++;
   }
   return s;
 }
 
-Status DBImpl::DoCompactionLocked(const CompactionPick& pick) {
+Status DBImpl::DoCompaction(const CompactionPick& pick,
+                            std::unique_lock<std::mutex>& lock) {
   compactions_.fetch_add(1, std::memory_order_relaxed);
   ReconfigureMonkeyLocked(pick.output_level);
 
@@ -656,6 +928,7 @@ Status DBImpl::DoCompactionLocked(const CompactionPick& pick) {
   }
 
   const VersionPtr base = versions_->current();
+  const SequenceNumber smallest_snapshot = SmallestSnapshotLocked();
 
   // Tombstones can be dropped only when nothing deeper can hold the key:
   // no data below the output level, and every *other* run of the output
@@ -693,7 +966,12 @@ Status DBImpl::DoCompactionLocked(const CompactionPick& pick) {
     }
   }
 
-  // Merge all input + overlap files.
+  // Merge all input + overlap files with the lock released: the inputs
+  // are immutable files pinned by the pick's shared_ptrs, so reads and
+  // writes proceed during the heavy lifting. Compactions themselves never
+  // race — they are serialized on the background thread (or excluded by
+  // the manual-compaction token).
+  lock.unlock();
   std::vector<Iterator*> children;
   uint64_t input_accesses = 0;
   auto add_children = [&](const std::vector<FileMetaPtr>& files) {
@@ -711,10 +989,12 @@ Status DBImpl::DoCompactionLocked(const CompactionPick& pick) {
 
   std::vector<FileMetaData> outputs;
   uint64_t bytes_written = 0;
-  Status s = BuildTablesLocked(merged.get(), pick.output_level,
-                               /*drop_shadowed=*/true,
-                               /*drop_tombstones=*/bottommost, &outputs,
-                               &bytes_written);
+  Status s = BuildTables(merged.get(), pick.output_level,
+                         /*drop_shadowed=*/true,
+                         /*drop_tombstones=*/bottommost, smallest_snapshot,
+                         &outputs, &bytes_written);
+  merged.reset();
+  lock.lock();
   if (!s.ok()) {
     return s;
   }
@@ -771,12 +1051,17 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   gets_.fetch_add(1, std::memory_order_relaxed);
 
   MemTable* mem;
+  MemTable* imm = nullptr;
   VersionPtr version;
   SequenceNumber sequence;
   {
     std::lock_guard<std::mutex> lock(mu_);
     mem = mem_;
     mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) {
+      imm->Ref();
+    }
     version = versions_->current();
     sequence = options.snapshot != nullptr ? options.snapshot->sequence()
                                            : versions_->last_sequence();
@@ -786,13 +1071,16 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   Status s;
   bool done = false;
 
-  if (mem->Get(lkey, value, &s)) {
+  // Newest data first: the live memtable, then the frozen one awaiting
+  // flush, then the tree.
+  if (mem->Get(lkey, value, &s) ||
+      (imm != nullptr && imm->Get(lkey, value, &s))) {
     memtable_hits_.fetch_add(1, std::memory_order_relaxed);
     done = true;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    mem->Unref();
+  mem->Unref();
+  if (imm != nullptr) {
+    imm->Unref();
   }
   if (done) {
     if (s.ok()) {
@@ -949,6 +1237,9 @@ void DBImpl::CollectIterators(const Slice* lo, const Slice* hi,
                               std::vector<Iterator*>* children) {
   // Caller holds mu_.
   children->push_back(mem_->NewIterator());
+  if (imm_ != nullptr) {
+    children->push_back(imm_->NewIterator());
+  }
   VersionPtr version = versions_->current();
   const Comparator* ucmp = icmp_.user_comparator();
 
@@ -1125,6 +1416,12 @@ DBStats DBImpl::GetStats() {
   stats.filter_skips = filter_skips_.load(std::memory_order_relaxed);
   stats.range_filter_skips =
       range_filter_skips_.load(std::memory_order_relaxed);
+  stats.write_slowdowns = write_slowdowns_.load(std::memory_order_relaxed);
+  stats.write_stalls = write_stalls_.load(std::memory_order_relaxed);
+  stats.write_slowdown_micros =
+      write_slowdown_micros_.load(std::memory_order_relaxed);
+  stats.write_stall_micros =
+      write_stall_micros_.load(std::memory_order_relaxed);
   const SSTable::Counters counters = table_cache_->AggregateCounters();
   stats.hash_index_hits = counters.hash_index_hits;
   stats.hash_index_absent = counters.hash_index_absent;

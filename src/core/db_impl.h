@@ -2,6 +2,7 @@
 #define LSMLAB_CORE_DB_IMPL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -13,6 +14,7 @@
 #include "core/table_cache.h"
 #include "core/version.h"
 #include "memtable/memtable.h"
+#include "util/thread_pool.h"
 #include "vlog/value_log.h"
 #include "wal/log_writer.h"
 
@@ -61,20 +63,54 @@ class DBImpl : public DB {
   /// Replays WAL files newer than the manifest's log number.
   Status RecoverWal();
   Status NewWal();
-  /// Flushes the current memtable into a level-0 run. REQUIRES: mu_ held.
+  /// Flushes the current memtable into a level-0 run, entirely under mu_
+  /// (inline mode and recovery). REQUIRES: mu_ held.
   Status FlushMemTableLocked();
+  /// Freezes mem_ into imm_ behind a fresh memtable + WAL so writers can
+  /// continue while the background thread flushes. REQUIRES: mu_ held,
+  /// imm_ == nullptr.
+  Status FreezeMemTableLocked();
+  /// Write controller (background mode): blocks until mem_ has room,
+  /// applying the L0 slowdown/stop triggers and the pending-imm stall.
+  /// REQUIRES: `lock` held; may release and reacquire it.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  /// Schedules a background task when work is pending (a frozen memtable
+  /// or a compaction hint) and none is queued. REQUIRES: mu_ held.
+  void MaybeScheduleBackgroundWork();
+  /// Thread-pool entry point: drains flush + compaction work.
+  void BackgroundCall();
+  /// Runs flushes and compactions until none is pending. REQUIRES: `lock`
+  /// held; releases it while building tables.
+  void BackgroundWork(std::unique_lock<std::mutex>& lock);
+  /// Flushes imm_ into a level-0 run, building tables with `lock`
+  /// released; only the manifest install holds it. REQUIRES: `lock` held,
+  /// imm_ != nullptr. On failure the error is also recorded in bg_error_.
+  Status FlushImmMemTable(std::unique_lock<std::mutex>& lock);
+  /// Waits until no background task is queued or running. REQUIRES: `lock`
+  /// held.
+  void WaitForBackgroundLocked(std::unique_lock<std::mutex>& lock);
+  /// Counted condition-variable wait: blocks on bg_cv_ and accrues the
+  /// stall counters. REQUIRES: `lock` held.
+  void StallWait(std::unique_lock<std::mutex>& lock);
   /// Re-derives the Monkey per-level filter allocation for the current
   /// tree depth. REQUIRES: mu_ held.
   void ReconfigureMonkeyLocked(int output_level);
   /// Runs compactions until the policy is satisfied, or until `max_picks`
-  /// compactions have run (0 = unlimited). REQUIRES: mu_ held.
-  Status MaybeCompactLocked(int max_picks = 0);
-  Status DoCompactionLocked(const CompactionPick& pick);
+  /// compactions have run (0 = unlimited). REQUIRES: `lock` held; may
+  /// release it during merges.
+  Status MaybeCompact(std::unique_lock<std::mutex>& lock, int max_picks = 0);
+  /// Executes one compaction: the merge itself runs with `lock` released
+  /// (inputs are immutable files); pick metadata capture and the version
+  /// install hold it. REQUIRES: `lock` held.
+  Status DoCompaction(const CompactionPick& pick,
+                      std::unique_lock<std::mutex>& lock);
   /// Builds output file(s) from `iter`, splitting at max_file_size.
-  Status BuildTablesLocked(Iterator* iter, int output_level,
-                           bool drop_shadowed, bool drop_tombstones,
-                           std::vector<FileMetaData>* outputs,
-                           uint64_t* bytes_written);
+  /// Thread-safe: touches no mu_-protected state (the snapshot horizon is
+  /// captured by the caller while it still holds mu_).
+  Status BuildTables(Iterator* iter, int output_level, bool drop_shadowed,
+                     bool drop_tombstones, SequenceNumber smallest_snapshot,
+                     std::vector<FileMetaData>* outputs,
+                     uint64_t* bytes_written);
   SequenceNumber SmallestSnapshotLocked() const;
   void PrefetchOutputsLocked(const CompactionPick& pick,
                              const std::vector<FileMetaData>& outputs);
@@ -100,11 +136,33 @@ class DBImpl : public DB {
 
   std::mutex mu_;
   MemTable* mem_ = nullptr;  // owned via Ref/Unref
+  MemTable* imm_ = nullptr;  // frozen memtable awaiting background flush
+  /// WAL of the memtable that replaced imm_; once imm_'s flush is in the
+  /// manifest this becomes the manifest log number, and only then may any
+  /// older WAL be deleted (crash-recovery ordering).
+  uint64_t imm_log_number_ = 0;
+  uint64_t imm_wal_to_delete_ = 0;
   std::unique_ptr<WritableFile> wal_file_;
   std::unique_ptr<wal::Writer> wal_;
   uint64_t wal_number_ = 0;
   std::multiset<SequenceNumber> snapshots_;
   std::unique_ptr<ValueLog> vlog_;  // non-null iff separation enabled
+
+  // Background pipeline (non-null pool iff options_.background_compaction).
+  std::unique_ptr<ThreadPool> bg_pool_;
+  /// Signalled on background progress (flush/compaction install, task
+  /// completion); stalled writers and waiters sleep on it. Guarded by mu_.
+  std::condition_variable bg_cv_;
+  bool bg_scheduled_ = false;        // a task is queued or running
+  bool bg_compaction_hint_ = false;  // shape/seek work may be pending
+  /// CompactAll holds the compaction token: the background thread defers
+  /// compaction picks (flushes still run) so two merges never race over
+  /// the same input files.
+  bool manual_compaction_ = false;
+  bool shutting_down_ = false;
+  /// First background failure; surfaced to writers and sticky (matches the
+  /// usual LSM posture: a failed flush/compaction poisons the DB).
+  Status bg_error_;
 
   // Counters (relaxed; exactness across threads is not load-bearing).
   std::atomic<uint64_t> bytes_flushed_{0};
@@ -118,6 +176,10 @@ class DBImpl : public DB {
   std::atomic<uint64_t> filter_skips_{0};
   std::atomic<uint64_t> range_filter_skips_{0};
   std::atomic<uint64_t> separated_reads_{0};
+  std::atomic<uint64_t> write_slowdowns_{0};
+  std::atomic<uint64_t> write_stalls_{0};
+  std::atomic<uint64_t> write_slowdown_micros_{0};
+  std::atomic<uint64_t> write_stall_micros_{0};
   // Set by Get when a file crosses the seek-compaction threshold; the
   // next write services it (reads never mutate the tree themselves).
   std::atomic<bool> pending_seek_compaction_{false};

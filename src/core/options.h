@@ -86,6 +86,21 @@ struct Options {
   /// FIFO only: total size budget before the oldest run is dropped.
   uint64_t fifo_size_budget = 64 << 20;
 
+  // --- Background write pipeline (III-2) ----------------------------------
+  /// Run flushes and compactions on a background thread. A full memtable is
+  /// frozen and handed off (writers continue into a fresh memtable + WAL),
+  /// and compaction debt is repaid off the write path; the write controller
+  /// below converts hard stalls into bounded slowdowns. Off = inline
+  /// flush/compaction on the writing thread (deterministic benchmarking).
+  bool background_compaction = false;
+  /// Background mode: L0 run count at which each write is delayed ~1ms so
+  /// compaction can catch up before the stop trigger is hit. 0 disables.
+  int l0_slowdown_trigger = 8;
+  /// Background mode: L0 run count at which writers stall until compaction
+  /// reduces the backlog. Effectively clamped to at least
+  /// level0_compaction_trigger so the stall can always be relieved.
+  int l0_stop_trigger = 12;
+
   // --- Memtable (I-2, II-4) ----------------------------------------------
   MemTable::Rep memtable_rep = MemTable::Rep::kSkipList;
   bool memtable_hash_index = false;

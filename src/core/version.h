@@ -200,13 +200,19 @@ class VersionSet {
 
   VersionPtr current() const { return current_; }
 
-  uint64_t NewFileNumber() { return next_file_number_++; }
+  /// Thread-safe: background table builds allocate output numbers while
+  /// the DB mutex is released.
+  uint64_t NewFileNumber() {
+    return next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Ensures future allocations skip `number` — called during recovery for
   /// every file found on storage, so a crash that rolled back the manifest
   /// can never cause a live file's number to be reused (and truncated).
   void MarkFileNumberUsed(uint64_t number) {
-    if (next_file_number_ <= number) {
-      next_file_number_ = number + 1;
+    uint64_t cur = next_file_number_.load(std::memory_order_relaxed);
+    while (cur <= number &&
+           !next_file_number_.compare_exchange_weak(
+               cur, number + 1, std::memory_order_relaxed)) {
     }
   }
   uint64_t NewRunSeq() { return next_run_seq_++; }
@@ -231,7 +237,7 @@ class VersionSet {
   const InternalKeyComparator* const icmp_;
 
   VersionPtr current_;
-  uint64_t next_file_number_ = 2;
+  std::atomic<uint64_t> next_file_number_{2};
   uint64_t next_run_seq_ = 1;
   SequenceNumber last_sequence_ = 0;
   uint64_t log_number_ = 0;

@@ -1,6 +1,7 @@
 #ifndef LSMLAB_MEMTABLE_MEMTABLE_H_
 #define LSMLAB_MEMTABLE_MEMTABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -38,12 +39,13 @@ class MemTable {
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
 
-  /// Reference counting: the DB holds one ref; iterators/snapshots add
-  /// more. Drops itself when the count reaches zero.
-  void Ref() { ++refs_; }
+  /// Reference counting: the DB holds one ref; iterators/readers add more.
+  /// Drops itself when the count reaches zero. Atomic because iterators are
+  /// released on reader threads while the background flush thread unrefs a
+  /// frozen memtable.
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
   void Unref() {
-    --refs_;
-    if (refs_ <= 0) {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       delete this;
     }
   }
@@ -87,7 +89,7 @@ class MemTable {
   InternalKeyComparator comparator_;
   KeyComparator key_comparator_;
   Rep rep_;
-  int refs_ = 0;
+  std::atomic<int> refs_{0};
   uint64_t num_entries_ = 0;
   Arena arena_;
   std::unique_ptr<SkipList<const char*, KeyComparator>> skiplist_;

@@ -1,0 +1,59 @@
+#include "util/thread_pool.h"
+
+namespace lsmlab {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) {
+    num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(work));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // stop_ set and all queued work drained
+    }
+    std::function<void()> work = std::move(queue_.front());
+    queue_.pop_front();
+    running_++;
+    lock.unlock();
+    work();
+    lock.lock();
+    running_--;
+    if (queue_.empty() && running_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,48 @@
+#ifndef LSMLAB_UTIL_THREAD_POOL_H_
+#define LSMLAB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsmlab {
+
+/// Fixed-size pool of background threads draining a FIFO work queue.
+///
+/// Schedule() never blocks. The destructor finishes all queued work before
+/// joining, so an in-flight task (e.g. a scheduled memtable flush) is never
+/// dropped; tasks that must observe shutdown should check their own flag.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `work` to run on one of the pool's threads.
+  void Schedule(std::function<void()> work);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // work arrived or shutdown began
+  std::condition_variable idle_cv_;  // a task finished; the pool may be idle
+  std::deque<std::function<void()>> queue_;
+  int running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_THREAD_POOL_H_
