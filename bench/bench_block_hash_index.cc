@@ -32,7 +32,7 @@ void Run() {
     options.block_hash_index = hash_index;
     options.filter_allocation = FilterAllocation::kNone;
     TestDb db = LoadDb(options, kN, 64);
-    db.db->CompactAll();
+    db.db->CompactAll().IgnoreError();
 
     // Warm every block.
     MeasureGets(&db, kN, 20000, /*existing=*/true, 3);

@@ -33,13 +33,13 @@ void CacheSizeSweep() {
     std::string value;
     // Warm up, then measure.
     for (int i = 0; i < 20000; i++) {
-      db.db->Get({}, keys[zipf->Next()], &value);
+      db.db->Get({}, keys[zipf->Next()], &value).IgnoreError();
     }
     cache.ResetStats();
     const uint64_t io_before = db.io()->block_reads.load();
     const int kOps = 30000;
     for (int i = 0; i < kOps; i++) {
-      db.db->Get({}, keys[zipf->Next()], &value);
+      db.db->Get({}, keys[zipf->Next()], &value).IgnoreError();
     }
     const auto stats = cache.GetStats();
     const double hit_rate =
@@ -59,7 +59,7 @@ double WindowHitRate(TestDb* db, BlockCache* cache,
   cache->ResetStats();
   std::string value;
   for (int i = 0; i < ops; i++) {
-    db->db->Get({}, keys[zipf->Next()], &value);
+    db->db->Get({}, keys[zipf->Next()], &value).IgnoreError();
   }
   const auto stats = cache->GetStats();
   return static_cast<double>(stats.hits) /
@@ -91,7 +91,7 @@ void PrefetchPart() {
     const double before = WindowHitRate(&db, &cache, keys, 10000, 31);
 
     // Force a full compaction: every cached block belongs to dead files.
-    db.db->CompactAll();
+    db.db->CompactAll().IgnoreError();
     const double after = WindowHitRate(&db, &cache, keys, 10000, 37);
     const double recovered = WindowHitRate(&db, &cache, keys, 10000, 41);
 

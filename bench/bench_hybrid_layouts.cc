@@ -53,7 +53,7 @@ void Run() {
         const uint64_t start = rng.Uniform(kKeyDomain);
         std::vector<std::pair<std::string, std::string>> results;
         db.db->Scan({}, EncodeKey(start),
-                    EncodeKey(start + (kKeyDomain / kN) * 16), 16, &results);
+                    EncodeKey(start + (kKeyDomain / kN) * 16), 16, &results).IgnoreError();
       }
       const double scan_ios =
           static_cast<double>(db.io()->block_reads.load() - io_before) /

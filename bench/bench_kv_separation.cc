@@ -44,7 +44,7 @@ void Run() {
         std::vector<std::pair<std::string, std::string>> results;
         db.db->Scan({}, EncodeKey(start),
                     EncodeKey(start + (kKeyDomain / n) * 120), 100,
-                    &results);
+                    &results).IgnoreError();
       }
       const double scan_ios =
           static_cast<double>(db.io()->block_reads.load() - io_before) /

@@ -45,7 +45,7 @@ void Run() {
     // Load half the data first so reads have something to miss against.
     for (size_t i = 0; i < kN / 2; i++) {
       const std::string key = EncodeKey(gen->Next());
-      db.db->Put({}, key, ValueForKey(key, 64));
+      db.db->Put({}, key, ValueForKey(key, 64)).IgnoreError();
     }
     db.io()->Reset();
     const uint64_t writes_before = db.io()->block_writes.load();
@@ -56,9 +56,9 @@ void Run() {
     for (size_t i = 0; i < kOps; i++) {
       if (i % 2 == 0) {
         const std::string key = EncodeKey(gen->Next());
-        db.db->Put({}, key, ValueForKey(key, 64));
+        db.db->Put({}, key, ValueForKey(key, 64)).IgnoreError();
       } else {
-        db.db->Get({}, EncodeKey(absent->Next()), &value);
+        db.db->Get({}, EncodeKey(absent->Next()), &value).IgnoreError();
       }
     }
     const double write_ios =

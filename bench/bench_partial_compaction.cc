@@ -61,9 +61,9 @@ void Run() {
     std::string value;
     for (size_t i = 0; i < kN; i++) {
       const std::string key = EncodeKey(gen->Next());
-      db.db->Put({}, key, ValueForKey(key, 64));
+      db.db->Put({}, key, ValueForKey(key, 64)).IgnoreError();
       if (i % 4 == 0) {
-        db.db->Get({}, EncodeKey(hot->Next()), &value);
+        db.db->Get({}, EncodeKey(hot->Next()), &value).IgnoreError();
       }
     }
 

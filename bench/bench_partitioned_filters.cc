@@ -30,7 +30,7 @@ void Run() {
     options.partition_filters = partitioned;
     options.block_cache = &cache;
     TestDb db = LoadDb(options, kN, 64);
-    db.db->CompactAll();
+    db.db->CompactAll().IgnoreError();
 
     DBStats s0 = db.db->GetStats();
     const GetCost cold = MeasureGets(&db, kN, 3000, /*existing=*/false, 5);

@@ -62,7 +62,7 @@ void Run() {
     for (size_t i = 0; i < kN; i++) {
       const uint64_t v = load_rng.Uniform(1 << 22);
       const std::string key = EncodeKey(v << 24);
-      db.db->Put({}, key, ValueForKey(key, 32));
+      db.db->Put({}, key, ValueForKey(key, 32)).IgnoreError();
     }
 
     for (unsigned width_log : {4u, 8u, 12u, 16u, 20u}) {
@@ -76,7 +76,7 @@ void Run() {
         const uint64_t base = rng.Uniform(1 << 22) << 24;
         const uint64_t lo = base + (1 << 23);
         std::vector<std::pair<std::string, std::string>> results;
-        db.db->Scan({}, EncodeKey(lo), EncodeKey(lo + width), 100, &results);
+        db.db->Scan({}, EncodeKey(lo), EncodeKey(lo + width), 100, &results).IgnoreError();
       }
       DBStats after = db.db->GetStats();
       const double ios =

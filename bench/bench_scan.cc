@@ -50,7 +50,7 @@ void Run() {
           const uint64_t start = rng.Uniform(kKeyDomain);
           std::vector<std::pair<std::string, std::string>> results;
           db.db->Scan({}, EncodeKey(start), EncodeKey(start + gap * width),
-                      width, &results);
+                      width, &results).IgnoreError();
         }
       });
       const double ios =

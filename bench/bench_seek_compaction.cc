@@ -37,7 +37,7 @@ void Run() {
     auto gen = NewUniformGenerator(kKeyDomain, 42);
     for (int i = 0; i < 12000; i++) {
       const std::string key = EncodeKey(gen->Next());
-      db.db->Put({}, key, ValueForKey(key, 64));
+      db.db->Put({}, key, ValueForKey(key, 64)).IgnoreError();
     }
 
     // Read-only phase in windows, with a trickle of writes (1 per 50
@@ -48,10 +48,10 @@ void Run() {
       const uint64_t io_before = db.io()->block_reads.load();
       const int kOps = 2000;
       for (int i = 0; i < kOps; i++) {
-        db.db->Get({}, EncodeKey(absent->Next()), &value);
+        db.db->Get({}, EncodeKey(absent->Next()), &value).IgnoreError();
         if (i % 50 == 0) {
           const std::string key = EncodeKey(gen->Next());
-          db.db->Put({}, key, ValueForKey(key, 64));
+          db.db->Put({}, key, ValueForKey(key, 64)).IgnoreError();
         }
       }
       DBStats stats = db.db->GetStats();

@@ -74,13 +74,13 @@ void Run() {
     for (size_t i = 0; i < kN; i++) {
       const std::string key = EncodeKey(gen->Next());
       const std::string value = ValueForKey(key, 64);
-      const double ms = TimeMs([&] { db.db->Put({}, key, value); });
+      const double ms = TimeMs([&] { db.db->Put({}, key, value).IgnoreError(); });
       lat.Add(ms * 1000.0);  // microseconds
       max_ms = std::max(max_ms, ms);
     }
     // Quiesce so runs_after/write_amp reflect comparable end states.
     if (cfg.background) {
-      db.db->Flush();
+      db.db->Flush().IgnoreError();
     }
     DBStats stats = db.db->GetStats();
     std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%d,%llu,%llu,%.1f,%.1f\n",

@@ -70,22 +70,22 @@ void Run() {
                 mix.read_latest && newest_inserted > 0 && rng.OneIn(2)
                     ? EncodeKey(kKeyDomain + newest_inserted)
                     : keys[zipf->Next()];
-            db.db->Get({}, k, &value);
+            db.db->Get({}, k, &value).IgnoreError();
           } else if (r < mix.read + mix.update) {
             const std::string& k = keys[zipf->Next()];
-            db.db->Put({}, k, ValueForKey(k, 100));
+            db.db->Put({}, k, ValueForKey(k, 100)).IgnoreError();
           } else if (r < mix.read + mix.update + mix.insert) {
             newest_inserted = seq_insert->Next() - kKeyDomain;
             const std::string k = EncodeKey(kKeyDomain + newest_inserted);
-            db.db->Put({}, k, ValueForKey(k, 100));
+            db.db->Put({}, k, ValueForKey(k, 100)).IgnoreError();
           } else if (r < mix.read + mix.update + mix.insert + mix.scan) {
             const std::string& k = keys[zipf->Next()];
             db.db->Scan({}, k, EncodeKey(DecodeKey(k) + (kKeyDomain / kN) * 60),
-                        50, &results);
+                        50, &results).IgnoreError();
           } else {  // read-modify-write
             const std::string& k = keys[zipf->Next()];
-            db.db->Get({}, k, &value);
-            db.db->Put({}, k, ValueForKey(k, 100));
+            db.db->Get({}, k, &value).IgnoreError();
+            db.db->Put({}, k, ValueForKey(k, 100)).IgnoreError();
           }
         }
       });

@@ -43,7 +43,7 @@ int main() {
     Random rng(9);
     for (int i = 0; i < 40000; i++) {
       const std::string key = EncodeKey((rng.Next64() >> 21) * 2);  // even
-      db->Put({}, key, ValueForKey(key, 64));
+      db->Put({}, key, ValueForKey(key, 64)).IgnoreError();
     }
 
     // Lookup cost: absent keys, filters on by default.
@@ -53,7 +53,7 @@ int main() {
     for (int i = 0; i < 2000; i++) {
       // Odd keys are never written, but fall inside the written key range,
       // so only filters (not fence pruning) can skip them.
-      db->Get({}, EncodeKey(((qrng.Next64() >> 21) * 2) | 1), &value);
+      db->Get({}, EncodeKey(((qrng.Next64() >> 21) * 2) | 1), &value).IgnoreError();
     }
     const double get_ios =
         (env->io_stats()->block_reads.load() - before) / 2000.0;

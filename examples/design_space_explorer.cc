@@ -75,13 +75,13 @@ int main(int argc, char** argv) {
     for (const Op& op : ops) {
       switch (op.kind) {
         case Op::Kind::kPut:
-          db->Put({}, op.key, op.value);
+          db->Put({}, op.key, op.value).IgnoreError();
           break;
         case Op::Kind::kGet:
-          db->Get({}, op.key, &value);
+          db->Get({}, op.key, &value).IgnoreError();
           break;
         case Op::Kind::kScan:
-          db->Scan({}, op.key, op.end_key, 16, &results);
+          db->Scan({}, op.key, op.end_key, 16, &results).IgnoreError();
           break;
         default:
           break;

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  db->Delete({}, "user000123");
+  db->Delete({}, "user000123").IgnoreError();
 
   // Point reads.
   std::string value;
@@ -55,18 +55,18 @@ int main(int argc, char** argv) {
 
   // Snapshot isolation: updates after the snapshot stay invisible to it.
   const Snapshot* snap = db->GetSnapshot();
-  db->Put({}, "user004242", "updated");
+  db->Put({}, "user004242", "updated").IgnoreError();
   ReadOptions at_snap;
   at_snap.snapshot = snap;
-  db->Get(at_snap, "user004242", &value);
+  db->Get(at_snap, "user004242", &value).IgnoreError();
   std::printf("snapshot read user004242 -> %s\n", value.c_str());
-  db->Get({}, "user004242", &value);
+  db->Get({}, "user004242", &value).IgnoreError();
   std::printf("latest   read user004242 -> %s\n", value.c_str());
   db->ReleaseSnapshot(snap);
 
   // Range scan.
   std::vector<std::pair<std::string, std::string>> results;
-  db->Scan({}, "user000100", "user000110", 100, &results);
+  db->Scan({}, "user000100", "user000110", 100, &results).IgnoreError();
   std::printf("scan [user000100, user000110]: %zu entries\n", results.size());
   for (const auto& [k, v] : results) {
     std::printf("  %s = %s\n", k.c_str(), v.c_str());

@@ -48,7 +48,7 @@ int main() {
     Random rng(1);
     for (int i = 0; i < 30000; i++) {
       const std::string key = EncodeKey(rng.Uniform(1 << 20) << 24);
-      db->Put({}, key, ValueForKey(key, 32));
+      db->Put({}, key, ValueForKey(key, 32)).IgnoreError();
     }
 
     double ios[2];
@@ -63,7 +63,7 @@ int main() {
         const uint64_t base = (qrng.Uniform(1 << 20) << 24) + (1 << 23);
         std::vector<std::pair<std::string, std::string>> results;
         db->Scan({}, EncodeKey(base), EncodeKey(base + width), 100,
-                 &results);
+                 &results).IgnoreError();
       }
       DBStats safter = db->GetStats();
       ios[w++] = static_cast<double>(env->io_stats()->block_reads.load() -

@@ -19,7 +19,7 @@ BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
     return Ref();
   }
   {
-    std::lock_guard<std::mutex> lock(access_mu_);
+    MutexLock lock(&access_mu_);
     file_accesses_[file_number]++;
   }
   return Ref(&cache_, handle,
@@ -40,12 +40,12 @@ BlockCache::Ref BlockCache::Insert(uint64_t file_number, uint64_t offset,
 
 void BlockCache::ResetStats() {
   cache_.ResetStats();
-  std::lock_guard<std::mutex> lock(access_mu_);
+  MutexLock lock(&access_mu_);
   file_accesses_.clear();
 }
 
 uint64_t BlockCache::FileAccesses(uint64_t file_number) const {
-  std::lock_guard<std::mutex> lock(access_mu_);
+  MutexLock lock(&access_mu_);
   auto it = file_accesses_.find(file_number);
   return it == file_accesses_.end() ? 0 : it->second;
 }

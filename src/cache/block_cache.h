@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "cache/lru_cache.h"
 #include "format/block.h"
+#include "util/mutex.h"
 
 namespace lsmlab {
 
@@ -85,8 +85,9 @@ class BlockCache {
   static std::string MakeKey(uint64_t file_number, uint64_t offset);
 
   LruCache cache_;
-  mutable std::mutex access_mu_;
-  std::unordered_map<uint64_t, uint64_t> file_accesses_;
+  mutable Mutex access_mu_;
+  std::unordered_map<uint64_t, uint64_t> file_accesses_
+      GUARDED_BY(access_mu_);
 };
 
 }  // namespace lsmlab

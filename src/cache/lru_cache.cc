@@ -17,15 +17,17 @@ struct LruCache::Handle {
 };
 
 struct LruCache::Shard {
-  std::mutex mu;
-  size_t capacity = 0;
-  size_t usage = 0;
+  Mutex mu;
+  size_t capacity = 0;  // set once before use, then read-only
+  size_t usage GUARDED_BY(mu) = 0;
   // Front = most recently used.
-  std::list<Handle*> lru;
-  std::unordered_map<std::string, Handle*> table;
-  Stats stats;
+  std::list<Handle*> lru GUARDED_BY(mu);
+  std::unordered_map<std::string, Handle*> table GUARDED_BY(mu);
+  Stats stats GUARDED_BY(mu);
 
-  void Unref(Handle* h) {
+  // Handles are mutated only under mu (the deleter itself runs under mu,
+  // which Release() callers must tolerate).
+  void Unref(Handle* h) REQUIRES(mu) {
     assert(h->refs > 0);
     h->refs--;
     if (h->refs == 0) {
@@ -35,7 +37,7 @@ struct LruCache::Shard {
   }
 
   // Detach h from the table+LRU (does not drop the cache's reference).
-  void DetachLocked(Handle* h) {
+  void DetachLocked(Handle* h) REQUIRES(mu) {
     assert(h->in_cache);
     lru.erase(h->lru_pos);
     table.erase(h->key);
@@ -43,7 +45,7 @@ struct LruCache::Shard {
     usage -= h->charge;
   }
 
-  void EvictLocked() {
+  void EvictLocked() REQUIRES(mu) {
     while (usage > capacity && !lru.empty()) {
       Handle* victim = nullptr;
       // Evict from the cold end, skipping pinned entries.
@@ -94,6 +96,9 @@ LruCache::LruCache(size_t capacity, int num_shards)
 LruCache::~LruCache() {
   for (int i = 0; i < num_shards_; i++) {
     Shard& shard = shards_[i];
+    // No other thread may touch the cache during destruction; the lock is
+    // taken anyway so the annotated Unref/guarded members stay uniform.
+    MutexLock lock(&shard.mu);
     for (Handle* h : shard.lru) {
       assert(h->refs == 1);  // callers must release all handles first
       h->in_cache = false;
@@ -110,7 +115,7 @@ LruCache::Shard* LruCache::GetShard(const Slice& key) {
 LruCache::Handle* LruCache::Insert(const Slice& key, void* value,
                                    size_t charge, Deleter deleter) {
   Shard* shard = GetShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
 
   Handle* h = new Handle();
   h->key = key.ToString();
@@ -137,7 +142,7 @@ LruCache::Handle* LruCache::Insert(const Slice& key, void* value,
 
 LruCache::Handle* LruCache::Lookup(const Slice& key) {
   Shard* shard = GetShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   auto it = shard->table.find(std::string(key.data(), key.size()));
   if (it == shard->table.end()) {
     shard->stats.misses++;
@@ -154,7 +159,7 @@ LruCache::Handle* LruCache::Lookup(const Slice& key) {
 
 void LruCache::Release(Handle* handle) {
   Shard* shard = GetShard(Slice(handle->key));
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   shard->Unref(handle);
 }
 
@@ -162,7 +167,7 @@ void* LruCache::Value(Handle* handle) { return handle->value; }
 
 void LruCache::Erase(const Slice& key) {
   Shard* shard = GetShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   auto it = shard->table.find(std::string(key.data(), key.size()));
   if (it == shard->table.end()) {
     return;
@@ -176,7 +181,7 @@ void LruCache::Erase(const Slice& key) {
 void LruCache::Prune() {
   for (int i = 0; i < num_shards_; i++) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.lru.begin();
     while (it != shard.lru.end()) {
       Handle* h = *it;
@@ -192,7 +197,7 @@ void LruCache::Prune() {
 size_t LruCache::TotalCharge() const {
   size_t total = 0;
   for (int i = 0; i < num_shards_; i++) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    MutexLock lock(&shards_[i].mu);
     total += shards_[i].usage;
   }
   return total;
@@ -201,7 +206,7 @@ size_t LruCache::TotalCharge() const {
 LruCache::Stats LruCache::GetStats() const {
   Stats total;
   for (int i = 0; i < num_shards_; i++) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    MutexLock lock(&shards_[i].mu);
     const Stats& s = shards_[i].stats;
     total.hits += s.hits;
     total.misses += s.misses;
@@ -214,7 +219,7 @@ LruCache::Stats LruCache::GetStats() const {
 
 void LruCache::ResetStats() {
   for (int i = 0; i < num_shards_; i++) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    MutexLock lock(&shards_[i].mu);
     shards_[i].stats = Stats();
   }
 }

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "util/mutex.h"
 #include "util/slice.h"
 
 namespace lsmlab {

@@ -49,17 +49,19 @@ DBImpl::DBImpl(const Options& options, std::string dbname)
 
 DBImpl::~DBImpl() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
     // A queued task will still run (the pool drains before joining) but
     // exits promptly once it observes shutting_down_.
     while (bg_scheduled_) {
-      bg_cv_.wait(lock);
+      bg_cv_.Wait();
     }
   }
   bg_pool_.reset();  // joins the worker thread
   // An unflushed imm_ is safe to drop: its WAL is only deleted after the
-  // flush lands in the manifest, so recovery replays it.
+  // flush lands in the manifest, so recovery replays it. No thread can
+  // race us here, but the guarded members keep a uniform discipline.
+  MutexLock lock(&mu_);
   if (imm_ != nullptr) {
     imm_->Unref();
   }
@@ -69,6 +71,7 @@ DBImpl::~DBImpl() {
 }
 
 Status DBImpl::Init() {
+  MutexLock lock(&mu_);
   Status s = versions_->Recover();
   if (!s.ok()) {
     return s;
@@ -116,7 +119,8 @@ Status DestroyDB(const Options& options, const std::string& name) {
     return Status::OK();  // nothing to destroy
   }
   for (const std::string& child : children) {
-    options.env->RemoveFile(name + "/" + child);
+    // Best-effort teardown; deleting a vanished file is not an error here.
+    options.env->RemoveFile(name + "/" + child).IgnoreError();
   }
   return Status::OK();
 }
@@ -211,7 +215,7 @@ Status DBImpl::GarbageCollectValues() {
     return Status::NotSupported("key-value separation is disabled");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!snapshots_.empty()) {
       return Status::InvalidArgument(
           "cannot garbage-collect the value log with live snapshots");
@@ -321,12 +325,11 @@ Status DBImpl::RecoverWal() {
   versions_->SetLastSequence(max_sequence);
 
   if (mem_->num_entries() > 0) {
-    std::unique_lock<std::mutex> lock(mu_);
     s = FlushMemTableLocked();
     if (!s.ok()) {
       return s;
     }
-    s = MaybeCompact(lock);
+    s = MaybeCompact();
   }
   return s;
 }
@@ -361,11 +364,11 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 }
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (bg_pool_ != nullptr) {
     // Background mode: make room first so the batch lands in the memtable
     // and WAL that will stay current (a freeze rotates both).
-    Status rs = MakeRoomForWrite(lock);
+    Status rs = MakeRoomForWrite();
     if (!rs.ok()) {
       return rs;
     }
@@ -413,12 +416,12 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
     s = FlushMemTableLocked();
     if (s.ok()) {
-      s = MaybeCompact(lock, options_.max_compactions_per_write);
+      s = MaybeCompact(options_.max_compactions_per_write);
     }
   } else if (pending_seek_compaction_.exchange(
                  false, std::memory_order_relaxed)) {
     // Inline mode services the read-triggered compaction on this write.
-    s = MaybeCompact(lock, options_.max_compactions_per_write);
+    s = MaybeCompact(options_.max_compactions_per_write);
   }
   return s;
 }
@@ -451,9 +454,9 @@ Status DBImpl::FreezeMemTableLocked() {
   return Status::OK();
 }
 
-void DBImpl::StallWait(std::unique_lock<std::mutex>& lock) {
+void DBImpl::StallWait() {
   const auto start = std::chrono::steady_clock::now();
-  bg_cv_.wait(lock);
+  bg_cv_.Wait();
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)
                           .count();
@@ -462,7 +465,7 @@ void DBImpl::StallWait(std::unique_lock<std::mutex>& lock) {
                                 std::memory_order_relaxed);
 }
 
-Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+Status DBImpl::MakeRoomForWrite() {
   bool allow_delay = true;
   // The stop trigger must sit at or above the compaction trigger, or the
   // stall below could wait for a compaction the policy never picks.
@@ -479,7 +482,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       // Close to the stop limit: surrender one millisecond per write so
       // compaction gains ground gradually, instead of stalling this writer
       // for seconds once the hard limit is hit.
-      lock.unlock();
+      mu_.Unlock();
       const auto start = std::chrono::steady_clock::now();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       const auto micros =
@@ -490,19 +493,19 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       write_slowdown_micros_.fetch_add(static_cast<uint64_t>(micros),
                                        std::memory_order_relaxed);
       allow_delay = false;  // at most one delay per write
-      lock.lock();
+      mu_.Lock();
     } else if (mem_->ApproximateMemoryUsage() < options_.write_buffer_size) {
       return Status::OK();
     } else if (imm_ != nullptr) {
       // The previous memtable is still flushing: hard stall until the
       // background thread installs it.
-      StallWait(lock);
+      StallWait();
     } else if (l0_runs >= stop_trigger) {
       // Too many L0 runs: every extra run taxes reads, so block until
       // compaction digests the backlog.
       bg_compaction_hint_ = true;
       MaybeScheduleBackgroundWork();
-      StallWait(lock);
+      StallWait();
     } else {
       Status s = FreezeMemTableLocked();
       if (!s.ok()) {
@@ -524,26 +527,32 @@ void DBImpl::MaybeScheduleBackgroundWork() {
     return;
   }
   bg_scheduled_ = true;
-  bg_pool_->Schedule([this] { BackgroundCall(); });
+  if (!bg_pool_->Schedule([this] { BackgroundCall(); })) {
+    // The pool already began draining; only possible during DB teardown,
+    // where shutting_down_ is set before the pool shuts down. Keep the
+    // flag consistent so no waiter hangs on a task that will never run.
+    bg_scheduled_ = false;
+  }
 }
 
 void DBImpl::BackgroundCall() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   assert(bg_scheduled_);
   if (!shutting_down_) {
-    BackgroundWork(lock);
+    BackgroundWork();
   }
   bg_scheduled_ = false;
   // Work may have arrived while the lock was released during a build.
   MaybeScheduleBackgroundWork();
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
 }
 
-void DBImpl::BackgroundWork(std::unique_lock<std::mutex>& lock) {
+void DBImpl::BackgroundWork() {
   while (!shutting_down_ && bg_error_.ok()) {
     if (imm_ != nullptr) {
       // Flush has priority: a pending imm_ is what stalls writers.
-      FlushImmMemTable(lock);
+      // Failures are sticky in bg_error_, which the loop condition checks.
+      FlushImmMemTable().IgnoreError();
       continue;
     }
     if (manual_compaction_) {
@@ -555,15 +564,15 @@ void DBImpl::BackgroundWork(std::unique_lock<std::mutex>& lock) {
       bg_compaction_hint_ = false;
       break;
     }
-    Status s = DoCompaction(*pick, lock);
+    Status s = DoCompaction(*pick);
     if (!s.ok()) {
       bg_error_ = s;
     }
-    bg_cv_.notify_all();
+    bg_cv_.SignalAll();
   }
 }
 
-Status DBImpl::FlushImmMemTable(std::unique_lock<std::mutex>& lock) {
+Status DBImpl::FlushImmMemTable() {
   assert(imm_ != nullptr);
   flushes_.fetch_add(1, std::memory_order_relaxed);
   ReconfigureMonkeyLocked(/*output_level=*/0);
@@ -575,7 +584,7 @@ Status DBImpl::FlushImmMemTable(std::unique_lock<std::mutex>& lock) {
 
   // Build the L0 tables without the lock: imm_ is immutable and writers
   // must be able to keep filling mem_ meanwhile.
-  lock.unlock();
+  mu_.Unlock();
   std::unique_ptr<Iterator> iter(imm->NewIterator());
   std::vector<FileMetaData> outputs;
   uint64_t bytes_written = 0;
@@ -583,7 +592,7 @@ Status DBImpl::FlushImmMemTable(std::unique_lock<std::mutex>& lock) {
                          /*drop_shadowed=*/false, /*drop_tombstones=*/false,
                          smallest_snapshot, &outputs, &bytes_written);
   iter.reset();
-  lock.lock();
+  mu_.Lock();
 
   if (!s.ok()) {
     bg_error_ = s;
@@ -607,22 +616,24 @@ Status DBImpl::FlushImmMemTable(std::unique_lock<std::mutex>& lock) {
   imm_->Unref();
   imm_ = nullptr;
   if (options_.enable_wal && wal_to_delete != 0) {
-    options_.env->RemoveFile(WalFileName(dbname_, wal_to_delete));
+    // Best-effort: a leftover WAL is re-deleted on the next recovery.
+    options_.env->RemoveFile(WalFileName(dbname_, wal_to_delete))
+        .IgnoreError();
   }
   // A fresh L0 run may now violate the shape: fall through to compaction.
   bg_compaction_hint_ = true;
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
   return Status::OK();
 }
 
-void DBImpl::WaitForBackgroundLocked(std::unique_lock<std::mutex>& lock) {
+void DBImpl::WaitForBackgroundLocked() {
   while (bg_scheduled_) {
-    bg_cv_.wait(lock);
+    bg_cv_.Wait();
   }
 }
 
 Status DBImpl::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (bg_pool_ == nullptr) {
     if (mem_->num_entries() == 0) {
       return Status::OK();
@@ -632,7 +643,7 @@ Status DBImpl::Flush() {
   // Background mode: freeze (waiting for a previous freeze to drain
   // first), then wait until the background thread installs the flush.
   while (imm_ != nullptr && bg_error_.ok()) {
-    bg_cv_.wait(lock);
+    bg_cv_.Wait();
   }
   if (!bg_error_.ok()) {
     return bg_error_;
@@ -644,29 +655,29 @@ Status DBImpl::Flush() {
     }
     MaybeScheduleBackgroundWork();
     while (imm_ != nullptr && bg_error_.ok()) {
-      bg_cv_.wait(lock);
+      bg_cv_.Wait();
     }
   }
   return bg_error_;
 }
 
 Status DBImpl::CompactAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Take the compaction token: background work already running finishes
   // first, and the background thread then leaves compaction picks to us
   // (concurrent flushes of frozen memtables remain fine — they only add
   // newer L0 runs, which never invalidates a pick of older files).
   manual_compaction_ = true;
-  WaitForBackgroundLocked(lock);
+  WaitForBackgroundLocked();
   Status s = bg_error_.ok() ? Status::OK() : bg_error_;
   if (s.ok() && imm_ != nullptr) {
-    s = FlushImmMemTable(lock);
+    s = FlushImmMemTable();
   }
   if (s.ok() && mem_->num_entries() > 0) {
     s = FlushMemTableLocked();
   }
   if (s.ok()) {
-    s = MaybeCompact(lock);
+    s = MaybeCompact();
   }
   // Major compaction: merge level by level until the whole tree is a
   // single sorted run at the deepest populated level, so bottom-level
@@ -701,7 +712,7 @@ Status DBImpl::CompactAll() {
                                     run.files.begin(), run.files.end());
       }
     }
-    s = DoCompaction(pick, lock);
+    s = DoCompaction(pick);
   }
   manual_compaction_ = false;
   MaybeScheduleBackgroundWork();
@@ -773,7 +784,8 @@ Status DBImpl::FlushMemTableLocked() {
                       options_.memtable_hash_index);
   mem_->Ref();
   if (options_.enable_wal && old_wal != 0) {
-    options_.env->RemoveFile(WalFileName(dbname_, old_wal));
+    // Best-effort: a leftover WAL is re-deleted on the next recovery.
+    options_.env->RemoveFile(WalFileName(dbname_, old_wal)).IgnoreError();
   }
   return Status::OK();
 }
@@ -798,7 +810,8 @@ Status DBImpl::BuildTables(Iterator* iter, int output_level,
         builder->Abandon();
         builder.reset();
         file.reset();
-        options_.env->RemoveFile(TableFileName(dbname_, meta.number));
+        options_.env->RemoveFile(TableFileName(dbname_, meta.number))
+            .IgnoreError();  // empty output; orphan sweep catches leftovers
       }
       return Status::OK();
     }
@@ -885,7 +898,8 @@ Status DBImpl::BuildTables(Iterator* iter, int output_level,
     builder->Abandon();
     builder.reset();
     file.reset();
-    options_.env->RemoveFile(TableFileName(dbname_, meta.number));
+    options_.env->RemoveFile(TableFileName(dbname_, meta.number))
+        .IgnoreError();  // already failing; orphan sweep catches leftovers
   }
   return s;
 }
@@ -899,8 +913,7 @@ SequenceNumber DBImpl::SmallestSnapshotLocked() const {
 
 // ------------------------------------------------------------ Compaction --
 
-Status DBImpl::MaybeCompact(std::unique_lock<std::mutex>& lock,
-                            int max_picks) {
+Status DBImpl::MaybeCompact(int max_picks) {
   Status s;
   int done = 0;
   while (s.ok() && (max_picks == 0 || done < max_picks)) {
@@ -908,14 +921,13 @@ Status DBImpl::MaybeCompact(std::unique_lock<std::mutex>& lock,
     if (!pick.has_value()) {
       break;
     }
-    s = DoCompaction(*pick, lock);
+    s = DoCompaction(*pick);
     done++;
   }
   return s;
 }
 
-Status DBImpl::DoCompaction(const CompactionPick& pick,
-                            std::unique_lock<std::mutex>& lock) {
+Status DBImpl::DoCompaction(const CompactionPick& pick) {
   compactions_.fetch_add(1, std::memory_order_relaxed);
   ReconfigureMonkeyLocked(pick.output_level);
 
@@ -971,7 +983,7 @@ Status DBImpl::DoCompaction(const CompactionPick& pick,
   // writes proceed during the heavy lifting. Compactions themselves never
   // race — they are serialized on the background thread (or excluded by
   // the manual-compaction token).
-  lock.unlock();
+  mu_.Unlock();
   std::vector<Iterator*> children;
   uint64_t input_accesses = 0;
   auto add_children = [&](const std::vector<FileMetaPtr>& files) {
@@ -994,7 +1006,7 @@ Status DBImpl::DoCompaction(const CompactionPick& pick,
                          /*drop_tombstones=*/bottommost, smallest_snapshot,
                          &outputs, &bytes_written);
   merged.reset();
-  lock.lock();
+  mu_.Lock();
   if (!s.ok()) {
     return s;
   }
@@ -1055,7 +1067,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   VersionPtr version;
   SequenceNumber sequence;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     mem = mem_;
     mem->Ref();
     imm = imm_;
@@ -1235,7 +1247,6 @@ Iterator* DBImpl::NewRunIterator(const Run& run) {
 
 void DBImpl::CollectIterators(const Slice* lo, const Slice* hi,
                               std::vector<Iterator*>* children) {
-  // Caller holds mu_.
   children->push_back(mem_->NewIterator());
   if (imm_ != nullptr) {
     children->push_back(imm_->NewIterator());
@@ -1278,7 +1289,7 @@ Iterator* DBImpl::NewRawIterator(const ReadOptions& options) {
   std::vector<Iterator*> children;
   SequenceNumber sequence;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     sequence = options.snapshot != nullptr ? options.snapshot->sequence()
                                            : versions_->last_sequence();
     CollectIterators(nullptr, nullptr, &children);
@@ -1344,7 +1355,7 @@ Status DBImpl::Scan(
   std::vector<Iterator*> children;
   SequenceNumber sequence;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     sequence = options.snapshot != nullptr ? options.snapshot->sequence()
                                            : versions_->last_sequence();
     CollectIterators(&start, &end, &children);
@@ -1373,7 +1384,7 @@ Status DBImpl::Scan(
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const SequenceNumber seq = versions_->last_sequence();
   snapshots_.insert(seq);
   return new SnapshotImpl(seq);
@@ -1383,7 +1394,7 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
   if (snapshot == nullptr) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = snapshots_.find(snapshot->sequence());
   if (it != snapshots_.end()) {
     snapshots_.erase(it);
@@ -1395,7 +1406,7 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
 
 DBStats DBImpl::GetStats() {
   DBStats stats;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   VersionPtr v = versions_->current();
   stats.num_levels = v->num_levels();
   stats.total_runs = v->TotalRuns();
@@ -1437,7 +1448,7 @@ DBStats DBImpl::GetStats() {
 }
 
 std::string DBImpl::DebugShape() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string shape = versions_->current()->DebugString();
   shape += "last_sequence=" + std::to_string(versions_->last_sequence()) +
            " log_number=" + std::to_string(versions_->log_number()) +

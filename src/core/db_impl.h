@@ -2,9 +2,7 @@
 #define LSMLAB_CORE_DB_IMPL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -14,6 +12,7 @@
 #include "core/table_cache.h"
 #include "core/version.h"
 #include "memtable/memtable.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "vlog/value_log.h"
 #include "wal/log_writer.h"
@@ -61,49 +60,46 @@ class DBImpl : public DB {
   };
 
   /// Replays WAL files newer than the manifest's log number.
-  Status RecoverWal();
-  Status NewWal();
+  Status RecoverWal() REQUIRES(mu_);
+  Status NewWal() REQUIRES(mu_);
   /// Flushes the current memtable into a level-0 run, entirely under mu_
-  /// (inline mode and recovery). REQUIRES: mu_ held.
-  Status FlushMemTableLocked();
+  /// (inline mode and recovery).
+  Status FlushMemTableLocked() REQUIRES(mu_);
   /// Freezes mem_ into imm_ behind a fresh memtable + WAL so writers can
-  /// continue while the background thread flushes. REQUIRES: mu_ held,
+  /// continue while the background thread flushes. REQUIRES additionally:
   /// imm_ == nullptr.
-  Status FreezeMemTableLocked();
+  Status FreezeMemTableLocked() REQUIRES(mu_);
   /// Write controller (background mode): blocks until mem_ has room,
   /// applying the L0 slowdown/stop triggers and the pending-imm stall.
-  /// REQUIRES: `lock` held; may release and reacquire it.
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  /// May release and reacquire mu_.
+  Status MakeRoomForWrite() REQUIRES(mu_);
   /// Schedules a background task when work is pending (a frozen memtable
-  /// or a compaction hint) and none is queued. REQUIRES: mu_ held.
-  void MaybeScheduleBackgroundWork();
+  /// or a compaction hint) and none is queued.
+  void MaybeScheduleBackgroundWork() REQUIRES(mu_);
   /// Thread-pool entry point: drains flush + compaction work.
-  void BackgroundCall();
-  /// Runs flushes and compactions until none is pending. REQUIRES: `lock`
-  /// held; releases it while building tables.
-  void BackgroundWork(std::unique_lock<std::mutex>& lock);
-  /// Flushes imm_ into a level-0 run, building tables with `lock`
-  /// released; only the manifest install holds it. REQUIRES: `lock` held,
+  void BackgroundCall() EXCLUDES(mu_);
+  /// Runs flushes and compactions until none is pending; releases mu_
+  /// while building tables.
+  void BackgroundWork() REQUIRES(mu_);
+  /// Flushes imm_ into a level-0 run, building tables with mu_ released;
+  /// only the manifest install holds it. REQUIRES additionally:
   /// imm_ != nullptr. On failure the error is also recorded in bg_error_.
-  Status FlushImmMemTable(std::unique_lock<std::mutex>& lock);
-  /// Waits until no background task is queued or running. REQUIRES: `lock`
-  /// held.
-  void WaitForBackgroundLocked(std::unique_lock<std::mutex>& lock);
+  Status FlushImmMemTable() REQUIRES(mu_);
+  /// Waits until no background task is queued or running.
+  void WaitForBackgroundLocked() REQUIRES(mu_);
   /// Counted condition-variable wait: blocks on bg_cv_ and accrues the
-  /// stall counters. REQUIRES: `lock` held.
-  void StallWait(std::unique_lock<std::mutex>& lock);
+  /// stall counters.
+  void StallWait() REQUIRES(mu_);
   /// Re-derives the Monkey per-level filter allocation for the current
-  /// tree depth. REQUIRES: mu_ held.
-  void ReconfigureMonkeyLocked(int output_level);
+  /// tree depth.
+  void ReconfigureMonkeyLocked(int output_level) REQUIRES(mu_);
   /// Runs compactions until the policy is satisfied, or until `max_picks`
-  /// compactions have run (0 = unlimited). REQUIRES: `lock` held; may
-  /// release it during merges.
-  Status MaybeCompact(std::unique_lock<std::mutex>& lock, int max_picks = 0);
-  /// Executes one compaction: the merge itself runs with `lock` released
+  /// compactions have run (0 = unlimited); may release mu_ during merges.
+  Status MaybeCompact(int max_picks = 0) REQUIRES(mu_);
+  /// Executes one compaction: the merge itself runs with mu_ released
   /// (inputs are immutable files); pick metadata capture and the version
-  /// install hold it. REQUIRES: `lock` held.
-  Status DoCompaction(const CompactionPick& pick,
-                      std::unique_lock<std::mutex>& lock);
+  /// install hold it.
+  Status DoCompaction(const CompactionPick& pick) REQUIRES(mu_);
   /// Builds output file(s) from `iter`, splitting at max_file_size.
   /// Thread-safe: touches no mu_-protected state (the snapshot horizon is
   /// captured by the caller while it still holds mu_).
@@ -111,15 +107,16 @@ class DBImpl : public DB {
                      bool drop_tombstones, SequenceNumber smallest_snapshot,
                      std::vector<FileMetaData>* outputs,
                      uint64_t* bytes_written);
-  SequenceNumber SmallestSnapshotLocked() const;
+  SequenceNumber SmallestSnapshotLocked() const REQUIRES(mu_);
   void PrefetchOutputsLocked(const CompactionPick& pick,
-                             const std::vector<FileMetaData>& outputs);
+                             const std::vector<FileMetaData>& outputs)
+      REQUIRES(mu_);
   /// One run's iterator: concatenation of its (non-overlapping) files.
   Iterator* NewRunIterator(const Run& run);
   /// Collects child iterators for the given bounds (nullptr bounds = all),
   /// consulting range filters when bounds are present.
   void CollectIterators(const Slice* lo, const Slice* hi,
-                        std::vector<Iterator*>* children);
+                        std::vector<Iterator*>* children) REQUIRES(mu_);
   /// Key-value separation: rewrites large values of `updates` into the
   /// value log, leaving tagged pointers (no-op when disabled).
   Status MaybeSeparateBatch(WriteBatch* updates);
@@ -130,39 +127,47 @@ class DBImpl : public DB {
   const Options options_;
   const std::string dbname_;
   InternalKeyComparator icmp_;
+  /// Internally synchronized (own mutex + sharded LruCache locks).
   std::unique_ptr<TableCache> table_cache_;
+  /// All VersionSet state is guarded by mu_ except the atomic file-number
+  /// counter, which background table builds bump with mu_ released (and
+  /// Versions themselves, immutable once installed and pinned via
+  /// shared_ptr). Not annotated GUARDED_BY for exactly that reason.
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<CompactionPolicy> policy_;
 
-  std::mutex mu_;
-  MemTable* mem_ = nullptr;  // owned via Ref/Unref
-  MemTable* imm_ = nullptr;  // frozen memtable awaiting background flush
+  Mutex mu_;
+  MemTable* mem_ GUARDED_BY(mu_) = nullptr;  // owned via Ref/Unref
+  /// Frozen memtable awaiting background flush.
+  MemTable* imm_ GUARDED_BY(mu_) = nullptr;
   /// WAL of the memtable that replaced imm_; once imm_'s flush is in the
   /// manifest this becomes the manifest log number, and only then may any
   /// older WAL be deleted (crash-recovery ordering).
-  uint64_t imm_log_number_ = 0;
-  uint64_t imm_wal_to_delete_ = 0;
-  std::unique_ptr<WritableFile> wal_file_;
-  std::unique_ptr<wal::Writer> wal_;
-  uint64_t wal_number_ = 0;
-  std::multiset<SequenceNumber> snapshots_;
-  std::unique_ptr<ValueLog> vlog_;  // non-null iff separation enabled
+  uint64_t imm_log_number_ GUARDED_BY(mu_) = 0;
+  uint64_t imm_wal_to_delete_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<WritableFile> wal_file_ GUARDED_BY(mu_);
+  std::unique_ptr<wal::Writer> wal_ GUARDED_BY(mu_);
+  uint64_t wal_number_ GUARDED_BY(mu_) = 0;
+  std::multiset<SequenceNumber> snapshots_ GUARDED_BY(mu_);
+  /// Non-null iff separation enabled; internally synchronized.
+  std::unique_ptr<ValueLog> vlog_;
 
   // Background pipeline (non-null pool iff options_.background_compaction).
   std::unique_ptr<ThreadPool> bg_pool_;
   /// Signalled on background progress (flush/compaction install, task
-  /// completion); stalled writers and waiters sleep on it. Guarded by mu_.
-  std::condition_variable bg_cv_;
-  bool bg_scheduled_ = false;        // a task is queued or running
-  bool bg_compaction_hint_ = false;  // shape/seek work may be pending
+  /// completion); stalled writers and waiters sleep on it.
+  CondVar bg_cv_{&mu_};
+  bool bg_scheduled_ GUARDED_BY(mu_) = false;  // a task is queued or running
+  /// Shape/seek work may be pending.
+  bool bg_compaction_hint_ GUARDED_BY(mu_) = false;
   /// CompactAll holds the compaction token: the background thread defers
   /// compaction picks (flushes still run) so two merges never race over
   /// the same input files.
-  bool manual_compaction_ = false;
-  bool shutting_down_ = false;
+  bool manual_compaction_ GUARDED_BY(mu_) = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   /// First background failure; surfaced to writers and sticky (matches the
   /// usual LSM posture: a failed flush/compaction poisons the DB).
-  Status bg_error_;
+  Status bg_error_ GUARDED_BY(mu_);
 
   // Counters (relaxed; exactness across threads is not load-bearing).
   std::atomic<uint64_t> bytes_flushed_{0};

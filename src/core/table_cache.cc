@@ -68,7 +68,7 @@ const TableOptions& TableCache::TableOptionsForLevel(int level) const {
 Status TableCache::FindTable(const FileMetaData& meta,
                              std::shared_ptr<SSTable>* table) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = tables_.find(meta.number);
     if (it != tables_.end()) {
       *table = it->second;
@@ -88,7 +88,7 @@ Status TableCache::FindTable(const FileMetaData& meta,
   if (!s.ok()) {
     return s;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = tables_.emplace(meta.number, std::move(t));
   *table = it->second;
   return Status::OK();
@@ -161,13 +161,13 @@ bool TableCache::RangeMayMatch(const FileMetaData& meta, const Slice& lo_user,
 }
 
 void TableCache::Evict(uint64_t file_number) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   tables_.erase(file_number);
 }
 
 SSTable::Counters TableCache::AggregateCounters() const {
   SSTable::Counters total;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [number, table] : tables_) {
     total.hash_index_hits += table->counters().hash_index_hits;
     total.hash_index_absent += table->counters().hash_index_absent;
@@ -178,7 +178,7 @@ SSTable::Counters TableCache::AggregateCounters() const {
 
 size_t TableCache::IndexMemoryUsage() const {
   size_t total = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [number, table] : tables_) {
     total += table->IndexMemoryUsage();
   }

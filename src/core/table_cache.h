@@ -3,7 +3,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "core/version.h"
 #include "format/sstable_reader.h"
 #include "util/iterator.h"
+#include "util/mutex.h"
 
 namespace lsmlab {
 
@@ -71,8 +71,9 @@ class TableCache {
   std::vector<TableOptions> per_level_options_;
   std::vector<std::unique_ptr<const FilterPolicy>> owned_filters_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<SSTable>> tables_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<SSTable>> tables_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace lsmlab

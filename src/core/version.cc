@@ -205,7 +205,8 @@ FileMetaPtr VersionSet::WrapFile(const FileMetaData& meta) {
   const std::string dbname = dbname_;
   file->cleanup = [env, cache, dbname](FileMetaData* f) {
     cache->Evict(f->number);
-    env->RemoveFile(TableFileName(dbname, f->number));
+    // Best-effort: an undeleted table is swept as an orphan on reopen.
+    env->RemoveFile(TableFileName(dbname, f->number)).IgnoreError();
   };
   return file;
 }
@@ -333,7 +334,8 @@ class LogReporter : public wal::Reader::Reporter {
 }  // namespace
 
 Status VersionSet::Recover() {
-  env_->CreateDir(dbname_);
+  // May already exist; a real failure surfaces when CURRENT is read.
+  env_->CreateDir(dbname_).IgnoreError();
   const std::string current_name = CurrentFileName(dbname_);
 
   if (!env_->FileExists(current_name)) {
@@ -438,7 +440,8 @@ Status VersionSet::Recover() {
       env_, Slice(new_manifest.substr(dbname_.size() + 1) + "\n"),
       current_name);
   if (s.ok()) {
-    env_->RemoveFile(manifest_name);
+    // Best-effort: a stale manifest is ignored once CURRENT moved on.
+    env_->RemoveFile(manifest_name).IgnoreError();
   }
   return s;
 }
@@ -478,7 +481,8 @@ void VersionSet::RemoveOrphanedFiles() {
     }
     if (!keep) {
       table_cache_->Evict(number);
-      env_->RemoveFile(dbname_ + "/" + child);
+      // Best-effort: an unremovable orphan is retried on the next reopen.
+      env_->RemoveFile(dbname_ + "/" + child).IgnoreError();
     }
   }
 }

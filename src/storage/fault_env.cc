@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace lsmlab {
 
@@ -17,8 +18,8 @@ struct FileDurability {
 
 struct FaultInjectionEnv::State {
   Env* base = nullptr;
-  std::mutex mu;
-  std::map<std::string, FileDurability> files;
+  Mutex mu;
+  std::map<std::string, FileDurability> files GUARDED_BY(mu);
   std::atomic<bool> crashed{false};
 };
 
@@ -50,7 +51,7 @@ class TrackedWritableFile : public WritableFile {
     }
     Status s = base_->Sync();
     if (s.ok()) {
-      std::lock_guard<std::mutex> lock(state_->mu);
+      MutexLock lock(&state_->mu);
       auto& d = state_->files[fname_];
       d.synced_bytes = size_;
       d.ever_synced = true;
@@ -89,7 +90,7 @@ Status FaultInjectionEnv::NewWritableFile(
     return s;
   }
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     state_->files[fname] = FileDurability();  // fresh, nothing durable
   }
   *result = std::make_unique<TrackedWritableFile>(std::move(base_file),
@@ -113,7 +114,7 @@ Status FaultInjectionEnv::GetChildren(const std::string& dir,
 
 Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     state_->files.erase(fname);
   }
   return state_->base->RemoveFile(fname);
@@ -131,7 +132,7 @@ Status FaultInjectionEnv::GetFileSize(const std::string& fname,
 Status FaultInjectionEnv::RenameFile(const std::string& src,
                                      const std::string& target) {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     auto it = state_->files.find(src);
     if (it != state_->files.end()) {
       state_->files[target] = it->second;
@@ -143,7 +144,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
 
 Status FaultInjectionEnv::Crash() {
   state_->crashed.store(true);
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   Status result = Status::OK();
   for (const auto& [fname, d] : state_->files) {
     if (!state_->base->FileExists(fname)) {
@@ -182,7 +183,7 @@ Status FaultInjectionEnv::Crash() {
 }
 
 void FaultInjectionEnv::MarkSynced() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   state_->files.clear();  // untracked files are implicitly durable
 }
 

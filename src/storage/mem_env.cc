@@ -1,9 +1,9 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "storage/env.h"
+#include "util/mutex.h"
 
 namespace lsmlab {
 
@@ -98,7 +98,7 @@ class MemEnv : public Env {
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::IOError(fname, "file not found");
@@ -109,7 +109,7 @@ class MemEnv : public Env {
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto file = std::make_shared<MemFile>();
     files_[fname] = file;  // truncate-on-open semantics
     *result = std::make_unique<MemWritableFile>(std::move(file), &io_stats_);
@@ -118,7 +118,7 @@ class MemEnv : public Env {
 
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::IOError(fname, "file not found");
@@ -128,13 +128,13 @@ class MemEnv : public Env {
   }
 
   bool FileExists(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(fname) > 0;
   }
 
   Status GetChildren(const std::string& dir,
                      std::vector<std::string>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     result->clear();
     std::string prefix = dir;
     if (!prefix.empty() && prefix.back() != '/') {
@@ -151,7 +151,7 @@ class MemEnv : public Env {
   }
 
   Status RemoveFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (files_.erase(fname) == 0) {
       return Status::IOError(fname, "file not found");
     }
@@ -164,7 +164,7 @@ class MemEnv : public Env {
   }
 
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::IOError(fname, "file not found");
@@ -175,7 +175,7 @@ class MemEnv : public Env {
 
   Status RenameFile(const std::string& src,
                     const std::string& target) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(src);
     if (it == files_.end()) {
       return Status::IOError(src, "file not found");
@@ -186,8 +186,8 @@ class MemEnv : public Env {
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<MemFile>> files_;
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace

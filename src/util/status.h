@@ -13,7 +13,11 @@ namespace lsmlab {
 /// Cheap to copy in the common OK case (empty message, code enum only).
 /// Use the static constructors (`Status::NotFound(...)`) to build errors and
 /// the `Is*()` predicates to classify them.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status loses an I/O or corruption
+/// error, so the compiler flags every ignored return. The rare intentional
+/// drop (best-effort cleanup) must say so with `.IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   Status() : code_(Code::kOk) {}
 
@@ -43,6 +47,10 @@ class Status {
 
   /// Human-readable representation, e.g. "NotFound: missing.sst".
   std::string ToString() const;
+
+  /// Explicitly discards the status. Using the returned object satisfies
+  /// [[nodiscard]]; grep-able marker that a drop is deliberate, not a bug.
+  void IgnoreError() const {}
 
  private:
   enum class Code {

@@ -1,0 +1,70 @@
+#ifndef LSMLAB_UTIL_THREAD_ANNOTATIONS_H_
+#define LSMLAB_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (LevelDB/RocksDB-style).
+///
+/// Annotating a mutex-protected member with GUARDED_BY(mu_) and every
+/// *Locked() helper with REQUIRES(mu_) turns the compiler into a static
+/// race detector: building with `clang++ -Wthread-safety -Werror` rejects
+/// any access to guarded state without the right lock held, and any
+/// lock-order or double-acquire mistake the analysis can see. On compilers
+/// without the attribute (gcc, msvc) every macro degrades to a no-op, so
+/// the annotations are free documentation there.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LSMLAB_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef LSMLAB_TSA_ATTR
+#define LSMLAB_TSA_ATTR(x)  // no-op on non-clang compilers
+#endif
+
+// Class of a synchronization primitive (e.g. "mutex").
+#define CAPABILITY(x) LSMLAB_TSA_ATTR(capability(x))
+
+// RAII classes that acquire on construction / release on destruction.
+#define SCOPED_CAPABILITY LSMLAB_TSA_ATTR(scoped_lockable)
+
+// Data member readable/writable only with the given capability held.
+#define GUARDED_BY(x) LSMLAB_TSA_ATTR(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) LSMLAB_TSA_ATTR(pt_guarded_by(x))
+
+// Static lock-ordering declarations.
+#define ACQUIRED_BEFORE(...) LSMLAB_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) LSMLAB_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+// Function requires the capability held on entry (and still held on exit;
+// it may release and reacquire internally).
+#define REQUIRES(...) LSMLAB_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  LSMLAB_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define ACQUIRE(...) LSMLAB_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) LSMLAB_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) LSMLAB_TSA_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) LSMLAB_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) LSMLAB_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called with the capability held (non-reentrancy).
+#define EXCLUDES(...) LSMLAB_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that informs the static analysis the lock is held.
+#define ASSERT_CAPABILITY(x) LSMLAB_TSA_ATTR(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) LSMLAB_TSA_ATTR(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Keep confined to the
+// synchronization-primitive internals (mutex.h) — tools/lint.sh rejects
+// uses elsewhere.
+#define NO_THREAD_SAFETY_ANALYSIS LSMLAB_TSA_ATTR(no_thread_safety_analysis)
+
+#endif  // LSMLAB_UTIL_THREAD_ANNOTATIONS_H_

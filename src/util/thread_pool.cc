@@ -12,48 +12,72 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) {
-    t.join();
-  }
-}
+ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Schedule(std::function<void()> work) {
+bool ThreadPool::Schedule(std::function<void()> work) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    if (state_ != State::kRunning) {
+      return false;
+    }
     queue_.push_back(std::move(work));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || running_ != 0) {
+    idle_cv_.Wait();
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    if (state_ != State::kRunning) {
+      // Another thread is already draining (or has finished); wait for the
+      // terminal state so every Shutdown() caller sees the same postcondition.
+      while (state_ != State::kStopped) {
+        idle_cv_.Wait();
+      }
+      return;
+    }
+    state_ = State::kDraining;
+  }
+  work_cv_.SignalAll();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  {
+    MutexLock lock(&mu_);
+    state_ = State::kStopped;
+  }
+  idle_cv_.SignalAll();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (state_ == State::kRunning && queue_.empty()) {
+      work_cv_.Wait();
+    }
     if (queue_.empty()) {
-      return;  // stop_ set and all queued work drained
+      break;  // draining and fully drained
     }
     std::function<void()> work = std::move(queue_.front());
     queue_.pop_front();
     running_++;
-    lock.unlock();
+    mu_.Unlock();
     work();
-    lock.lock();
+    mu_.Lock();
     running_--;
     if (queue_.empty() && running_ == 0) {
-      idle_cv_.notify_all();
+      idle_cv_.SignalAll();
     }
   }
+  mu_.Unlock();
 }
 
 }  // namespace lsmlab

@@ -1,20 +1,27 @@
 #ifndef LSMLAB_UTIL_THREAD_POOL_H_
 #define LSMLAB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace lsmlab {
 
 /// Fixed-size pool of background threads draining a FIFO work queue.
 ///
-/// Schedule() never blocks. The destructor finishes all queued work before
-/// joining, so an in-flight task (e.g. a scheduled memtable flush) is never
-/// dropped; tasks that must observe shutdown should check their own flag.
+/// Lifecycle is an explicit state machine (checked under mu_):
+///
+///   kRunning --Shutdown()--> kDraining --queue empty, workers joined-->
+///   kStopped
+///
+/// Schedule() never blocks; it returns false (dropping the task) once
+/// shutdown has begun, so a racing producer can never enqueue work that no
+/// worker will run. Work queued before shutdown is always finished — an
+/// in-flight task (e.g. a scheduled memtable flush) is never dropped;
+/// tasks that must observe shutdown should check their own flag.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -23,24 +30,33 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `work` to run on one of the pool's threads.
-  void Schedule(std::function<void()> work);
+  /// Enqueues `work` to run on one of the pool's threads. Returns false —
+  /// and does not enqueue — if Shutdown() has already begun.
+  [[nodiscard]] bool Schedule(std::function<void()> work);
 
   /// Blocks until the queue is empty and no task is executing.
   void WaitIdle();
 
+  /// Stops accepting work, finishes everything already queued, and joins
+  /// the worker threads. Idempotent; safe to call from any thread (a
+  /// concurrent caller blocks until the pool reaches kStopped). Invoked by
+  /// the destructor.
+  void Shutdown();
+
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
+  enum class State { kRunning, kDraining, kStopped };
+
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // work arrived or shutdown began
-  std::condition_variable idle_cv_;  // a task finished; the pool may be idle
-  std::deque<std::function<void()>> queue_;
-  int running_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_{&mu_};  // work arrived or shutdown began
+  CondVar idle_cv_{&mu_};  // a task finished or the pool stopped
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  int running_ GUARDED_BY(mu_) = 0;
+  State state_ GUARDED_BY(mu_) = State::kRunning;
+  std::vector<std::thread> threads_;  // immutable after construction
 };
 
 }  // namespace lsmlab

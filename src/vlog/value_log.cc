@@ -12,8 +12,9 @@ ValueLog::ValueLog(Env* env, std::string dbname, size_t max_file_bytes)
     : env_(env), dbname_(std::move(dbname)), max_file_bytes_(max_file_bytes) {}
 
 ValueLog::~ValueLog() {
+  MutexLock lock(&mu_);
   if (current_file_ != nullptr) {
-    current_file_->Close();
+    current_file_->Close().IgnoreError();  // best-effort on teardown
   }
 }
 
@@ -25,8 +26,9 @@ std::string ValueLog::FileName(const std::string& dbname, uint64_t number) {
 }
 
 Status ValueLog::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
-  env_->CreateDir(dbname_);
+  MutexLock lock(&mu_);
+  // May already exist; a real failure surfaces in GetChildren below.
+  env_->CreateDir(dbname_).IgnoreError();
   std::vector<std::string> children;
   Status s = env_->GetChildren(dbname_, &children);
   if (!s.ok()) {
@@ -69,7 +71,7 @@ Status ValueLog::RotateLocked() {
 }
 
 Status ValueLog::Add(const Slice& value, std::string* pointer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (current_file_ == nullptr) {
     return Status::InvalidArgument("value log not opened");
   }
@@ -111,7 +113,7 @@ Status ValueLog::Get(const Slice& pointer, std::string* value) const {
 
   std::shared_ptr<RandomAccessFile> reader;
   {
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    MutexLock lock(&readers_mu_);
     for (const auto& [n, r] : readers_) {
       if (n == number) {
         reader = r;
@@ -152,7 +154,7 @@ Status ValueLog::Get(const Slice& pointer, std::string* value) const {
 }
 
 Status ValueLog::Sync(bool fsync) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (current_file_ == nullptr) {
     return Status::OK();
   }
@@ -160,7 +162,7 @@ Status ValueLog::Sync(bool fsync) {
 }
 
 std::vector<uint64_t> ValueLog::ClosedFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<uint64_t> result;
   for (uint64_t n : files_) {
     if (n != current_number_) {
@@ -171,7 +173,7 @@ std::vector<uint64_t> ValueLog::ClosedFiles() const {
 }
 
 Status ValueLog::DeleteFiles(const std::vector<uint64_t>& numbers) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status result = Status::OK();
   for (uint64_t n : numbers) {
     if (n == current_number_) {
@@ -179,7 +181,7 @@ Status ValueLog::DeleteFiles(const std::vector<uint64_t>& numbers) {
     }
     files_.erase(n);
     {
-      std::lock_guard<std::mutex> rlock(readers_mu_);
+      MutexLock rlock(&readers_mu_);
       readers_.erase(
           std::remove_if(readers_.begin(), readers_.end(),
                          [n](const auto& p) { return p.first == n; }),
@@ -204,7 +206,7 @@ bool ValueLog::PointsInto(const Slice& pointer,
 }
 
 uint64_t ValueLog::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (uint64_t n : files_) {
     uint64_t size = 0;
@@ -216,7 +218,7 @@ uint64_t ValueLog::TotalBytes() const {
 }
 
 size_t ValueLog::NumFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.size();
 }
 

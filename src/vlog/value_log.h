@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "storage/env.h"
+#include "util/mutex.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -63,26 +63,31 @@ class ValueLog {
 
   uint64_t TotalBytes() const;
   size_t NumFiles() const;
-  uint64_t current_file_number() const { return current_number_; }
+  uint64_t current_file_number() const {
+    MutexLock lock(&mu_);
+    return current_number_;
+  }
 
  private:
-  Status RotateLocked();
+  Status RotateLocked() REQUIRES(mu_);
   static std::string FileName(const std::string& dbname, uint64_t number);
 
   Env* const env_;
   const std::string dbname_;
   const size_t max_file_bytes_;
 
-  mutable std::mutex mu_;
-  std::set<uint64_t> files_;  // all live log files (including current)
-  uint64_t current_number_ = 0;
-  uint64_t current_offset_ = 0;
-  std::unique_ptr<WritableFile> current_file_;
+  // Lock order: mu_ before readers_mu_ (DeleteFiles takes both).
+  mutable Mutex mu_;
+  /// All live log files (including current).
+  std::set<uint64_t> files_ GUARDED_BY(mu_);
+  uint64_t current_number_ GUARDED_BY(mu_) = 0;
+  uint64_t current_offset_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<WritableFile> current_file_ GUARDED_BY(mu_);
 
   // Open read handles, keyed by file number (lazily opened, kept).
-  mutable std::mutex readers_mu_;
+  mutable Mutex readers_mu_ ACQUIRED_AFTER(mu_);
   mutable std::vector<std::pair<uint64_t, std::shared_ptr<RandomAccessFile>>>
-      readers_;
+      readers_ GUARDED_BY(readers_mu_);
 };
 
 }  // namespace lsmlab

@@ -284,7 +284,7 @@ TEST_F(DBTest, StatsTrackReads) {
   }
   std::string value;
   for (int i = 0; i < 100; i++) {
-    db_->Get({}, Key(i), &value);
+    db_->Get({}, Key(i), &value).IgnoreError();
   }
   DBStats stats = db_->GetStats();
   EXPECT_EQ(stats.gets, 100u);
@@ -552,7 +552,7 @@ TEST_F(DBTest, SeekCompactionDisabledByDefault) {
   }
   std::string value;
   for (int i = 0; i < 500; i++) {
-    db_->Get({}, Key(i * 4) + "x", &value);
+    db_->Get({}, Key(i * 4) + "x", &value).IgnoreError();
   }
   ASSERT_TRUE(db_->Put({}, "trigger", "t").ok());
   EXPECT_EQ(db_->GetStats().runs_per_level[0], 2);  // shape untouched

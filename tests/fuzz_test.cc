@@ -73,14 +73,14 @@ TEST(FuzzTest, FooterParserNeverCrashes) {
   for (const std::string& input : FuzzInputs(2, 300)) {
     Footer footer;
     Slice in(input);
-    footer.DecodeFrom(&in);  // status only; must not crash
+    footer.DecodeFrom(&in).IgnoreError();  // status only; must not crash
   }
 }
 
 TEST(FuzzTest, VersionEditParserNeverCrashes) {
   for (const std::string& input : FuzzInputs(3, 300)) {
     VersionEdit edit;
-    edit.DecodeFrom(Slice(input));
+    edit.DecodeFrom(Slice(input)).IgnoreError();
   }
 }
 
@@ -92,7 +92,7 @@ TEST(FuzzTest, WriteBatchIterateNeverCrashes) {
   for (const std::string& input : FuzzInputs(4, 300)) {
     WriteBatch batch;
     batch.SetContentsFrom(Slice(input));
-    batch.Iterate(&nop);
+    batch.Iterate(&nop).IgnoreError();
   }
 }
 
@@ -208,7 +208,7 @@ TEST(FuzzTest, TableWithCorruptedTailFailsCleanly) {
     }
     std::string value;
     table->InternalGet("k000123", "k000123",
-                       [](const Slice&, const Slice&) {});
+                       [](const Slice&, const Slice&) {}).IgnoreError();
   }
 }
 

@@ -27,7 +27,7 @@ class EnvTest : public ::testing::TestWithParam<bool> {
     std::vector<std::string> children;
     if (env_->GetChildren(dir_, &children).ok()) {
       for (const auto& c : children) {
-        env_->RemoveFile(dir_ + "/" + c);
+        env_->RemoveFile(dir_ + "/" + c).IgnoreError();
       }
     }
   }

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# CI matrix driver. Runs one leg (./tools/ci.sh <leg>) or, with no
+# argument, every leg in sequence. Legs that need a tool the host lacks
+# (clang++, clang-tidy) skip with a notice instead of failing, so the
+# script is useful both in CI images with the full toolchain and on
+# gcc-only dev boxes.
+#
+# Legs:
+#   lint           tools/lint.sh banned-API checks (no compiler needed)
+#   gcc            g++ RelWithDebInfo, -Werror, full ctest
+#   clang-tsa      clang++ with -Wthread-safety -Werror + the seeded
+#                  compile-fail check (tools/check_thread_safety.sh)
+#   clang-tidy     clang-tidy over src/ using .clang-tidy
+#   tsan           ThreadSanitizer build + full ctest
+#   asan-ubsan     Address+UB sanitizer builds + full ctest
+#
+# Each leg builds in its own directory (build-ci-<leg>); sanitized and
+# unsanitized objects never mix.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+have() { command -v "$1" >/dev/null 2>&1; }
+
+build_and_test() {
+  # $1 = build dir, remaining = extra cmake args
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+leg_lint() {
+  ./tools/lint.sh
+}
+
+leg_gcc() {
+  local cxx="${CXX_GCC:-g++}"
+  if ! have "$cxx"; then
+    echo "ci[gcc]: SKIP ($cxx not found)"
+    return 0
+  fi
+  CXX="$cxx" build_and_test build-ci-gcc \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSMLAB_WERROR=ON
+}
+
+leg_clang_tsa() {
+  local cxx="${CLANGXX:-clang++}"
+  if ! have "$cxx"; then
+    echo "ci[clang-tsa]: SKIP ($cxx not found)"
+    return 0
+  fi
+  ./tools/check_thread_safety.sh
+  CXX="$cxx" build_and_test build-ci-clang \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSMLAB_WERROR=ON \
+      -DLSMLAB_THREAD_SAFETY=ON
+}
+
+leg_clang_tidy() {
+  local tidy="${CLANG_TIDY:-clang-tidy}"
+  if ! have "$tidy"; then
+    echo "ci[clang-tidy]: SKIP ($tidy not found)"
+    return 0
+  fi
+  # compile_commands.json gives clang-tidy the real include paths/flags.
+  cmake -B build-ci-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cc' | sort | xargs "$tidy" -p build-ci-tidy --quiet
+}
+
+leg_tsan() {
+  # Debug keeps assert()/holder tracking live under the race detector.
+  build_and_test build-ci-tsan \
+      -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=thread
+}
+
+leg_asan_ubsan() {
+  build_and_test build-ci-asan \
+      -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=address
+  build_and_test build-ci-ubsan \
+      -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=undefined
+}
+
+run_leg() {
+  echo "=== ci leg: $1 ==="
+  case "$1" in
+    lint)        leg_lint ;;
+    gcc)         leg_gcc ;;
+    clang-tsa)   leg_clang_tsa ;;
+    clang-tidy)  leg_clang_tidy ;;
+    tsan)        leg_tsan ;;
+    asan-ubsan)  leg_asan_ubsan ;;
+    *)
+      echo "unknown leg '$1' (legs: lint gcc clang-tsa clang-tidy tsan asan-ubsan)" >&2
+      return 2
+      ;;
+  esac
+}
+
+if [ "$#" -ge 1 ]; then
+  run_leg "$1"
+else
+  for leg in lint gcc clang-tsa clang-tidy tsan asan-ubsan; do
+    run_leg "$leg"
+  done
+  echo "=== ci: all legs done ==="
+fi

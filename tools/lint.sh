@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Banned-API and annotation-discipline lint for lsmlab.
+#
+# Checks (all over src/ unless noted):
+#   1. No raw std::mutex / std::lock_guard / std::unique_lock /
+#      std::condition_variable outside src/util/mutex.h. Raw primitives are
+#      invisible to clang's thread-safety analysis; everything must go
+#      through lsmlab::Mutex / MutexLock / CondVar.
+#   2. NO_THREAD_SAFETY_ANALYSIS appears only in src/util/mutex.h (the
+#      CondVar adopt/release dance) and the header defining the macro.
+#   3. No rand()/srand() — benchmarks and tests must use the seeded
+#      generators in util/random.h so runs are reproducible.
+#   4. No `(void)` casts of Status results — intentional drops must use the
+#      grep-able Status::IgnoreError().
+#
+# Exit code 0 = clean, 1 = violations found.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  # $1 = message, stdin = offending grep output (empty = pass)
+  local out
+  out=$(cat)
+  if [ -n "$out" ]; then
+    echo "LINT: $1"
+    echo "$out" | sed 's/^/  /'
+    echo
+    fail=1
+  fi
+}
+
+# 1. Raw synchronization primitives outside the wrapper.
+grep -rnE 'std::(mutex|lock_guard|unique_lock|scoped_lock|condition_variable)' \
+    src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/util/mutex.h:' \
+  | report "raw std synchronization primitive (use util/mutex.h wrappers)"
+
+# 2. Analysis escapes are confined to the wrapper layer.
+grep -rn 'NO_THREAD_SAFETY_ANALYSIS' \
+    src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/util/mutex.h:' \
+  | grep -v '^src/util/thread_annotations.h:' \
+  | report "NO_THREAD_SAFETY_ANALYSIS outside util/mutex.h"
+
+# 3. Unseeded C randomness anywhere in the tree.
+grep -rnE '\b(s?rand)\(' \
+    src/ tests/ bench/ examples/ --include='*.h' --include='*.cc' \
+  | report "rand()/srand() (use the seeded generators in util/random.h)"
+
+# 4. Casting a Status to void instead of IgnoreError().
+grep -rnE '\(void\) *[A-Za-z_][A-Za-z0-9_:>.-]*\((.*\))?' \
+    src/ tests/ bench/ examples/ --include='*.h' --include='*.cc' \
+  | grep -viE 'snprintf|printf|fwrite|memcpy|assert' \
+  | report "(void)-cast call result (if it returns Status, use .IgnoreError())"
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: OK"
+fi
+exit "$fail"
