@@ -1,5 +1,6 @@
 #include "cache/block_cache.h"
 
+#include "obs/perf_context.h"
 #include "util/coding.h"
 
 namespace lsmlab {
@@ -16,8 +17,10 @@ BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
   const std::string key = MakeKey(file_number, offset);
   LruCache::Handle* handle = cache_.Lookup(key);
   if (handle == nullptr) {
+    GetPerfContext()->block_cache_miss_count++;
     return Ref();
   }
+  GetPerfContext()->block_cache_hit_count++;
   {
     MutexLock lock(&access_mu_);
     file_accesses_[file_number]++;

@@ -120,6 +120,15 @@ class DB {
   virtual Status Flush() = 0;
 
   virtual DBStats GetStats() = 0;
+  /// Exports one named introspection property into *value; returns false
+  /// for unknown names. Known properties:
+  ///   "lsmlab.stats"         — StatsRegistry dump: every ticker as a
+  ///                            "ticker.<name>=<value>" line, then one
+  ///                            summary line per phase histogram.
+  ///   "lsmlab.perf-context"  — the calling thread's PerfContext
+  ///                            (thread-local; reflects this thread's ops).
+  ///   "lsmlab.io-stats"      — the Env's logical-I/O counters.
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
   /// Human-readable levels/runs/files layout.
   virtual std::string DebugShape() = 0;
 };

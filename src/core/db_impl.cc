@@ -12,6 +12,7 @@
 #include "core/merging_iterator.h"
 #include "format/sstable_builder.h"
 #include "format/two_level_iterator.h"
+#include "obs/perf_context.h"
 #include "tuning/monkey.h"
 #include "util/coding.h"
 #include "util/hash.h"
@@ -45,6 +46,16 @@ DBImpl::DBImpl(const Options& options, std::string dbname)
     // pick overlapping inputs).
     bg_pool_ = std::make_unique<ThreadPool>(1);
   }
+  // Version cleanup hooks fire wherever the last reference to an obsolete
+  // file drops — often under mu_ — so the observer only records the event;
+  // listener callbacks fire from the next NotifyListeners.
+  versions_->SetFileDeletionObserver([this](uint64_t number) {
+    stats_.Add(Ticker::kTableFilesDeleted);
+    if (has_listeners()) {
+      MutexLock lock(&deletions_mu_);
+      pending_deletions_.push_back(number);
+    }
+  });
 }
 
 DBImpl::~DBImpl() {
@@ -58,6 +69,9 @@ DBImpl::~DBImpl() {
     }
   }
   bg_pool_.reset();  // joins the worker thread
+  // stats_ and deletions_mu_ are declared after versions_, so they die
+  // first; detach the observer before member destruction can race it.
+  versions_->SetFileDeletionObserver(nullptr);
   // An unflushed imm_ is safe to drop: its WAL is only deleted after the
   // flush lands in the manifest, so recovery replays it. No thread can
   // race us here, but the guarded members keep a uniform discipline.
@@ -71,7 +85,19 @@ DBImpl::~DBImpl() {
 }
 
 Status DBImpl::Init() {
-  MutexLock lock(&mu_);
+  PendingEvents events;
+  Status s;
+  {
+    MutexLock lock(&mu_);
+    s = InitLocked(&events);
+  }
+  // Recovery may flush and compact; listeners observe those like any
+  // other flush/compaction, after the lock is gone.
+  NotifyListeners(&events);
+  return s;
+}
+
+Status DBImpl::InitLocked(PendingEvents* events) {
   Status s = versions_->Recover();
   if (!s.ok()) {
     return s;
@@ -82,7 +108,7 @@ Status DBImpl::Init() {
       return s;
     }
   }
-  s = RecoverWal();
+  s = RecoverWal(events);
   if (!s.ok()) {
     return s;
   }
@@ -92,6 +118,56 @@ Status DBImpl::Init() {
   }
   versions_->RemoveOrphanedFiles();
   return Status::OK();
+}
+
+// ------------------------------------------------------------- Listeners --
+
+namespace {
+
+TableFileInfo MakeTableFileInfo(const FileMetaData& meta, int level) {
+  TableFileInfo info;
+  info.file_number = meta.number;
+  info.file_size = meta.file_size;
+  info.level = level;
+  info.smallest_user_key = ExtractUserKey(Slice(meta.smallest)).ToString();
+  info.largest_user_key = ExtractUserKey(Slice(meta.largest)).ToString();
+  return info;
+}
+
+}  // namespace
+
+void DBImpl::DrainDeletions(PendingEvents* events) {
+  if (!has_listeners()) {
+    return;
+  }
+  std::vector<uint64_t> numbers;
+  {
+    MutexLock lock(&deletions_mu_);
+    numbers.swap(pending_deletions_);
+  }
+  for (uint64_t number : numbers) {
+    TableFileDeletionInfo info;
+    info.db_name = dbname_;
+    info.file_number = number;
+    events->push_back(
+        [info](EventListener& l) { l.OnTableFileDeleted(info); });
+  }
+}
+
+void DBImpl::NotifyListeners(PendingEvents* events) {
+  DrainDeletions(events);
+  if (events->empty()) {
+    return;
+  }
+  // The contract listeners rely on (see obs/event_listener.h): callbacks
+  // never run under the DB mutex, so they may call read-side DB methods.
+  assert(!mu_.HeldByCurrentThread());
+  for (const auto& fire : *events) {
+    for (const auto& listener : options_.listeners) {
+      fire(*listener);
+    }
+  }
+  events->clear();
 }
 
 Status DB::Open(const Options& options, const std::string& name,
@@ -204,7 +280,7 @@ Status DBImpl::ResolveValue(const Slice& stored, std::string* out) {
     return Status::OK();
   }
   if (stored[0] == kPointerTag) {
-    separated_reads_.fetch_add(1, std::memory_order_relaxed);
+    stats_.Add(Ticker::kSeparatedReads);
     return vlog_->Get(Slice(stored.data() + 1, stored.size() - 1), out);
   }
   return Status::Corruption("unknown value tag");
@@ -274,7 +350,7 @@ class WalReporter : public wal::Reader::Reporter {
 
 }  // namespace
 
-Status DBImpl::RecoverWal() {
+Status DBImpl::RecoverWal(PendingEvents* events) {
   std::vector<std::string> children;
   Status s = options_.env->GetChildren(dbname_, &children);
   if (!s.ok()) {
@@ -325,11 +401,11 @@ Status DBImpl::RecoverWal() {
   versions_->SetLastSequence(max_sequence);
 
   if (mem_->num_entries() > 0) {
-    s = FlushMemTableLocked();
+    s = FlushMemTableLocked(events);
     if (!s.ok()) {
       return s;
     }
-    s = MaybeCompact();
+    s = MaybeCompact(events);
   }
   return s;
 }
@@ -364,11 +440,29 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 }
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
-  MutexLock lock(&mu_);
+  PerfContext* perf = GetPerfContext();
+  const PerfContext before = *perf;
+  PendingEvents events;
+  Status s;
+  {
+    PerfTimer timer(&perf->write_micros);
+    MutexLock lock(&mu_);
+    s = WriteLocked(options, updates, &events);
+  }
+  stats_.Add(Ticker::kWrites);
+  stats_.Record(PhaseHistogram::kWriteMicros,
+                static_cast<double>(perf->write_micros - before.write_micros));
+  stats_.MergePerfDelta(perf->Delta(before));
+  NotifyListeners(&events);
+  return s;
+}
+
+Status DBImpl::WriteLocked(const WriteOptions& options, WriteBatch* updates,
+                           PendingEvents* events) {
   if (bg_pool_ != nullptr) {
     // Background mode: make room first so the batch lands in the memtable
     // and WAL that will stay current (a freeze rotates both).
-    Status rs = MakeRoomForWrite();
+    Status rs = MakeRoomForWrite(events);
     if (!rs.ok()) {
       return rs;
     }
@@ -390,8 +484,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
 
   if (wal_ != nullptr) {
     s = wal_->AddRecord(updates->Contents());
-    if (s.ok() && options.sync) {
-      s = wal_file_->Sync();
+    if (s.ok()) {
+      GetPerfContext()->wal_append_count++;
+      if (options.sync) {
+        s = wal_file_->Sync();
+        if (s.ok()) {
+          GetPerfContext()->wal_sync_count++;
+        }
+      }
     }
     if (!s.ok()) {
       return s;
@@ -414,14 +514,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   }
 
   if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
-    s = FlushMemTableLocked();
+    s = FlushMemTableLocked(events);
     if (s.ok()) {
-      s = MaybeCompact(options_.max_compactions_per_write);
+      s = MaybeCompact(events, options_.max_compactions_per_write);
     }
   } else if (pending_seek_compaction_.exchange(
                  false, std::memory_order_relaxed)) {
     // Inline mode services the read-triggered compaction on this write.
-    s = MaybeCompact(options_.max_compactions_per_write);
+    s = MaybeCompact(events, options_.max_compactions_per_write);
   }
   return s;
 }
@@ -460,17 +560,26 @@ void DBImpl::StallWait() {
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-  write_stalls_.fetch_add(1, std::memory_order_relaxed);
-  write_stall_micros_.fetch_add(static_cast<uint64_t>(micros),
-                                std::memory_order_relaxed);
+  stats_.Add(Ticker::kWriteStalls);
+  stats_.Add(Ticker::kWriteStallMicros, static_cast<uint64_t>(micros));
 }
 
-Status DBImpl::MakeRoomForWrite() {
+Status DBImpl::MakeRoomForWrite(PendingEvents* events) {
   bool allow_delay = true;
   // The stop trigger must sit at or above the compaction trigger, or the
   // stall below could wait for a compaction the policy never picks.
   const int stop_trigger =
       std::max(options_.l0_stop_trigger, options_.level0_compaction_trigger);
+  auto stage_stall = [&](WriteStallInfo::Cause cause, int l0_runs) {
+    if (!has_listeners()) {
+      return;
+    }
+    WriteStallInfo info;
+    info.db_name = dbname_;
+    info.cause = cause;
+    info.l0_runs = l0_runs;
+    events->push_back([info](EventListener& l) { l.OnWriteStall(info); });
+  };
   while (true) {
     if (!bg_error_.ok()) {
       return bg_error_;
@@ -482,6 +591,7 @@ Status DBImpl::MakeRoomForWrite() {
       // Close to the stop limit: surrender one millisecond per write so
       // compaction gains ground gradually, instead of stalling this writer
       // for seconds once the hard limit is hit.
+      stage_stall(WriteStallInfo::Cause::kSlowdown, l0_runs);
       mu_.Unlock();
       const auto start = std::chrono::steady_clock::now();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -489,9 +599,9 @@ Status DBImpl::MakeRoomForWrite() {
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - start)
               .count();
-      write_slowdowns_.fetch_add(1, std::memory_order_relaxed);
-      write_slowdown_micros_.fetch_add(static_cast<uint64_t>(micros),
-                                       std::memory_order_relaxed);
+      stats_.Add(Ticker::kWriteSlowdowns);
+      stats_.Add(Ticker::kWriteSlowdownMicros,
+                 static_cast<uint64_t>(micros));
       allow_delay = false;  // at most one delay per write
       mu_.Lock();
     } else if (mem_->ApproximateMemoryUsage() < options_.write_buffer_size) {
@@ -499,10 +609,12 @@ Status DBImpl::MakeRoomForWrite() {
     } else if (imm_ != nullptr) {
       // The previous memtable is still flushing: hard stall until the
       // background thread installs it.
+      stage_stall(WriteStallInfo::Cause::kMemtableFull, l0_runs);
       StallWait();
     } else if (l0_runs >= stop_trigger) {
       // Too many L0 runs: every extra run taxes reads, so block until
       // compaction digests the backlog.
+      stage_stall(WriteStallInfo::Cause::kL0Stop, l0_runs);
       bg_compaction_hint_ = true;
       MaybeScheduleBackgroundWork();
       StallWait();
@@ -536,45 +648,68 @@ void DBImpl::MaybeScheduleBackgroundWork() {
 }
 
 void DBImpl::BackgroundCall() {
-  MutexLock lock(&mu_);
-  assert(bg_scheduled_);
-  if (!shutting_down_) {
-    BackgroundWork();
-  }
-  bg_scheduled_ = false;
-  // Work may have arrived while the lock was released during a build.
-  MaybeScheduleBackgroundWork();
-  bg_cv_.SignalAll();
-}
-
-void DBImpl::BackgroundWork() {
-  while (!shutting_down_ && bg_error_.ok()) {
-    if (imm_ != nullptr) {
-      // Flush has priority: a pending imm_ is what stalls writers.
-      // Failures are sticky in bg_error_, which the loop condition checks.
-      FlushImmMemTable().IgnoreError();
-      continue;
+  // One BackgroundStep per lock scope: the mutex is released between steps
+  // so each flush/compaction's listener events fire promptly and without
+  // mu_ held, and each step's PerfContext delta lands in the registry.
+  while (true) {
+    PendingEvents events;
+    PerfContext* perf = GetPerfContext();
+    const PerfContext before = *perf;
+    bool more = false;
+    {
+      MutexLock lock(&mu_);
+      assert(bg_scheduled_);
+      if (!shutting_down_ && bg_error_.ok()) {
+        more = BackgroundStep(&events);
+      }
+      if (!more) {
+        bg_scheduled_ = false;
+        // Work may have arrived while the lock was released during a build.
+        MaybeScheduleBackgroundWork();
+      }
+      bg_cv_.SignalAll();
     }
-    if (manual_compaction_) {
-      // CompactAll owns the compaction token; it drains the shape itself.
-      break;
+    stats_.MergePerfDelta(perf->Delta(before));
+    NotifyListeners(&events);
+    if (!more) {
+      return;
     }
-    auto pick = policy_->Pick(*versions_->current());
-    if (!pick.has_value()) {
-      bg_compaction_hint_ = false;
-      break;
-    }
-    Status s = DoCompaction(*pick);
-    if (!s.ok()) {
-      bg_error_ = s;
-    }
-    bg_cv_.SignalAll();
   }
 }
 
-Status DBImpl::FlushImmMemTable() {
+bool DBImpl::BackgroundStep(PendingEvents* events) {
+  if (imm_ != nullptr) {
+    // Flush has priority: a pending imm_ is what stalls writers.
+    // Failures are sticky in bg_error_, which the caller's loop checks.
+    FlushImmMemTable(events).IgnoreError();
+    return true;
+  }
+  if (manual_compaction_) {
+    // CompactAll owns the compaction token; it drains the shape itself.
+    return false;
+  }
+  auto pick = policy_->Pick(*versions_->current());
+  if (!pick.has_value()) {
+    bg_compaction_hint_ = false;
+    return false;
+  }
+  Status s = DoCompaction(*pick, events);
+  if (!s.ok()) {
+    bg_error_ = s;
+  }
+  return s.ok();
+}
+
+Status DBImpl::FlushImmMemTable(PendingEvents* events) {
   assert(imm_ != nullptr);
-  flushes_.fetch_add(1, std::memory_order_relaxed);
+  stats_.Add(Ticker::kFlushes);
+  const auto flush_start = std::chrono::steady_clock::now();
+  if (has_listeners()) {
+    FlushJobInfo begin;
+    begin.db_name = dbname_;
+    begin.background = true;
+    events->push_back([begin](EventListener& l) { l.OnFlushBegin(begin); });
+  }
   ReconfigureMonkeyLocked(/*output_level=*/0);
 
   MemTable* imm = imm_;
@@ -594,11 +729,41 @@ Status DBImpl::FlushImmMemTable() {
   iter.reset();
   mu_.Lock();
 
+  auto finish = [&](const Status& status) {
+    const uint64_t micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - flush_start)
+            .count());
+    GetPerfContext()->flush_micros += micros;
+    stats_.Record(PhaseHistogram::kFlushMicros,
+                  static_cast<double>(micros));
+    if (!has_listeners()) {
+      return;
+    }
+    FlushJobInfo info;
+    info.db_name = dbname_;
+    info.background = true;
+    info.bytes_written = bytes_written;
+    info.micros = micros;
+    info.status = status;
+    if (status.ok()) {
+      for (const FileMetaData& meta : outputs) {
+        info.outputs.push_back(MakeTableFileInfo(meta, /*level=*/0));
+        const TableFileInfo created = info.outputs.back();
+        events->push_back(
+            [created](EventListener& l) { l.OnTableFileCreated(created); });
+      }
+    }
+    events->push_back([info](EventListener& l) { l.OnFlushEnd(info); });
+  };
+
   if (!s.ok()) {
     bg_error_ = s;
+    finish(s);
     return s;
   }
-  bytes_flushed_.fetch_add(bytes_written, std::memory_order_relaxed);
+  stats_.Add(Ticker::kBytesFlushed, bytes_written);
+  stats_.Add(Ticker::kTableFilesCreated, outputs.size());
 
   VersionEdit edit;
   const uint64_t run_seq = versions_->NewRunSeq();
@@ -610,6 +775,7 @@ Status DBImpl::FlushImmMemTable() {
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) {
     bg_error_ = s;
+    finish(s);
     return s;
   }
 
@@ -620,6 +786,7 @@ Status DBImpl::FlushImmMemTable() {
     options_.env->RemoveFile(WalFileName(dbname_, wal_to_delete))
         .IgnoreError();
   }
+  finish(Status::OK());
   // A fresh L0 run may now violate the shape: fall through to compaction.
   bg_compaction_hint_ = true;
   bg_cv_.SignalAll();
@@ -633,12 +800,22 @@ void DBImpl::WaitForBackgroundLocked() {
 }
 
 Status DBImpl::Flush() {
-  MutexLock lock(&mu_);
+  PendingEvents events;
+  Status s;
+  {
+    MutexLock lock(&mu_);
+    s = FlushLocked(&events);
+  }
+  NotifyListeners(&events);
+  return s;
+}
+
+Status DBImpl::FlushLocked(PendingEvents* events) {
   if (bg_pool_ == nullptr) {
     if (mem_->num_entries() == 0) {
       return Status::OK();
     }
-    return FlushMemTableLocked();
+    return FlushMemTableLocked(events);
   }
   // Background mode: freeze (waiting for a previous freeze to drain
   // first), then wait until the background thread installs the flush.
@@ -662,7 +839,17 @@ Status DBImpl::Flush() {
 }
 
 Status DBImpl::CompactAll() {
-  MutexLock lock(&mu_);
+  PendingEvents events;
+  Status s;
+  {
+    MutexLock lock(&mu_);
+    s = CompactAllLocked(&events);
+  }
+  NotifyListeners(&events);
+  return s;
+}
+
+Status DBImpl::CompactAllLocked(PendingEvents* events) {
   // Take the compaction token: background work already running finishes
   // first, and the background thread then leaves compaction picks to us
   // (concurrent flushes of frozen memtables remain fine — they only add
@@ -671,13 +858,13 @@ Status DBImpl::CompactAll() {
   WaitForBackgroundLocked();
   Status s = bg_error_.ok() ? Status::OK() : bg_error_;
   if (s.ok() && imm_ != nullptr) {
-    s = FlushImmMemTable();
+    s = FlushImmMemTable(events);
   }
   if (s.ok() && mem_->num_entries() > 0) {
-    s = FlushMemTableLocked();
+    s = FlushMemTableLocked(events);
   }
   if (s.ok()) {
-    s = MaybeCompact();
+    s = MaybeCompact(events);
   }
   // Major compaction: merge level by level until the whole tree is a
   // single sorted run at the deepest populated level, so bottom-level
@@ -712,7 +899,7 @@ Status DBImpl::CompactAll() {
                                     run.files.begin(), run.files.end());
       }
     }
-    s = DoCompaction(pick);
+    s = DoCompaction(pick, events);
   }
   manual_compaction_ = false;
   MaybeScheduleBackgroundWork();
@@ -735,8 +922,42 @@ void DBImpl::ReconfigureMonkeyLocked(int output_level) {
       options_.filter_bits_per_key, depth, options_.size_ratio));
 }
 
-Status DBImpl::FlushMemTableLocked() {
-  flushes_.fetch_add(1, std::memory_order_relaxed);
+Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
+  stats_.Add(Ticker::kFlushes);
+  const auto flush_start = std::chrono::steady_clock::now();
+  if (has_listeners()) {
+    FlushJobInfo begin;
+    begin.db_name = dbname_;
+    events->push_back([begin](EventListener& l) { l.OnFlushBegin(begin); });
+  }
+  std::vector<FileMetaData> outputs;
+  uint64_t bytes_written = 0;
+  auto finish = [&](const Status& status) {
+    const uint64_t micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - flush_start)
+            .count());
+    GetPerfContext()->flush_micros += micros;
+    stats_.Record(PhaseHistogram::kFlushMicros,
+                  static_cast<double>(micros));
+    if (!has_listeners()) {
+      return;
+    }
+    FlushJobInfo info;
+    info.db_name = dbname_;
+    info.bytes_written = bytes_written;
+    info.micros = micros;
+    info.status = status;
+    if (status.ok()) {
+      for (const FileMetaData& meta : outputs) {
+        info.outputs.push_back(MakeTableFileInfo(meta, /*level=*/0));
+        const TableFileInfo created = info.outputs.back();
+        events->push_back(
+            [created](EventListener& l) { l.OnTableFileCreated(created); });
+      }
+    }
+    events->push_back([info](EventListener& l) { l.OnFlushEnd(info); });
+  };
   ReconfigureMonkeyLocked(/*output_level=*/0);
 
   // WiscKey durability order: pointers are about to become durable in
@@ -744,6 +965,7 @@ Status DBImpl::FlushMemTableLocked() {
   if (vlog_ != nullptr) {
     Status vs = vlog_->Sync(/*fsync=*/true);
     if (!vs.ok()) {
+      finish(vs);
       return vs;
     }
   }
@@ -752,19 +974,20 @@ Status DBImpl::FlushMemTableLocked() {
   const uint64_t old_wal = wal_number_;
   Status s = NewWal();
   if (!s.ok()) {
+    finish(s);
     return s;
   }
 
   std::unique_ptr<Iterator> iter(mem_->NewIterator());
-  std::vector<FileMetaData> outputs;
-  uint64_t bytes_written = 0;
   s = BuildTables(iter.get(), /*output_level=*/0,
                   /*drop_shadowed=*/false, /*drop_tombstones=*/false,
                   SmallestSnapshotLocked(), &outputs, &bytes_written);
   if (!s.ok()) {
+    finish(s);
     return s;
   }
-  bytes_flushed_.fetch_add(bytes_written, std::memory_order_relaxed);
+  stats_.Add(Ticker::kBytesFlushed, bytes_written);
+  stats_.Add(Ticker::kTableFilesCreated, outputs.size());
 
   VersionEdit edit;
   const uint64_t run_seq = versions_->NewRunSeq();
@@ -775,6 +998,7 @@ Status DBImpl::FlushMemTableLocked() {
   edit.SetLogNumber(wal_number_);  // everything older is durable in tables
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) {
+    finish(s);
     return s;
   }
 
@@ -787,6 +1011,7 @@ Status DBImpl::FlushMemTableLocked() {
     // Best-effort: a leftover WAL is re-deleted on the next recovery.
     options_.env->RemoveFile(WalFileName(dbname_, old_wal)).IgnoreError();
   }
+  finish(Status::OK());
   return Status::OK();
 }
 
@@ -913,7 +1138,7 @@ SequenceNumber DBImpl::SmallestSnapshotLocked() const {
 
 // ------------------------------------------------------------ Compaction --
 
-Status DBImpl::MaybeCompact(int max_picks) {
+Status DBImpl::MaybeCompact(PendingEvents* events, int max_picks) {
   Status s;
   int done = 0;
   while (s.ok() && (max_picks == 0 || done < max_picks)) {
@@ -921,14 +1146,15 @@ Status DBImpl::MaybeCompact(int max_picks) {
     if (!pick.has_value()) {
       break;
     }
-    s = DoCompaction(*pick);
+    s = DoCompaction(*pick, events);
     done++;
   }
   return s;
 }
 
-Status DBImpl::DoCompaction(const CompactionPick& pick) {
-  compactions_.fetch_add(1, std::memory_order_relaxed);
+Status DBImpl::DoCompaction(const CompactionPick& pick,
+                            PendingEvents* events) {
+  stats_.Add(Ticker::kCompactions);
   ReconfigureMonkeyLocked(pick.output_level);
 
   if (pick.drop_only) {
@@ -937,6 +1163,22 @@ Status DBImpl::DoCompaction(const CompactionPick& pick) {
       edit.RemoveFile(pick.level, f->number);
     }
     return versions_->LogAndApply(&edit);
+  }
+
+  const auto compaction_start = std::chrono::steady_clock::now();
+  if (has_listeners()) {
+    CompactionJobInfo begin;
+    begin.db_name = dbname_;
+    begin.input_level = pick.level;
+    begin.output_level = pick.output_level;
+    for (const FileMetaPtr& f : pick.inputs) {
+      begin.inputs.push_back(MakeTableFileInfo(*f, pick.level));
+    }
+    for (const FileMetaPtr& f : pick.output_overlaps) {
+      begin.inputs.push_back(MakeTableFileInfo(*f, pick.output_level));
+    }
+    events->push_back(
+        [begin](EventListener& l) { l.OnCompactionBegin(begin); });
   }
 
   const VersionPtr base = versions_->current();
@@ -1007,10 +1249,48 @@ Status DBImpl::DoCompaction(const CompactionPick& pick) {
                          &outputs, &bytes_written);
   merged.reset();
   mu_.Lock();
+
+  auto finish = [&](const Status& status) {
+    const uint64_t micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - compaction_start)
+            .count());
+    GetPerfContext()->compaction_micros += micros;
+    stats_.Record(PhaseHistogram::kCompactionMicros,
+                  static_cast<double>(micros));
+    if (!has_listeners()) {
+      return;
+    }
+    CompactionJobInfo info;
+    info.db_name = dbname_;
+    info.input_level = pick.level;
+    info.output_level = pick.output_level;
+    info.bytes_written = bytes_written;
+    info.micros = micros;
+    info.status = status;
+    for (const FileMetaPtr& f : pick.inputs) {
+      info.inputs.push_back(MakeTableFileInfo(*f, pick.level));
+    }
+    for (const FileMetaPtr& f : pick.output_overlaps) {
+      info.inputs.push_back(MakeTableFileInfo(*f, pick.output_level));
+    }
+    if (status.ok()) {
+      for (const FileMetaData& meta : outputs) {
+        info.outputs.push_back(MakeTableFileInfo(meta, pick.output_level));
+        const TableFileInfo created = info.outputs.back();
+        events->push_back(
+            [created](EventListener& l) { l.OnTableFileCreated(created); });
+      }
+    }
+    events->push_back([info](EventListener& l) { l.OnCompactionEnd(info); });
+  };
+
   if (!s.ok()) {
+    finish(s);
     return s;
   }
-  bytes_compacted_.fetch_add(bytes_written, std::memory_order_relaxed);
+  stats_.Add(Ticker::kBytesCompacted, bytes_written);
+  stats_.Add(Ticker::kTableFilesCreated, outputs.size());
 
   VersionEdit edit;
   for (const FileMetaPtr& f : pick.inputs) {
@@ -1027,6 +1307,7 @@ Status DBImpl::DoCompaction(const CompactionPick& pick) {
   }
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) {
+    finish(s);
     return s;
   }
 
@@ -1037,6 +1318,7 @@ Status DBImpl::DoCompaction(const CompactionPick& pick) {
       input_accesses >= options_.prefetch_hotness_threshold) {
     PrefetchOutputsLocked(pick, outputs);
   }
+  finish(Status::OK());
   return Status::OK();
 }
 
@@ -1060,7 +1342,25 @@ void DBImpl::PrefetchOutputsLocked(const CompactionPick& /*pick*/,
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
-  gets_.fetch_add(1, std::memory_order_relaxed);
+  // Measure the lookup with thread-local counters, then fold the delta
+  // into the DB-wide registry — one snapshot/subtract per operation, no
+  // atomics on the per-probe hot path.
+  PerfContext* perf = GetPerfContext();
+  const PerfContext before = *perf;
+  Status s;
+  {
+    PerfTimer timer(&perf->get_micros);
+    s = GetImpl(options, key, value);
+  }
+  stats_.Record(PhaseHistogram::kGetMicros,
+                static_cast<double>(perf->get_micros - before.get_micros));
+  stats_.MergePerfDelta(perf->Delta(before));
+  return s;
+}
+
+Status DBImpl::GetImpl(const ReadOptions& options, const Slice& key,
+                       std::string* value) {
+  stats_.Add(Ticker::kGets);
 
   MemTable* mem;
   MemTable* imm = nullptr;
@@ -1087,7 +1387,8 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   // flush, then the tree.
   if (mem->Get(lkey, value, &s) ||
       (imm != nullptr && imm->Get(lkey, value, &s))) {
-    memtable_hits_.fetch_add(1, std::memory_order_relaxed);
+    stats_.Add(Ticker::kMemtableHits);
+    GetPerfContext()->memtable_hit_count++;
     done = true;
   }
   mem->Unref();
@@ -1096,7 +1397,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   }
   if (done) {
     if (s.ok()) {
-      gets_found_.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(Ticker::kGetsFound);
       if (vlog_ != nullptr) {
         const std::string stored = *value;
         s = ResolveValue(Slice(stored), value);
@@ -1150,10 +1451,10 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
         return s;
       }
       if (filter_skipped) {
-        filter_skips_.fetch_add(1, std::memory_order_relaxed);
+        stats_.Add(Ticker::kFilterSkips);
         continue;
       }
-      runs_probed_.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(Ticker::kRunsProbed);
       if (saver.state != SaverState::kNotFound) {
         done = true;
         break;
@@ -1171,7 +1472,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
   switch (saver.state) {
     case SaverState::kFound: {
-      gets_found_.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(Ticker::kGetsFound);
       if (vlog_ != nullptr) {
         const std::string stored = *value;
         return ResolveValue(Slice(stored), value);
@@ -1266,7 +1567,7 @@ void DBImpl::CollectIterators(const Slice* lo, const Slice* hi,
             continue;  // outside the range entirely
           }
           if (!table_cache_->RangeMayMatch(*f, *lo, *hi)) {
-            range_filter_skips_.fetch_add(1, std::memory_order_relaxed);
+            stats_.Add(Ticker::kRangeFilterSkips);
             continue;
           }
           kept.push_back(f);
@@ -1351,6 +1652,18 @@ Status DBImpl::Scan(
     const ReadOptions& options, const Slice& start, const Slice& end,
     size_t limit,
     std::vector<std::pair<std::string, std::string>>* results) {
+  // Like Get: per-thread counters during the scan, one registry fold after.
+  PerfContext* perf = GetPerfContext();
+  const PerfContext before = *perf;
+  Status s = ScanImpl(options, start, end, limit, results);
+  stats_.MergePerfDelta(perf->Delta(before));
+  return s;
+}
+
+Status DBImpl::ScanImpl(
+    const ReadOptions& options, const Slice& start, const Slice& end,
+    size_t limit,
+    std::vector<std::pair<std::string, std::string>>* results) {
   results->clear();
   std::vector<Iterator*> children;
   SequenceNumber sequence;
@@ -1416,23 +1729,20 @@ DBStats DBImpl::GetStats() {
     stats.bytes_per_level.push_back(level.TotalBytes());
     stats.total_bytes += level.TotalBytes();
   }
-  stats.bytes_flushed = bytes_flushed_.load(std::memory_order_relaxed);
-  stats.bytes_compacted = bytes_compacted_.load(std::memory_order_relaxed);
-  stats.compactions = compactions_.load(std::memory_order_relaxed);
-  stats.flushes = flushes_.load(std::memory_order_relaxed);
-  stats.gets = gets_.load(std::memory_order_relaxed);
-  stats.gets_found = gets_found_.load(std::memory_order_relaxed);
-  stats.memtable_hits = memtable_hits_.load(std::memory_order_relaxed);
-  stats.runs_probed = runs_probed_.load(std::memory_order_relaxed);
-  stats.filter_skips = filter_skips_.load(std::memory_order_relaxed);
-  stats.range_filter_skips =
-      range_filter_skips_.load(std::memory_order_relaxed);
-  stats.write_slowdowns = write_slowdowns_.load(std::memory_order_relaxed);
-  stats.write_stalls = write_stalls_.load(std::memory_order_relaxed);
-  stats.write_slowdown_micros =
-      write_slowdown_micros_.load(std::memory_order_relaxed);
-  stats.write_stall_micros =
-      write_stall_micros_.load(std::memory_order_relaxed);
+  stats.bytes_flushed = stats_.Get(Ticker::kBytesFlushed);
+  stats.bytes_compacted = stats_.Get(Ticker::kBytesCompacted);
+  stats.compactions = stats_.Get(Ticker::kCompactions);
+  stats.flushes = stats_.Get(Ticker::kFlushes);
+  stats.gets = stats_.Get(Ticker::kGets);
+  stats.gets_found = stats_.Get(Ticker::kGetsFound);
+  stats.memtable_hits = stats_.Get(Ticker::kMemtableHits);
+  stats.runs_probed = stats_.Get(Ticker::kRunsProbed);
+  stats.filter_skips = stats_.Get(Ticker::kFilterSkips);
+  stats.range_filter_skips = stats_.Get(Ticker::kRangeFilterSkips);
+  stats.write_slowdowns = stats_.Get(Ticker::kWriteSlowdowns);
+  stats.write_stalls = stats_.Get(Ticker::kWriteStalls);
+  stats.write_slowdown_micros = stats_.Get(Ticker::kWriteSlowdownMicros);
+  stats.write_stall_micros = stats_.Get(Ticker::kWriteStallMicros);
   const SSTable::Counters counters = table_cache_->AggregateCounters();
   stats.hash_index_hits = counters.hash_index_hits;
   stats.hash_index_absent = counters.hash_index_absent;
@@ -1441,10 +1751,26 @@ DBStats DBImpl::GetStats() {
   if (vlog_ != nullptr) {
     stats.value_log_bytes = vlog_->TotalBytes();
     stats.value_log_files = vlog_->NumFiles();
-    stats.separated_reads =
-        separated_reads_.load(std::memory_order_relaxed);
+    stats.separated_reads = stats_.Get(Ticker::kSeparatedReads);
   }
   return stats;
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  if (property == Slice("lsmlab.stats")) {
+    *value = stats_.Dump();
+    return true;
+  }
+  if (property == Slice("lsmlab.perf-context")) {
+    *value = GetPerfContext()->ToString(/*include_zero=*/true);
+    return true;
+  }
+  if (property == Slice("lsmlab.io-stats")) {
+    *value = options_.env->io_stats()->ToString();
+    return true;
+  }
+  return false;
 }
 
 std::string DBImpl::DebugShape() {

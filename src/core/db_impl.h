@@ -2,6 +2,7 @@
 #define LSMLAB_CORE_DB_IMPL_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -12,6 +13,8 @@
 #include "core/table_cache.h"
 #include "core/version.h"
 #include "memtable/memtable.h"
+#include "obs/event_listener.h"
+#include "obs/stats_registry.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "vlog/value_log.h"
@@ -47,9 +50,25 @@ class DBImpl : public DB {
   Status CompactAll() override;
   Status Flush() override;
   DBStats GetStats() override;
+  bool GetProperty(const Slice& property, std::string* value) override;
   std::string DebugShape() override;
 
+  /// True iff the calling thread holds the DB mutex. Test hook for the
+  /// listener contract ("callbacks never run under mu_"). Holder tracking
+  /// is compiled out under NDEBUG, where this always returns false — the
+  /// check is meaningful in Debug/sanitizer builds and vacuous in release.
+  bool TEST_MutexHeldByCurrentThread() const {
+#ifdef NDEBUG
+    return false;
+#else
+    return mu_.HeldByCurrentThread();
+#endif
+  }
+
  private:
+  /// Listener callbacks staged while mu_ is held; NotifyListeners fires
+  /// them in staging order once the mutex is released.
+  using PendingEvents = std::vector<std::function<void(EventListener&)>>;
   class SnapshotImpl : public Snapshot {
    public:
     explicit SnapshotImpl(SequenceNumber seq) : seq_(seq) {}
@@ -59,12 +78,33 @@ class DBImpl : public DB {
     SequenceNumber seq_;
   };
 
+  /// Fires staged events — and any queued table-file-deletion events — on
+  /// every registered listener, in order. Never called with mu_ held (the
+  /// listener contract); asserts so in debug builds.
+  void NotifyListeners(PendingEvents* events) EXCLUDES(mu_);
+  /// Moves queued file-deletion events (recorded by the VersionSet
+  /// observer, possibly under mu_) into *events.
+  void DrainDeletions(PendingEvents* events) EXCLUDES(deletions_mu_);
+
+  Status InitLocked(PendingEvents* events) REQUIRES(mu_);
+  /// Locked bodies of Get/Write (events fire after the caller releases
+  /// mu_; Get takes mu_ only briefly to pin state).
+  Status GetImpl(const ReadOptions& options, const Slice& key,
+                 std::string* value) EXCLUDES(mu_);
+  Status ScanImpl(const ReadOptions& options, const Slice& start,
+                  const Slice& end, size_t limit,
+                  std::vector<std::pair<std::string, std::string>>* results)
+      EXCLUDES(mu_);
+  Status WriteLocked(const WriteOptions& options, WriteBatch* updates,
+                     PendingEvents* events) REQUIRES(mu_);
+  Status FlushLocked(PendingEvents* events) REQUIRES(mu_);
+  Status CompactAllLocked(PendingEvents* events) REQUIRES(mu_);
   /// Replays WAL files newer than the manifest's log number.
-  Status RecoverWal() REQUIRES(mu_);
+  Status RecoverWal(PendingEvents* events) REQUIRES(mu_);
   Status NewWal() REQUIRES(mu_);
   /// Flushes the current memtable into a level-0 run, entirely under mu_
   /// (inline mode and recovery).
-  Status FlushMemTableLocked() REQUIRES(mu_);
+  Status FlushMemTableLocked(PendingEvents* events) REQUIRES(mu_);
   /// Freezes mem_ into imm_ behind a fresh memtable + WAL so writers can
   /// continue while the background thread flushes. REQUIRES additionally:
   /// imm_ == nullptr.
@@ -72,19 +112,21 @@ class DBImpl : public DB {
   /// Write controller (background mode): blocks until mem_ has room,
   /// applying the L0 slowdown/stop triggers and the pending-imm stall.
   /// May release and reacquire mu_.
-  Status MakeRoomForWrite() REQUIRES(mu_);
+  Status MakeRoomForWrite(PendingEvents* events) REQUIRES(mu_);
   /// Schedules a background task when work is pending (a frozen memtable
   /// or a compaction hint) and none is queued.
   void MaybeScheduleBackgroundWork() REQUIRES(mu_);
-  /// Thread-pool entry point: drains flush + compaction work.
+  /// Thread-pool entry point: loops over BackgroundStep, releasing mu_
+  /// between steps to fire that step's listener events.
   void BackgroundCall() EXCLUDES(mu_);
-  /// Runs flushes and compactions until none is pending; releases mu_
-  /// while building tables.
-  void BackgroundWork() REQUIRES(mu_);
+  /// Runs one unit of background work (a flush or one compaction),
+  /// releasing mu_ while building tables. Returns true while more work may
+  /// be pending.
+  bool BackgroundStep(PendingEvents* events) REQUIRES(mu_);
   /// Flushes imm_ into a level-0 run, building tables with mu_ released;
   /// only the manifest install holds it. REQUIRES additionally:
   /// imm_ != nullptr. On failure the error is also recorded in bg_error_.
-  Status FlushImmMemTable() REQUIRES(mu_);
+  Status FlushImmMemTable(PendingEvents* events) REQUIRES(mu_);
   /// Waits until no background task is queued or running.
   void WaitForBackgroundLocked() REQUIRES(mu_);
   /// Counted condition-variable wait: blocks on bg_cv_ and accrues the
@@ -95,11 +137,13 @@ class DBImpl : public DB {
   void ReconfigureMonkeyLocked(int output_level) REQUIRES(mu_);
   /// Runs compactions until the policy is satisfied, or until `max_picks`
   /// compactions have run (0 = unlimited); may release mu_ during merges.
-  Status MaybeCompact(int max_picks = 0) REQUIRES(mu_);
+  Status MaybeCompact(PendingEvents* events, int max_picks = 0)
+      REQUIRES(mu_);
   /// Executes one compaction: the merge itself runs with mu_ released
   /// (inputs are immutable files); pick metadata capture and the version
   /// install hold it.
-  Status DoCompaction(const CompactionPick& pick) REQUIRES(mu_);
+  Status DoCompaction(const CompactionPick& pick, PendingEvents* events)
+      REQUIRES(mu_);
   /// Builds output file(s) from `iter`, splitting at max_file_size.
   /// Thread-safe: touches no mu_-protected state (the snapshot horizon is
   /// captured by the caller while it still holds mu_).
@@ -121,6 +165,7 @@ class DBImpl : public DB {
   /// value log, leaving tagged pointers (no-op when disabled).
   Status MaybeSeparateBatch(WriteBatch* updates);
   bool separation_enabled() const { return vlog_ != nullptr; }
+  bool has_listeners() const { return !options_.listeners.empty(); }
   /// User-view iterator over raw (tagged) stored values.
   Iterator* NewRawIterator(const ReadOptions& options);
 
@@ -169,22 +214,16 @@ class DBImpl : public DB {
   /// usual LSM posture: a failed flush/compaction poisons the DB).
   Status bg_error_ GUARDED_BY(mu_);
 
-  // Counters (relaxed; exactness across threads is not load-bearing).
-  std::atomic<uint64_t> bytes_flushed_{0};
-  std::atomic<uint64_t> bytes_compacted_{0};
-  std::atomic<uint64_t> compactions_{0};
-  std::atomic<uint64_t> flushes_{0};
-  std::atomic<uint64_t> gets_{0};
-  std::atomic<uint64_t> gets_found_{0};
-  std::atomic<uint64_t> memtable_hits_{0};
-  std::atomic<uint64_t> runs_probed_{0};
-  std::atomic<uint64_t> filter_skips_{0};
-  std::atomic<uint64_t> range_filter_skips_{0};
-  std::atomic<uint64_t> separated_reads_{0};
-  std::atomic<uint64_t> write_slowdowns_{0};
-  std::atomic<uint64_t> write_stalls_{0};
-  std::atomic<uint64_t> write_slowdown_micros_{0};
-  std::atomic<uint64_t> write_stall_micros_{0};
+  /// Every named DB-wide counter and phase histogram; internally
+  /// synchronized (relaxed atomics + a private histogram mutex), so both
+  /// locked and unlocked code paths bump it directly. Per-operation
+  /// PerfContext deltas are folded in at the end of each instrumented op.
+  StatsRegistry stats_;
+  /// Table-file-deletion events queue here (the VersionSet cleanup hooks
+  /// fire under mu_, where listener callbacks are forbidden) until the
+  /// next NotifyListeners drains them.
+  Mutex deletions_mu_;
+  std::vector<uint64_t> pending_deletions_ GUARDED_BY(deletions_mu_);
   // Set by Get when a file crosses the seek-compaction threshold; the
   // next write services it (reads never mutate the tree themselves).
   std::atomic<bool> pending_seek_compaction_{false};

@@ -3,6 +3,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/perf_context.h"
+
 namespace lsmlab {
 
 namespace {
@@ -35,18 +37,21 @@ class DBIter : public Iterator {
   }
 
   void SeekToFirst() override {
+    PerfTimer timer(&GetPerfContext()->seek_micros);
     direction_ = kForward;
     iter_->SeekToFirst();
     FindNextUserEntry(/*skipping=*/false);
   }
 
   void SeekToLast() override {
+    PerfTimer timer(&GetPerfContext()->seek_micros);
     direction_ = kReverse;
     iter_->SeekToLast();
     FindPrevUserEntry();
   }
 
   void Seek(const Slice& target) override {
+    PerfTimer timer(&GetPerfContext()->seek_micros);
     direction_ = kForward;
     std::string seek_key;
     AppendInternalKey(&seek_key, target, sequence_, kValueTypeForSeek);
@@ -55,6 +60,7 @@ class DBIter : public Iterator {
   }
 
   void Next() override {
+    PerfTimer timer(&GetPerfContext()->next_micros);
     assert(valid_);
     if (direction_ == kReverse) {
       // Position iter_ at the first entry past saved_key_.
@@ -76,6 +82,7 @@ class DBIter : public Iterator {
   }
 
   void Prev() override {
+    PerfTimer timer(&GetPerfContext()->next_micros);
     assert(valid_);
     if (direction_ == kForward) {
       // Back iter_ off to before the current user key's entries.

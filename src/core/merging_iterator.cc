@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/perf_context.h"
+
 namespace lsmlab {
 
 namespace {
@@ -25,6 +27,7 @@ class MergingIterator : public Iterator {
   bool Valid() const override { return current_ != nullptr; }
 
   void SeekToFirst() override {
+    GetPerfContext()->merge_iter_seek_count++;
     for (auto& child : children_) {
       child->SeekToFirst();
     }
@@ -33,6 +36,7 @@ class MergingIterator : public Iterator {
   }
 
   void SeekToLast() override {
+    GetPerfContext()->merge_iter_seek_count++;
     for (auto& child : children_) {
       child->SeekToLast();
     }
@@ -41,6 +45,7 @@ class MergingIterator : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    GetPerfContext()->merge_iter_seek_count++;
     for (auto& child : children_) {
       child->Seek(target);
     }
@@ -49,6 +54,7 @@ class MergingIterator : public Iterator {
   }
 
   void Next() override {
+    GetPerfContext()->merge_iter_step_count++;
     // If we were moving backwards, reposition all non-current children
     // to the first entry after key().
     if (direction_ != kForward) {
@@ -70,6 +76,7 @@ class MergingIterator : public Iterator {
   }
 
   void Prev() override {
+    GetPerfContext()->merge_iter_step_count++;
     if (direction_ != kReverse) {
       const std::string saved_key = key().ToString();
       for (auto& child : children_) {

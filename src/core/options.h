@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "format/table_options.h"
@@ -12,6 +13,7 @@
 namespace lsmlab {
 
 class Env;
+class EventListener;
 class FilterPolicy;
 class RangeFilterPolicy;
 class BlockCache;
@@ -149,6 +151,12 @@ struct Options {
 
   // --- Durability ---------------------------------------------------------
   bool enable_wal = true;
+
+  // --- Observability ------------------------------------------------------
+  /// Observers of flush/compaction/stall/file lifecycle events; see
+  /// obs/event_listener.h for the delivery contract (callbacks never run
+  /// with the DB mutex held). Shared: listeners may outlive the DB.
+  std::vector<std::shared_ptr<EventListener>> listeners;
 };
 
 struct ReadOptions {

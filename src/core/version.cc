@@ -203,10 +203,16 @@ FileMetaPtr VersionSet::WrapFile(const FileMetaData& meta) {
   Env* env = env_;
   TableCache* cache = table_cache_;
   const std::string dbname = dbname_;
-  file->cleanup = [env, cache, dbname](FileMetaData* f) {
+  // Reads deletion_observer_ at fire time (not capture time) so an observer
+  // registered after recovery still sees recovery-era files; `this` outlives
+  // every cleanup because ~VersionSet drops the last Version itself.
+  file->cleanup = [this, env, cache, dbname](FileMetaData* f) {
     cache->Evict(f->number);
     // Best-effort: an undeleted table is swept as an orphan on reopen.
     env->RemoveFile(TableFileName(dbname, f->number)).IgnoreError();
+    if (deletion_observer_) {
+      deletion_observer_(f->number);
+    }
   };
   return file;
 }
@@ -227,9 +233,11 @@ std::shared_ptr<Version> VersionSet::ApplyEdit(const Version& base,
       for (const FileMetaPtr& f : run.files) {
         if (deleted.count(f->number) == 0) {
           copy.files.push_back(f);
-        } else {
-          f->obsolete = true;
         }
+        // NOT marked obsolete here: the edit may still fail to reach the
+        // manifest, and a durable manifest must never reference a deleted
+        // file. LogAndApply marks dropped files once the install is synced;
+        // files dropped on other paths are swept as orphans at reopen.
       }
       if (!copy.files.empty()) {
         (*v->mutable_levels())[level].runs.push_back(std::move(copy));
@@ -314,6 +322,25 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   }
   if (!s.ok()) {
     return s;
+  }
+  // The edit is durable: files it drops may be physically deleted once the
+  // last reference (old versions, iterators) goes away. Marking before the
+  // sync would let a failed install delete files a crash-recovered manifest
+  // still references.
+  if (!edit->deleted_files_.empty()) {
+    std::set<uint64_t> deleted;
+    for (const auto& [level, number] : edit->deleted_files_) {
+      deleted.insert(number);
+    }
+    for (const auto& level : current_->levels()) {
+      for (const Run& run : level.runs) {
+        for (const FileMetaPtr& f : run.files) {
+          if (deleted.count(f->number) != 0) {
+            f->obsolete = true;
+          }
+        }
+      }
+    }
   }
   current_ = std::move(v);
   return Status::OK();

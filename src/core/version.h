@@ -224,6 +224,15 @@ class VersionSet {
   /// leftovers); called once after recovery.
   void RemoveOrphanedFiles();
 
+  /// Registers an observer invoked with the file number of every obsolete
+  /// table file as its on-disk bytes are removed. Cleanup runs when the
+  /// last Version referencing the file drops — often inside LogAndApply
+  /// with the DB mutex held — so the observer must only record the event
+  /// (no locking back into the DB, no listener callbacks).
+  void SetFileDeletionObserver(std::function<void(uint64_t)> observer) {
+    deletion_observer_ = std::move(observer);
+  }
+
  private:
   Status WriteSnapshot(wal::Writer* manifest_writer);
   FileMetaPtr WrapFile(const FileMetaData& meta);
@@ -245,6 +254,7 @@ class VersionSet {
 
   std::unique_ptr<WritableFile> manifest_file_;
   std::unique_ptr<wal::Writer> manifest_writer_;
+  std::function<void(uint64_t)> deletion_observer_;
 };
 
 }  // namespace lsmlab

@@ -1,5 +1,6 @@
 #include "format/format.h"
 
+#include "obs/perf_context.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -55,6 +56,12 @@ Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
 
   const size_t n = static_cast<size_t>(handle.size());
   result->owned.resize(n + kBlockTrailerSize);
+  // PerfContext charges block fetches here — the same call the Env-level
+  // IoStats sees — so per-operation byte totals reconcile exactly with the
+  // env's bytes_read on read-only workloads.
+  PerfContext* perf = GetPerfContext();
+  perf->block_read_count++;
+  perf->block_read_bytes += n + kBlockTrailerSize;
   Slice contents;
   Status s = file->Read(handle.offset(), n + kBlockTrailerSize, &contents,
                         result->owned.data());

@@ -5,6 +5,7 @@
 
 #include "filter/filter_policy.h"
 #include "format/two_level_iterator.h"
+#include "obs/perf_context.h"
 #include "rangefilter/range_filter.h"
 #include "util/coding.h"
 #include "util/hash.h"
@@ -283,19 +284,29 @@ bool SSTable::KeyMayMatch(const Slice& searchable_key, uint64_t hash) const {
   if (!has_filter_) {
     return true;
   }
+  GetPerfContext()->filter_probe_count++;
   const FilterPolicy* policy = options_.filter_policy;
-  if (policy->SupportsHashProbe()) {
-    return policy->HashMayMatch(hash, Slice(filter_data_));
+  const bool maybe = policy->SupportsHashProbe()
+                         ? policy->HashMayMatch(hash, Slice(filter_data_))
+                         : policy->KeyMayMatch(searchable_key,
+                                               Slice(filter_data_));
+  if (!maybe) {
+    GetPerfContext()->filter_negative_count++;
   }
-  return policy->KeyMayMatch(searchable_key, Slice(filter_data_));
+  return maybe;
 }
 
 bool SSTable::RangeMayMatch(const Slice& lo, const Slice& hi) const {
   if (!has_range_filter_) {
     return true;
   }
-  return options_.range_filter_policy->RangeMayMatch(lo, hi,
-                                                     Slice(range_filter_data_));
+  GetPerfContext()->range_filter_probe_count++;
+  const bool maybe = options_.range_filter_policy->RangeMayMatch(
+      lo, hi, Slice(range_filter_data_));
+  if (!maybe) {
+    GetPerfContext()->range_filter_negative_count++;
+  }
+  return maybe;
 }
 
 bool SSTable::LearnedFindBlock(const Slice& searchable,
@@ -354,7 +365,15 @@ bool SSTable::PartitionMayMatch(size_t ordinal, uint64_t hash) const {
   }
   const Slice blob = it->value();
   const FilterPolicy* policy = options_.filter_policy;
-  return policy == nullptr || policy->HashMayMatch(hash, blob);
+  if (policy == nullptr) {
+    return true;
+  }
+  GetPerfContext()->filter_probe_count++;
+  const bool maybe = policy->HashMayMatch(hash, blob);
+  if (!maybe) {
+    GetPerfContext()->filter_negative_count++;
+  }
+  return maybe;
 }
 
 Status SSTable::InternalGet(
@@ -379,6 +398,7 @@ Status SSTable::InternalGet(
       }
     } else {
       counters_.learned_index_seeks++;
+      GetPerfContext()->learned_index_seek_count++;
       if (use_filter && has_partitioned_filter() &&
           !PartitionMayMatch(block_idx, hash64)) {
         if (filter_skipped != nullptr) {
@@ -415,6 +435,7 @@ Status SSTable::InternalGet(
   }
 
   // Exact path: binary search the index block for the fence >= target.
+  GetPerfContext()->index_seek_count++;
   std::unique_ptr<Iterator> index_iter(
       index_block_->NewIterator(options_.comparator));
   index_iter->Seek(target);
@@ -456,9 +477,11 @@ Status SSTable::InternalGet(
   switch (block->HashLookup(hash32, &restart)) {
     case Block::HashResult::kAbsent:
       counters_.hash_index_absent++;
+      GetPerfContext()->hash_index_absent_count++;
       return Status::OK();
     case Block::HashResult::kFound:
       counters_.hash_index_hits++;
+      GetPerfContext()->hash_index_hit_count++;
       iter->SeekToRestart(restart);
       while (iter->Valid() &&
              options_.comparator->Compare(iter->key(), target) < 0) {

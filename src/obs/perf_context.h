@@ -1,0 +1,98 @@
+#ifndef LSMLAB_OBS_PERF_CONTEXT_H_
+#define LSMLAB_OBS_PERF_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace lsmlab {
+
+/// Per-operation, per-thread counters for the read/write paths.
+///
+/// This is the instrument the tutorial's whole method rests on: attributing
+/// an operation's I/O budget to the subsystem that spent it (filter probes,
+/// fence-pointer seeks, block fetches, cache hits) instead of observing one
+/// global number. Every field is a plain uint64 in thread-local storage, so
+/// updating one costs a single non-atomic increment and is race-free by
+/// construction; cross-thread aggregation happens only when a DB operation
+/// folds its delta into the DB-wide StatsRegistry.
+///
+/// Usage: snapshot `*GetPerfContext()` (it is trivially copyable), run the
+/// operation, subtract. Or Reset() and read absolute values when the thread
+/// runs one operation at a time.
+struct PerfContext {
+  // --- Block I/O (counted inside format::ReadBlock, i.e. at exactly the
+  // --- granularity the Env-level IoStats sees its Read calls) -------------
+  uint64_t block_read_count = 0;   ///< physical block fetches (cache misses
+                                   ///< and uncached reads)
+  uint64_t block_read_bytes = 0;   ///< bytes of those fetches (incl. trailer)
+  uint64_t block_cache_hit_count = 0;
+  uint64_t block_cache_miss_count = 0;
+
+  // --- Point filters ------------------------------------------------------
+  uint64_t filter_probe_count = 0;     ///< monolithic + partitioned probes
+  uint64_t filter_negative_count = 0;  ///< probes that rejected the table
+  uint64_t range_filter_probe_count = 0;
+  uint64_t range_filter_negative_count = 0;
+
+  // --- Index --------------------------------------------------------------
+  uint64_t index_seek_count = 0;    ///< fence-pointer (index block) seeks
+  uint64_t learned_index_seek_count = 0;
+  uint64_t hash_index_hit_count = 0;
+  uint64_t hash_index_absent_count = 0;
+
+  // --- Memtable / merge ---------------------------------------------------
+  uint64_t memtable_hit_count = 0;
+  uint64_t merge_iter_seek_count = 0;  ///< Seek/SeekToFirst/SeekToLast fanouts
+  uint64_t merge_iter_step_count = 0;  ///< Next/Prev advances
+
+  // --- WAL ----------------------------------------------------------------
+  uint64_t wal_append_count = 0;
+  uint64_t wal_sync_count = 0;
+
+  // --- Phase timers (microseconds) ----------------------------------------
+  uint64_t get_micros = 0;
+  uint64_t seek_micros = 0;
+  uint64_t next_micros = 0;
+  uint64_t write_micros = 0;
+  uint64_t flush_micros = 0;
+  uint64_t compaction_micros = 0;
+
+  void Reset() { *this = PerfContext(); }
+
+  /// Field-wise `*this - since`; `since` must be an earlier snapshot of the
+  /// same thread's context (all fields monotonic).
+  PerfContext Delta(const PerfContext& since) const;
+
+  /// "name=value" pairs, one per line; zero fields are omitted unless
+  /// `include_zero`.
+  std::string ToString(bool include_zero = false) const;
+};
+
+/// The calling thread's context. Never returns nullptr; the object lives
+/// for the thread's lifetime.
+PerfContext* GetPerfContext();
+
+/// RAII stopwatch adding elapsed wall micros to `*field` on destruction.
+class PerfTimer {
+ public:
+  explicit PerfTimer(uint64_t* field)
+      : field_(field), start_(std::chrono::steady_clock::now()) {}
+  ~PerfTimer() {
+    *field_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  PerfTimer(const PerfTimer&) = delete;
+  PerfTimer& operator=(const PerfTimer&) = delete;
+
+ private:
+  uint64_t* field_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_OBS_PERF_CONTEXT_H_

@@ -1,0 +1,131 @@
+#ifndef LSMLAB_OBS_STATS_REGISTRY_H_
+#define LSMLAB_OBS_STATS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/perf_context.h"
+#include "util/histogram.h"
+#include "util/mutex.h"
+
+namespace lsmlab {
+
+/// Every named DB-wide counter. Names (TickerName) are stable identifiers:
+/// they appear in GetProperty("lsmlab.stats") dumps that tests and tooling
+/// grep, so renaming one is a breaking change.
+enum class Ticker : uint32_t {
+  // Read path.
+  kGets,
+  kGetsFound,
+  kMemtableHits,
+  kRunsProbed,
+  kFilterSkips,       ///< runs skipped by monolithic point filters
+  kRangeFilterSkips,  ///< runs skipped by range filters
+  kSeparatedReads,
+  // Per-subsystem read costs (folded in from PerfContext deltas).
+  kBlockReads,
+  kBlockReadBytes,
+  kBlockCacheHits,
+  kBlockCacheMisses,
+  kFilterProbes,
+  kFilterNegatives,
+  kIndexSeeks,
+  kLearnedIndexSeeks,
+  kHashIndexHits,
+  kHashIndexAbsent,
+  kMergeIterSeeks,
+  kMergeIterSteps,
+  // Write path.
+  kWrites,
+  kWalAppends,
+  kWalSyncs,
+  kWriteSlowdowns,
+  kWriteStalls,
+  kWriteSlowdownMicros,
+  kWriteStallMicros,
+  // Background pipeline.
+  kFlushes,
+  kCompactions,
+  kBytesFlushed,
+  kBytesCompacted,
+  kTableFilesCreated,
+  kTableFilesDeleted,
+
+  kNumTickers,  // sentinel; keep last
+};
+
+/// Latency distributions kept alongside the tickers.
+enum class PhaseHistogram : uint32_t {
+  kGetMicros,
+  kWriteMicros,
+  kFlushMicros,
+  kCompactionMicros,
+
+  kNumHistograms,  // sentinel; keep last
+};
+
+/// DB-wide registry of named atomic counters plus per-phase latency
+/// histograms. One per DBImpl; safe for concurrent use from foreground and
+/// background threads (tickers are relaxed atomics, histograms take a
+/// private mutex). PerfContext measures one operation on one thread; the
+/// registry is where those deltas accumulate into the process-lifetime view
+/// that GetProperty("lsmlab.stats") reports.
+class StatsRegistry {
+ public:
+  StatsRegistry() {
+    for (auto& t : tickers_) {
+      t.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  void Add(Ticker ticker, uint64_t n = 1) {
+    tickers_[static_cast<size_t>(ticker)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Get(Ticker ticker) const {
+    return tickers_[static_cast<size_t>(ticker)].load(
+        std::memory_order_relaxed);
+  }
+
+  void Record(PhaseHistogram h, double micros) {
+    MutexLock lock(&hist_mu_);
+    histograms_[static_cast<size_t>(h)].Add(micros);
+  }
+
+  /// Copy of one histogram, consistent at the moment of the call.
+  Histogram GetHistogram(PhaseHistogram h) const {
+    MutexLock lock(&hist_mu_);
+    return histograms_[static_cast<size_t>(h)];
+  }
+
+  /// Folds one operation's PerfContext delta into the per-subsystem
+  /// tickers. Call once per instrumented operation with
+  /// `after.Delta(before)`.
+  void MergePerfDelta(const PerfContext& delta);
+
+  /// Full structured dump: one "ticker.<name>=<value>" line per ticker,
+  /// then one "histogram.<name>: ..." summary line per phase histogram.
+  std::string Dump() const;
+
+  static const char* TickerName(Ticker ticker);
+  static const char* HistogramName(PhaseHistogram h);
+
+ private:
+  std::array<std::atomic<uint64_t>,
+             static_cast<size_t>(Ticker::kNumTickers)>
+      tickers_;
+  mutable Mutex hist_mu_;
+  std::array<Histogram,
+             static_cast<size_t>(PhaseHistogram::kNumHistograms)>
+      histograms_ GUARDED_BY(hist_mu_);
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_OBS_STATS_REGISTRY_H_

@@ -21,6 +21,30 @@ struct FaultInjectionEnv::State {
   Mutex mu;
   std::map<std::string, FileDurability> files GUARDED_BY(mu);
   std::atomic<bool> crashed{false};
+
+  // Kill-point machinery: counts write ops (Append/Sync) and starts
+  // rejecting them once the armed budget is spent.
+  bool kill_armed GUARDED_BY(mu) = false;
+  uint64_t ops_until_kill GUARDED_BY(mu) = 0;
+  uint64_t write_ops GUARDED_BY(mu) = 0;
+  std::string kill_file GUARDED_BY(mu);
+
+  /// Charges one write op against the kill budget. False = the op must
+  /// fail (kill point reached); records the first victim's filename.
+  bool AllowWriteOp(const std::string& fname) {
+    MutexLock lock(&mu);
+    if (kill_armed && ops_until_kill == 0) {
+      if (kill_file.empty()) {
+        kill_file = fname;
+      }
+      return false;
+    }
+    if (kill_armed) {
+      ops_until_kill--;
+    }
+    write_ops++;
+    return true;
+  }
 };
 
 namespace {
@@ -36,6 +60,9 @@ class TrackedWritableFile : public WritableFile {
     if (state_->crashed.load()) {
       return Status::IOError("simulated crash");
     }
+    if (!state_->AllowWriteOp(fname_)) {
+      return Status::IOError("simulated kill");
+    }
     Status s = base_->Append(data);
     if (s.ok()) {
       size_ += data.size();
@@ -48,6 +75,9 @@ class TrackedWritableFile : public WritableFile {
   Status Sync() override {
     if (state_->crashed.load()) {
       return Status::IOError("simulated crash");
+    }
+    if (!state_->AllowWriteOp(fname_)) {
+      return Status::IOError("simulated kill");
     }
     Status s = base_->Sync();
     if (s.ok()) {
@@ -178,6 +208,10 @@ Status FaultInjectionEnv::Crash() {
     }
   }
   state_->files.clear();
+  state_->kill_armed = false;
+  state_->ops_until_kill = 0;
+  state_->write_ops = 0;
+  state_->kill_file.clear();
   state_->crashed.store(false);
   return result;
 }
@@ -185,6 +219,23 @@ Status FaultInjectionEnv::Crash() {
 void FaultInjectionEnv::MarkSynced() {
   MutexLock lock(&state_->mu);
   state_->files.clear();  // untracked files are implicitly durable
+}
+
+void FaultInjectionEnv::ArmKillPoint(uint64_t ops) {
+  MutexLock lock(&state_->mu);
+  state_->kill_armed = true;
+  state_->ops_until_kill = ops;
+  state_->kill_file.clear();
+}
+
+uint64_t FaultInjectionEnv::write_ops() const {
+  MutexLock lock(&state_->mu);
+  return state_->write_ops;
+}
+
+std::string FaultInjectionEnv::kill_file() const {
+  MutexLock lock(&state_->mu);
+  return state_->kill_file;
 }
 
 }  // namespace lsmlab

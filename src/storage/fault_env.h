@@ -1,7 +1,9 @@
 #ifndef LSMLAB_STORAGE_FAULT_ENV_H_
 #define LSMLAB_STORAGE_FAULT_ENV_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "storage/env.h"
 
@@ -43,6 +45,23 @@ class FaultInjectionEnv : public Env {
 
   /// Treat every byte written so far as durable (a checkpoint).
   void MarkSynced();
+
+  /// Deterministic kill point: the next `ops` write operations (Append or
+  /// Sync on any writable file) succeed, then every later one fails with
+  /// an IOError — the process is "dead" from that operation onward.
+  /// Sweeping `ops` over a fixed workload visits every write-op boundary:
+  /// mid-WAL-record, between append and sync, during an SSTable build,
+  /// inside a manifest install. Crash() disarms.
+  void ArmKillPoint(uint64_t ops);
+
+  /// Write operations that have been *allowed* since construction or the
+  /// last Crash(). A full un-killed run's count bounds the sweep above.
+  uint64_t write_ops() const;
+
+  /// File whose operation first hit an armed kill point (empty until then;
+  /// cleared by ArmKillPoint/Crash). Lets tests classify which structure
+  /// the kill landed in: "*.wal", "*.sst", "MANIFEST-*".
+  std::string kill_file() const;
 
   // Implementation detail, public so file-handle wrappers in the .cc can
   // reference it.

@@ -25,8 +25,10 @@ const std::vector<double>& Histogram::BucketLimits() {
 Histogram::Histogram() { Clear(); }
 
 void Histogram::Clear() {
+  // Sentinels that lose to any real sample (negative values included);
+  // Min()/Max() report 0 while empty.
   min_ = std::numeric_limits<double>::max();
-  max_ = 0;
+  max_ = std::numeric_limits<double>::lowest();
   count_ = 0;
   sum_ = 0;
   buckets_.assign(BucketLimits().size(), 0);
@@ -66,7 +68,10 @@ double Histogram::Percentile(double p) const {
   for (size_t b = 0; b < buckets_.size(); b++) {
     cumulative += buckets_[b];
     if (cumulative >= threshold) {
-      double left = (b == 0) ? 0.0 : limits[b - 1];
+      // Bucket 0 spans down to the smallest sample, which may be negative;
+      // interpolating from 0 would report a value above min_ for low
+      // percentiles.
+      double left = (b == 0) ? std::min(0.0, min_) : limits[b - 1];
       double right = limits[b];
       if (right == std::numeric_limits<double>::infinity()) {
         right = max_;

@@ -20,7 +20,7 @@ class Histogram {
   void Clear();
 
   double Min() const { return count_ == 0 ? 0 : min_; }
-  double Max() const { return max_; }
+  double Max() const { return count_ == 0 ? 0 : max_; }
   uint64_t Count() const { return count_; }
   double Sum() const { return sum_; }
   double Average() const { return count_ == 0 ? 0 : sum_ / count_; }

@@ -1,0 +1,296 @@
+#include "obs/perf_context.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "storage/env.h"
+
+namespace lsmlab {
+namespace {
+
+// Counter-verified read-path tests: every assertion below is an *exact*
+// count derived from the tree shape (N overlapping runs, no block cache),
+// so a regression that adds or drops an I/O shows up as an off-by-one here
+// rather than as a silent perf change.
+class PerfContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_.reset(NewMemEnv());
+    options_.env = env_.get();
+    options_.write_buffer_size = 64 << 10;
+    options_.max_file_size = 1 << 20;
+    // Keep every flush as its own level-0 run: probe cost per lookup is
+    // then exactly (runs whose key range covers the key).
+    options_.level0_compaction_trigger = 100;
+    options_.filter_allocation = FilterAllocation::kNone;
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok()); }
+
+  // Three overlapping level-0 runs, newest first at read time:
+  //   run 3 (newest): a, q, z       -- "q" only here
+  //   run 2        : a, z
+  //   run 1 (oldest): a, m, z       -- "m" only here
+  // Every run spans [a, z], so a probe for any key in that range must
+  // consult each run until it finds a hit.
+  void BuildThreeRuns() {
+    ASSERT_TRUE(db_->Put({}, "a", "pad1").ok());
+    ASSERT_TRUE(db_->Put({}, "m", "from_old").ok());
+    ASSERT_TRUE(db_->Put({}, "z", "pad1").ok());
+    ASSERT_TRUE(db_->Flush().ok());
+    ASSERT_TRUE(db_->Put({}, "a", "pad2").ok());
+    ASSERT_TRUE(db_->Put({}, "z", "pad2").ok());
+    ASSERT_TRUE(db_->Flush().ok());
+    ASSERT_TRUE(db_->Put({}, "a", "pad3").ok());
+    ASSERT_TRUE(db_->Put({}, "q", "from_new").ok());
+    ASSERT_TRUE(db_->Put({}, "z", "pad3").ok());
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+
+  // Opens every table (footer/index/filter loads happen once, at open) so
+  // subsequent lookups cost exactly their data-block reads.
+  void WarmUp() {
+    std::string value;
+    ASSERT_TRUE(db_->Get({}, "m", &value).ok());
+  }
+
+  PerfContext GetDelta(const std::string& key, std::string* value,
+                       Status* status) {
+    const PerfContext before = *GetPerfContext();
+    *status = db_->Get({}, key, value);
+    return GetPerfContext()->Delta(before);
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(PerfContextTest, MemtableHitCostsNoBlockReads) {
+  Open();
+  ASSERT_TRUE(db_->Put({}, "k", "v").ok());
+  std::string value;
+  Status s;
+  const PerfContext d = GetDelta("k", &value, &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_EQ(d.memtable_hit_count, 1u);
+  EXPECT_EQ(d.block_read_count, 0u);
+  EXPECT_EQ(d.index_seek_count, 0u);
+  EXPECT_EQ(d.filter_probe_count, 0u);
+}
+
+TEST_F(PerfContextTest, PointLookupCostIsExactPerRun) {
+  Open();
+  BuildThreeRuns();
+  WarmUp();
+
+  std::string value;
+  Status s;
+
+  // "m" lives only in the oldest of three overlapping runs: the lookup
+  // must pay one index seek and one data-block read in each run.
+  PerfContext d = GetDelta("m", &value, &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(value, "from_old");
+  EXPECT_EQ(d.index_seek_count, 3u);
+  EXPECT_EQ(d.block_read_count, 3u);
+  EXPECT_EQ(d.filter_probe_count, 0u);  // filters disabled
+  EXPECT_EQ(d.memtable_hit_count, 0u);
+  EXPECT_GT(d.block_read_bytes, 0u);
+
+  // "q" lives in the newest run: found on the first probe, so exactly one
+  // seek + one block read.
+  d = GetDelta("q", &value, &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(value, "from_new");
+  EXPECT_EQ(d.index_seek_count, 1u);
+  EXPECT_EQ(d.block_read_count, 1u);
+
+  // Absent key inside every run's range: all three runs pay, then miss.
+  d = GetDelta("mm", &value, &s);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(d.index_seek_count, 3u);
+  EXPECT_EQ(d.block_read_count, 3u);
+
+  // Key outside every file's [smallest, largest]: fence pointers reject
+  // all runs without a single I/O.
+  d = GetDelta("zz", &value, &s);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(d.index_seek_count, 0u);
+  EXPECT_EQ(d.block_read_count, 0u);
+}
+
+TEST_F(PerfContextTest, CompactedTreeLookupIsSingleProbe) {
+  Open();
+  BuildThreeRuns();
+  ASSERT_TRUE(db_->CompactAll().ok());
+  WarmUp();
+
+  std::string value;
+  Status s;
+  const PerfContext d = GetDelta("m", &value, &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(value, "from_old");
+  EXPECT_EQ(d.index_seek_count, 1u);
+  EXPECT_EQ(d.block_read_count, 1u);
+}
+
+TEST_F(PerfContextTest, BloomProbesReconcileWithBlockReads) {
+  options_.filter_allocation = FilterAllocation::kUniform;
+  options_.filter_bits_per_key = 10.0;
+  Open();
+  BuildThreeRuns();
+  WarmUp();
+
+  std::string value;
+  Status s;
+
+  // Every covering run is probed through its filter. The hit run always
+  // passes (no false negatives); a miss run passes only on a false
+  // positive. So regardless of the filter's luck:
+  //   block reads == index seeks == probes - negatives.
+  PerfContext d = GetDelta("m", &value, &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(d.filter_probe_count, 3u);
+  EXPECT_LE(d.filter_negative_count, 2u);
+  EXPECT_EQ(d.block_read_count, 3u - d.filter_negative_count);
+  EXPECT_EQ(d.index_seek_count, 3u - d.filter_negative_count);
+
+  // Absent key: every probe may reject; the same reconciliation holds.
+  d = GetDelta("mm", &value, &s);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(d.filter_probe_count, 3u);
+  EXPECT_EQ(d.block_read_count, 3u - d.filter_negative_count);
+  EXPECT_EQ(d.index_seek_count, 3u - d.filter_negative_count);
+}
+
+TEST_F(PerfContextTest, WalCountersFollowWriteOptions) {
+  Open();
+  const PerfContext before = *GetPerfContext();
+  ASSERT_TRUE(db_->Put({}, "k1", "v").ok());
+  PerfContext d = GetPerfContext()->Delta(before);
+  EXPECT_EQ(d.wal_append_count, 1u);
+  EXPECT_EQ(d.wal_sync_count, 0u);
+
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  const PerfContext before2 = *GetPerfContext();
+  ASSERT_TRUE(db_->Put(sync_opts, "k2", "v").ok());
+  d = GetPerfContext()->Delta(before2);
+  EXPECT_EQ(d.wal_append_count, 1u);
+  EXPECT_EQ(d.wal_sync_count, 1u);
+}
+
+TEST_F(PerfContextTest, ScanDrivesMergeIterator) {
+  Open();
+  BuildThreeRuns();
+  // A live memtable entry forces the merging iterator even if the runs
+  // alone could degenerate.
+  ASSERT_TRUE(db_->Put({}, "b", "live").ok());
+
+  const PerfContext before = *GetPerfContext();
+  std::vector<std::pair<std::string, std::string>> results;
+  ASSERT_TRUE(db_->Scan({}, "a", "zz", 100, &results).ok());
+  const PerfContext d = GetPerfContext()->Delta(before);
+
+  ASSERT_EQ(results.size(), 5u);  // a, b, m, q, z
+  EXPECT_GE(d.merge_iter_seek_count, 1u);
+  // One heap advance per emitted key at minimum (shadowed versions cost
+  // extra steps, never fewer).
+  EXPECT_GE(d.merge_iter_step_count, results.size());
+}
+
+TEST_F(PerfContextTest, BlockReadsReconcileWithEnvIoStats) {
+  Open();
+  // Bulkier tree: three runs of 120 keys each with ~100-byte values, so
+  // files span multiple 4 KiB blocks and lookups land in different blocks.
+  const std::string pad(100, 'x');
+  for (int run = 0; run < 3; run++) {
+    for (int i = run; i < 360; i += 3) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "key%06d", i);
+      ASSERT_TRUE(db_->Put({}, key, pad).ok());
+    }
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+
+  // Open every table and fault in footers/indexes before measuring.
+  std::string value;
+  for (int i = 0; i < 360; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(db_->Get({}, key, &value).ok());
+  }
+
+  // From here on, the only Env reads a lookup performs are data-block
+  // fetches, charged inside ReadBlock at exactly Read-call granularity:
+  // the PerfContext deltas must equal the Env's own accounting.
+  env_->io_stats()->Reset();
+  const PerfContext before = *GetPerfContext();
+  Status s;
+  for (int i = 0; i < 360; i += 7) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(db_->Get({}, key, &value).ok());
+    // Sprinkle in misses (in-range, so they really probe).
+    std::string miss = std::string(key) + "!";
+    s = db_->Get({}, miss, &value);
+    EXPECT_TRUE(s.IsNotFound());
+  }
+  const PerfContext d = GetPerfContext()->Delta(before);
+
+  const IoStats* io = env_->io_stats();
+  EXPECT_GT(d.block_read_count, 0u);
+  EXPECT_EQ(d.block_read_count, io->random_reads.load());
+  EXPECT_EQ(d.block_read_bytes, io->bytes_read.load());
+}
+
+TEST_F(PerfContextTest, StatsPropertyReflectsTickers) {
+  Open();
+  ASSERT_TRUE(db_->Put({}, "k1", "v1").ok());
+  ASSERT_TRUE(db_->Put({}, "k2", "v2").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get({}, "k1", &value).ok());
+  EXPECT_TRUE(db_->Get({}, "nope", &value).IsNotFound());
+
+  std::string stats;
+  ASSERT_TRUE(db_->GetProperty("lsmlab.stats", &stats));
+  EXPECT_NE(stats.find("ticker.gets=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("ticker.gets.found=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("ticker.memtable.hits=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("ticker.writes=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("ticker.wal.appends=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("histogram.get_micros"), std::string::npos) << stats;
+
+  std::string perf;
+  ASSERT_TRUE(db_->GetProperty("lsmlab.perf-context", &perf));
+  EXPECT_NE(perf.find("block_read_count="), std::string::npos) << perf;
+
+  std::string io;
+  ASSERT_TRUE(db_->GetProperty("lsmlab.io-stats", &io));
+  EXPECT_FALSE(io.empty());
+
+  EXPECT_FALSE(db_->GetProperty("lsmlab.unknown", &value));
+}
+
+TEST_F(PerfContextTest, DeltaAndResetAreFieldwise) {
+  PerfContext before = *GetPerfContext();
+  GetPerfContext()->block_read_count += 5;
+  GetPerfContext()->filter_probe_count += 2;
+  const PerfContext d = GetPerfContext()->Delta(before);
+  EXPECT_EQ(d.block_read_count, 5u);
+  EXPECT_EQ(d.filter_probe_count, 2u);
+  EXPECT_EQ(d.index_seek_count, 0u);
+  GetPerfContext()->Reset();
+  EXPECT_EQ(GetPerfContext()->block_read_count, 0u);
+  const std::string s = GetPerfContext()->ToString(true);
+  EXPECT_NE(s.find("block_read_count=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsmlab

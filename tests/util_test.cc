@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -296,6 +297,93 @@ TEST(HistogramTest, MergeCombinesCounts) {
   EXPECT_EQ(a.Count(), 2u);
   EXPECT_DOUBLE_EQ(a.Min(), 1);
   EXPECT_DOUBLE_EQ(a.Max(), 100);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Average(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.Add(3);
+  a.Add(7);
+
+  // Merging an empty histogram in must not disturb any statistic...
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Min(), 3);
+  EXPECT_DOUBLE_EQ(a.Max(), 7);
+  EXPECT_DOUBLE_EQ(a.Sum(), 10);
+
+  // ...and merging into an empty one must adopt them wholesale.
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Min(), 3);
+  EXPECT_DOUBLE_EQ(b.Max(), 7);
+  EXPECT_DOUBLE_EQ(b.Sum(), 10);
+}
+
+TEST(HistogramTest, SingleSamplePercentilesCollapse) {
+  Histogram h;
+  h.Add(42);
+  // Every percentile of a one-sample distribution is that sample.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 42);
+  EXPECT_DOUBLE_EQ(h.Median(), 42);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 42);
+  EXPECT_DOUBLE_EQ(h.Min(), 42);
+  EXPECT_DOUBLE_EQ(h.Max(), 42);
+  EXPECT_DOUBLE_EQ(h.Average(), 42);
+}
+
+TEST(HistogramTest, NegativeSamples) {
+  Histogram h;
+  h.Add(-10);
+  h.Add(-5);
+  EXPECT_DOUBLE_EQ(h.Min(), -10);
+  EXPECT_DOUBLE_EQ(h.Max(), -5);
+  EXPECT_DOUBLE_EQ(h.Average(), -7.5);
+  // Percentiles stay within the observed range (both samples land in the
+  // lowest bucket, so interpolation must not escape above max_ or below
+  // min_).
+  EXPECT_GE(h.Percentile(0), -10);
+  EXPECT_LE(h.Percentile(100), -5);
+  EXPECT_GE(h.Median(), h.Min());
+  EXPECT_LE(h.Median(), h.Max());
+}
+
+TEST(HistogramTest, OverflowBucketPercentiles) {
+  Histogram h;
+  // Beyond the last finite bucket limit (~1e12): lands in the overflow
+  // bucket, whose right edge is the observed max.
+  h.Add(5e12);
+  h.Add(8e12);
+  EXPECT_DOUBLE_EQ(h.Max(), 8e12);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 8e12);
+  const double p50 = h.Median();
+  EXPECT_GE(p50, h.Min());
+  EXPECT_LE(p50, h.Max());
+  // Must be finite even though the bucket's nominal limit is +inf.
+  EXPECT_LT(h.Percentile(99), std::numeric_limits<double>::infinity());
+}
+
+TEST(HistogramTest, MergedPercentilesCoverBothSources) {
+  Histogram lo, hi;
+  for (int i = 0; i < 100; i++) {
+    lo.Add(1);
+    hi.Add(1000);
+  }
+  lo.Merge(hi);
+  EXPECT_EQ(lo.Count(), 200u);
+  EXPECT_LE(lo.Percentile(25), 2.0);
+  EXPECT_GE(lo.Percentile(75), 800.0);
 }
 
 // ----------------------------------------------------------- Comparator --

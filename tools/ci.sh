@@ -12,6 +12,9 @@
 #                  compile-fail check (tools/check_thread_safety.sh)
 #   clang-tidy     clang-tidy over src/ using .clang-tidy
 #   tsan           ThreadSanitizer build + full ctest
+#   tsan-obs       ThreadSanitizer build, observability tests only (fast
+#                  race check over the PerfContext/StatsRegistry/listener
+#                  counter paths; subset of `tsan`)
 #   asan-ubsan     Address+UB sanitizer builds + full ctest
 #
 # Each leg builds in its own directory (build-ci-<leg>); sanitized and
@@ -76,6 +79,19 @@ leg_tsan() {
       -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=thread
 }
 
+leg_tsan_obs() {
+  # The counter/listener paths are the hot spots for new races: thread-local
+  # PerfContext folded into atomic tickers, events staged under mu_ and
+  # fired after release, deletions queued from VersionSet cleanups. Run just
+  # those suites (plus the general concurrency one) under TSan for a quick
+  # signal; the full `tsan` leg still covers everything.
+  cmake -B build-ci-tsan -S . \
+      -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=thread >/dev/null
+  cmake --build build-ci-tsan -j "$JOBS"
+  ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+      -R 'perf_context_test|listener_test|concurrency_test|crash_test'
+}
+
 leg_asan_ubsan() {
   build_and_test build-ci-asan \
       -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=address
@@ -91,9 +107,10 @@ run_leg() {
     clang-tsa)   leg_clang_tsa ;;
     clang-tidy)  leg_clang_tidy ;;
     tsan)        leg_tsan ;;
+    tsan-obs)    leg_tsan_obs ;;
     asan-ubsan)  leg_asan_ubsan ;;
     *)
-      echo "unknown leg '$1' (legs: lint gcc clang-tsa clang-tidy tsan asan-ubsan)" >&2
+      echo "unknown leg '$1' (legs: lint gcc clang-tsa clang-tidy tsan tsan-obs asan-ubsan)" >&2
       return 2
       ;;
   esac

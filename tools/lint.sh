@@ -12,6 +12,10 @@
 #      generators in util/random.h so runs are reproducible.
 #   4. No `(void)` casts of Status results — intentional drops must use the
 #      grep-able Status::IgnoreError().
+#   5. No direct IoStats pokes (RecordRead/RecordAppend) outside
+#      src/storage. I/O accounting happens exactly once, at the Env file
+#      wrappers; a second call site would double-count and break the
+#      PerfContext <-> IoStats reconciliation the tests assert.
 #
 # Exit code 0 = clean, 1 = violations found.
 
@@ -55,6 +59,12 @@ grep -rnE '\(void\) *[A-Za-z_][A-Za-z0-9_:>.-]*\((.*\))?' \
     src/ tests/ bench/ examples/ --include='*.h' --include='*.cc' \
   | grep -viE 'snprintf|printf|fwrite|memcpy|assert' \
   | report "(void)-cast call result (if it returns Status, use .IgnoreError())"
+
+# 5. IoStats mutation is the storage layer's job alone.
+grep -rnE '\bRecord(Read|Append)\(' \
+    src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/storage/' \
+  | report "direct IoStats poke outside src/storage (I/O is charged once, in the Env wrappers)"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint: OK"
