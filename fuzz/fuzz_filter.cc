@@ -1,0 +1,53 @@
+// libFuzzer harness for every point- and range-filter deserializer. The
+// first input byte selects the policy; the rest is the untrusted filter
+// image. Filters must treat garbage as "maybe" (never a crash and never an
+// incorrect reject is checked by the deterministic tests; here any
+// non-crashing answer is acceptable).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "filter/filter_policy.h"
+#include "rangefilter/range_filter.h"
+#include "workload/keygen.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace lsmlab;
+  static const std::vector<const FilterPolicy*>* point_policies = [] {
+    auto* v = new std::vector<const FilterPolicy*>();
+    v->push_back(NewBloomFilterPolicy(10));
+    v->push_back(NewBlockedBloomFilterPolicy(10));
+    v->push_back(NewCuckooFilterPolicy(12));
+    v->push_back(NewRibbonFilterPolicy(10));
+    v->push_back(NewElasticBloomFilterPolicy(12, 4, 2));
+    return v;
+  }();
+  static const std::vector<const RangeFilterPolicy*>* range_policies = [] {
+    auto* v = new std::vector<const RangeFilterPolicy*>();
+    v->push_back(NewPrefixBloomRangeFilter(6, 10));
+    v->push_back(NewSurfRangeFilter(8));
+    v->push_back(NewRosettaRangeFilter(20, 24));
+    v->push_back(NewSnarfRangeFilter(10));
+    return v;
+  }();
+
+  if (size == 0) return 0;
+  const size_t total =
+      point_policies->size() + range_policies->size();
+  const size_t pick = data[0] % total;
+  const Slice filter(reinterpret_cast<const char*>(data) + 1, size - 1);
+
+  if (pick < point_policies->size()) {
+    const FilterPolicy* policy = (*point_policies)[pick];
+    policy->KeyMayMatch("some key", filter);
+    policy->HashMayMatch(0xdeadbeef12345678ull, filter);
+  } else {
+    const RangeFilterPolicy* policy =
+        (*range_policies)[pick - point_policies->size()];
+    policy->KeyMayMatch(EncodeKey(42), filter);
+    policy->RangeMayMatch(EncodeKey(10), EncodeKey(99), filter);
+  }
+  return 0;
+}

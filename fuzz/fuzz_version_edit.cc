@@ -1,0 +1,20 @@
+// libFuzzer harness for manifest records: arbitrary bytes decoded as a
+// VersionEdit, then re-encoded if accepted. Decode must return Corruption
+// on malformed or truncated input, never crash.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/version.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace lsmlab;
+  VersionEdit edit;
+  Status s = edit.DecodeFrom(Slice(reinterpret_cast<const char*>(data), size));
+  if (s.ok()) {
+    std::string reencoded;
+    edit.EncodeTo(&reencoded);
+  }
+  return 0;
+}

@@ -40,11 +40,22 @@ inline void AppendInternalKey(std::string* result, const Slice& user_key,
   PutFixed64(result, PackSequenceAndType(seq, t));
 }
 
+/// Internal keys always carry an 8-byte trailing tag, but keys can reach
+/// these helpers out of corrupt SSTable blocks, so the size must never be
+/// trusted: a short key yields an empty user key / zero tag instead of a
+/// wrapped size_t (which would hand the comparator a ~2^64-byte slice).
 inline Slice ExtractUserKey(const Slice& internal_key) {
+  if (internal_key.size() < 8) {
+    return Slice();
+  }
   return Slice(internal_key.data(), internal_key.size() - 8);
 }
 
 inline uint64_t ExtractTag(const Slice& internal_key) {
+  if (internal_key.size() < 8) {
+    return 0;
+  }
+  // bounds: size checked >= 8 immediately above.
   return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
 }
 

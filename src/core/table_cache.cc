@@ -1,7 +1,5 @@
 #include "core/table_cache.h"
 
-#include <cassert>
-
 #include "core/filename.h"
 #include "filter/filter_policy.h"
 
@@ -61,7 +59,14 @@ void TableCache::ConfigureFilterBits(
 }
 
 const TableOptions& TableCache::TableOptionsForLevel(int level) const {
-  assert(level >= 0 && level < static_cast<int>(per_level_options_.size()));
+  // Levels ultimately come off the manifest; clamp rather than index out
+  // of bounds if a corrupt FileMetaData slips past recovery validation.
+  if (level < 0) {
+    level = 0;
+  }
+  if (level >= static_cast<int>(per_level_options_.size())) {
+    level = static_cast<int>(per_level_options_.size()) - 1;
+  }
   return per_level_options_[level];
 }
 

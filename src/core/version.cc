@@ -1,7 +1,6 @@
 #include "core/version.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
 #include <sstream>
 
@@ -115,7 +114,11 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
   *this = VersionEdit();
   Slice input = src;
   uint32_t tag;
-  while (GetVarint32(&input, &tag)) {
+  while (!input.empty()) {
+    // A tag that ends mid-varint is a truncated edit, not a clean end.
+    if (!GetVarint32(&input, &tag)) {
+      return Status::Corruption("truncated version edit tag");
+    }
     switch (tag) {
       case kComparator: {
         Slice name;
@@ -247,7 +250,11 @@ std::shared_ptr<Version> VersionSet::ApplyEdit(const Version& base,
 
   // Insert new files, grouping by run_seq.
   for (const auto& [level, meta] : edit.new_files_) {
-    assert(level < v->num_levels());
+    if (level < 0 || level >= v->num_levels()) {
+      // Levels come off the manifest; Recover rejects out-of-range ones
+      // before this point, so this only defends internally-built edits.
+      continue;
+    }
     auto& runs = (*v->mutable_levels())[level].runs;
     Run* run = nullptr;
     for (Run& r : runs) {
@@ -421,6 +428,19 @@ Status VersionSet::Recover() {
     s = edit.DecodeFrom(record);
     if (!s.ok()) {
       return s;
+    }
+    // A manifest is untrusted input: levels index straight into the
+    // version's level vector, so reject out-of-range ones here instead of
+    // corrupting memory in ApplyEdit on a release build.
+    for (const auto& [level, meta] : edit.new_files_) {
+      if (level < 0 || level >= options_->max_levels) {
+        return Status::Corruption("version edit level out of range");
+      }
+    }
+    for (const auto& [level, number] : edit.deleted_files_) {
+      if (level < 0 || level >= options_->max_levels) {
+        return Status::Corruption("version edit level out of range");
+      }
     }
     if (edit.has_comparator_ &&
         edit.comparator_ != icmp_->user_comparator()->Name()) {

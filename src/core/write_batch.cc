@@ -16,6 +16,8 @@ void WriteBatch::Clear() {
 }
 
 uint32_t WriteBatch::Count() const {
+  // bounds: rep_.size() >= kHeader (12) is a class invariant; Clear() and
+  // SetContentsFrom() both re-establish it.
   return DecodeFixed32(rep_.data() + 8);
 }
 
@@ -24,6 +26,7 @@ void WriteBatch::SetCount(uint32_t n) {
 }
 
 SequenceNumber WriteBatch::sequence() const {
+  // bounds: rep_.size() >= kHeader (12) is a class invariant.
   return DecodeFixed64(rep_.data());
 }
 

@@ -59,6 +59,7 @@ class BlockedBloomFilterPolicy : public FilterPolicy {
       return true;
     }
     const size_t len = filter.size();
+    // bounds: len >= 5 was checked on entry.
     const uint32_t num_lines = DecodeFixed32(filter.data() + len - 5);
     const int k = static_cast<unsigned char>(filter[len - 1]);
     if (k > 30 || num_lines == 0 ||

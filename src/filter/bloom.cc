@@ -64,6 +64,7 @@ class BloomFilterPolicy : public FilterPolicy {
       return true;  // empty or malformed filter never rejects
     }
     const size_t len = filter.size();
+    // bounds: len >= 5 was checked on entry.
     const uint32_t bits = DecodeFixed32(filter.data() + len - 5);
     const int k = static_cast<unsigned char>(filter[len - 1]);
     if (k > 30 || bits == 0 || (bits + 7) / 8 + 5 != len) {

@@ -81,6 +81,7 @@ class CuckooFilterPolicy : public FilterPolicy {
     const size_t len = filter.size();
     const uint8_t flags = static_cast<uint8_t>(filter[len - 1]);
     const size_t fp_bits = static_cast<uint8_t>(filter[len - 2]);
+    // bounds: len >= 6 was checked on entry.
     const uint64_t num_buckets = DecodeFixed32(filter.data() + len - 6);
     if ((flags & 1) != 0 || fp_bits < 2 || fp_bits > 32 ||
         num_buckets == 0 || (num_buckets & (num_buckets - 1)) != 0) {

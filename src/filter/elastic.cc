@@ -77,6 +77,7 @@ class ElasticBloomFilterPolicy : public FilterPolicy {
     const size_t len = filter.size();
     const int k = static_cast<unsigned char>(filter[len - 1]);
     const int units = static_cast<unsigned char>(filter[len - 2]);
+    // bounds: len >= 6 was checked on entry.
     const uint32_t unit_bytes = DecodeFixed32(filter.data() + len - 6);
     if (k > 30 || units < 1 || units > 8 ||
         static_cast<size_t>(unit_bytes) * units + 6 != len) {

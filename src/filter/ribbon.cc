@@ -69,6 +69,7 @@ class RibbonFilterPolicy : public FilterPolicy {
     const uint8_t ok = static_cast<uint8_t>(filter[len - 1]);
     const uint8_t seed = static_cast<uint8_t>(filter[len - 2]);
     const int r = static_cast<uint8_t>(filter[len - 3]);
+    // bounds: len >= 7 was checked on entry.
     const uint32_t m = DecodeFixed32(filter.data() + len - 7);
     if (!ok || r < 1 || r > 24 || m < kBandWidth) {
       return true;

@@ -1,7 +1,6 @@
 #include "format/block.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "format/block_builder.h"
 #include "util/coding.h"
@@ -18,24 +17,29 @@ Block::Block(BlockContents&& contents)
       num_buckets_(0),
       malformed_(false) {
   // Parse from the tail: trailer word, optional hash index, restart array.
+  // Every count here comes straight off disk and is validated against the
+  // block size before use; a block that fails any check is latched malformed
+  // (empty iterator, no hash index) instead of trusted.
   if (data_.size() < sizeof(uint32_t)) {
-    malformed_ = true;
+    MarkMalformed();
     return;
   }
   size_t pos = data_.size() - sizeof(uint32_t);
+  // bounds: pos = size - 4, checked >= 0 above.
   const uint32_t trailer = DecodeFixed32(data_.data() + pos);
   num_restarts_ = trailer & ~BlockBuilder::kHashIndexFlag;
   const bool has_hash = (trailer & BlockBuilder::kHashIndexFlag) != 0;
 
   if (has_hash) {
     if (pos < sizeof(uint32_t)) {
-      malformed_ = true;
+      MarkMalformed();
       return;
     }
     pos -= sizeof(uint32_t);
+    // bounds: pos >= 0 after the check above.
     num_buckets_ = DecodeFixed32(data_.data() + pos);
     if (num_buckets_ > pos) {
-      malformed_ = true;
+      MarkMalformed();
       return;
     }
     pos -= num_buckets_;
@@ -45,15 +49,39 @@ Block::Block(BlockContents&& contents)
   const size_t restart_bytes =
       static_cast<size_t>(num_restarts_) * sizeof(uint32_t);
   if (restart_bytes > pos) {
-    malformed_ = true;
+    MarkMalformed();
     return;
   }
   restarts_offset_ = pos - restart_bytes;
   entries_size_ = restarts_offset_;
+
+  // The restart offsets themselves are untrusted; reject any that point
+  // outside the entry region so iterator positioning can rely on them.
+  for (uint32_t i = 0; i < num_restarts_; i++) {
+    if (RestartPoint(i) > entries_size_) {
+      MarkMalformed();
+      return;
+    }
+  }
+}
+
+void Block::MarkMalformed() {
+  malformed_ = true;
+  entries_size_ = 0;
+  num_restarts_ = 0;
+  restarts_offset_ = 0;
+  buckets_offset_ = 0;
+  num_buckets_ = 0;
 }
 
 uint32_t Block::RestartPoint(uint32_t index) const {
-  assert(index < num_restarts_);
+  if (index >= num_restarts_) {
+    // Corrupt callers latch through the iterator path; clamp to "end of
+    // entries" so even a buggy index never reads past the restart array.
+    return static_cast<uint32_t>(entries_size_);
+  }
+  // bounds: restarts_offset_ + num_restarts_ * 4 <= data_.size() was
+  // established at construction, and index < num_restarts_ here.
   return DecodeFixed32(data_.data() + restarts_offset_ +
                        index * sizeof(uint32_t));
 }
@@ -63,6 +91,8 @@ Block::HashResult Block::HashLookup(uint32_t hash,
   if (num_buckets_ == 0 || malformed_) {
     return HashResult::kNoIndex;
   }
+  // bounds: buckets_offset_ + num_buckets_ <= data_.size() was validated at
+  // construction, and hash % num_buckets_ < num_buckets_.
   const uint8_t bucket = static_cast<uint8_t>(
       data_.data()[buckets_offset_ + hash % num_buckets_]);
   if (bucket == BlockBuilder::kHashBucketEmpty) {
@@ -84,10 +114,15 @@ namespace {
 /// Returns nullptr on malformed input, else pointer to the key delta bytes.
 const char* DecodeEntry(const char* p, const char* limit, uint32_t* shared,
                         uint32_t* non_shared, uint32_t* value_length) {
+  // bounds: the three varint reads below are limit-checked by GetVarint32Ptr.
   if ((p = GetVarint32Ptr(p, limit, shared)) == nullptr) return nullptr;
   if ((p = GetVarint32Ptr(p, limit, non_shared)) == nullptr) return nullptr;
   if ((p = GetVarint32Ptr(p, limit, value_length)) == nullptr) return nullptr;
-  if (static_cast<uint32_t>(limit - p) < (*non_shared + *value_length)) {
+  // Sum in 64 bits: non_shared + value_length can wrap uint32 (e.g.
+  // 0xffffffff + 1 == 0), which would pass a 32-bit comparison and let the
+  // caller append ~4GB of out-of-bounds bytes to its key buffer.
+  if (static_cast<uint64_t>(limit - p) <
+      static_cast<uint64_t>(*non_shared) + *value_length) {
     return nullptr;
   }
   return p;
@@ -107,23 +142,21 @@ class Block::Iter : public Block::BlockIterator {
 
   Status status() const override { return status_; }
 
-  Slice key() const override {
-    assert(Valid());
-    return Slice(key_);
-  }
+  Slice key() const override { return Slice(key_); }
 
-  Slice value() const override {
-    assert(Valid());
-    return value_;
-  }
+  Slice value() const override { return value_; }
 
   void Next() override {
-    assert(Valid());
+    if (!Valid()) {
+      return;
+    }
     ParseNextKey();
   }
 
   void Prev() override {
-    assert(Valid());
+    if (!Valid()) {
+      return;
+    }
     // Scan backwards to a restart point before current_, then walk forward.
     const size_t original = current_;
     while (block_->RestartPoint(restart_index_) >= original) {

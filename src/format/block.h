@@ -53,6 +53,10 @@ class Block {
   const char* data_end() const { return data_.data() + entries_size_; }
   uint32_t RestartPoint(uint32_t index) const;
 
+  /// Latches the block as unusable: empty entry region, no restarts, no
+  /// hash index. Every trailer-driven size check funnels through here.
+  void MarkMalformed();
+
   std::string owned_;
   Slice data_;             // full block bytes
   size_t entries_size_;    // bytes of entry region (before restart array)

@@ -32,10 +32,12 @@ Status Footer::DecodeFrom(Slice* input) {
     return Status::Corruption("footer too short");
   }
   const char* magic_ptr = input->data() + kEncodedLength - 8;
+  // bounds: input->size() >= kEncodedLength was checked above.
   const uint64_t magic = DecodeFixed64(magic_ptr);
   if (magic != kTableMagicNumber) {
     return Status::Corruption("not an sstable (bad magic number)");
   }
+  // bounds: magic_ptr - 4 is kEncodedLength - 12 bytes into the footer.
   const uint32_t version = DecodeFixed32(magic_ptr - 4);
   if (version != kFormatVersion) {
     return Status::NotSupported("unsupported table format version");
@@ -48,11 +50,19 @@ Status Footer::DecodeFrom(Slice* input) {
   return result;
 }
 
-Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
-                 BlockContents* result) {
+Status ReadBlock(RandomAccessFile* file, uint64_t file_size,
+                 const BlockHandle& handle, BlockContents* result) {
   result->data = Slice();
   result->heap_allocated = false;
   result->owned.clear();
+
+  // The handle was decoded from untrusted bytes; bound it by the file
+  // before sizing any buffer. Subtractions are ordered so nothing wraps.
+  if (handle.size() > file_size ||
+      file_size - handle.size() < kBlockTrailerSize ||
+      handle.offset() > file_size - handle.size() - kBlockTrailerSize) {
+    return Status::Corruption("block handle out of file bounds");
+  }
 
   const size_t n = static_cast<size_t>(handle.size());
   result->owned.resize(n + kBlockTrailerSize);
@@ -73,6 +83,7 @@ Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
   }
 
   const char* data = contents.data();
+  // bounds: contents.size() == n + kBlockTrailerSize (5) was checked above.
   const uint32_t expected = crc32c::Unmask(DecodeFixed32(data + n + 1));
   const uint32_t actual = crc32c::Value(data, n + 1);
   if (actual != expected) {

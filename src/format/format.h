@@ -74,8 +74,11 @@ struct BlockContents {
 };
 
 /// Reads the block identified by `handle`, verifying its trailer CRC.
-Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
-                 BlockContents* result);
+/// `file_size` bounds the untrusted handle before any allocation: a corrupt
+/// offset/size pair is reported as Corruption instead of driving a
+/// multi-gigabyte buffer resize or an out-of-range read.
+Status ReadBlock(RandomAccessFile* file, uint64_t file_size,
+                 const BlockHandle& handle, BlockContents* result);
 
 }  // namespace lsmlab
 

@@ -1,7 +1,6 @@
 #include "format/sstable_reader.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "filter/filter_policy.h"
 #include "format/two_level_iterator.h"
@@ -83,9 +82,11 @@ Status SSTable::Open(const TableOptions& options,
 
   std::unique_ptr<SSTable> t(new SSTable(options, file_number, block_cache));
   t->file_ = std::move(file);
+  t->file_size_ = file_size;
 
   BlockContents index_contents;
-  s = ReadBlock(t->file_.get(), footer.index_handle(), &index_contents);
+  s = ReadBlock(t->file_.get(), file_size, footer.index_handle(),
+                &index_contents);
   if (!s.ok()) {
     return s;
   }
@@ -160,7 +161,8 @@ Status SSTable::Open(const TableOptions& options,
 
 Status SSTable::ReadMeta(const Footer& footer) {
   BlockContents meta_contents;
-  Status s = ReadBlock(file_.get(), footer.metaindex_handle(), &meta_contents);
+  Status s = ReadBlock(file_.get(), file_size_, footer.metaindex_handle(),
+                       &meta_contents);
   if (!s.ok()) {
     return s;
   }
@@ -176,7 +178,7 @@ Status SSTable::ReadMeta(const Footer& footer) {
     }
     BlockContents contents;
     if (name == "lsmlab.properties") {
-      s = ReadBlock(file_.get(), handle, &contents);
+      s = ReadBlock(file_.get(), file_size_, handle, &contents);
       if (!s.ok()) {
         return s;
       }
@@ -186,7 +188,7 @@ Status SSTable::ReadMeta(const Footer& footer) {
       }
     } else if (options_.filter_policy != nullptr &&
                name == std::string("filter.") + options_.filter_policy->Name()) {
-      s = ReadBlock(file_.get(), handle, &contents);
+      s = ReadBlock(file_.get(), file_size_, handle, &contents);
       if (!s.ok()) {
         return s;
       }
@@ -195,7 +197,7 @@ Status SSTable::ReadMeta(const Footer& footer) {
     } else if (options_.filter_policy != nullptr &&
                name == std::string("filterpartitions.") +
                            options_.filter_policy->Name()) {
-      s = ReadBlock(file_.get(), handle, &contents);
+      s = ReadBlock(file_.get(), file_size_, handle, &contents);
       if (!s.ok()) {
         return s;
       }
@@ -203,6 +205,12 @@ Status SSTable::ReadMeta(const Footer& footer) {
       uint32_t count;
       if (!GetVarint32(&input, &count)) {
         return Status::Corruption("bad filter partition index");
+      }
+      // Each encoded handle is at least two bytes; a count that could not
+      // possibly fit in the remaining bytes is corruption, not a reserve()
+      // of up to 4G entries.
+      if (count > input.size() / 2) {
+        return Status::Corruption("bad filter partition count");
       }
       partition_handles_.reserve(count);
       for (uint32_t i = 0; i < count; i++) {
@@ -215,7 +223,7 @@ Status SSTable::ReadMeta(const Footer& footer) {
     } else if (options_.range_filter_policy != nullptr &&
                name == std::string("rangefilter.") +
                            options_.range_filter_policy->Name()) {
-      s = ReadBlock(file_.get(), handle, &contents);
+      s = ReadBlock(file_.get(), file_size_, handle, &contents);
       if (!s.ok()) {
         return s;
       }
@@ -240,7 +248,7 @@ Status SSTable::GetBlock(const BlockHandle& handle, BlockCache::Ref* ref,
     }
   }
   BlockContents contents;
-  Status s = ReadBlock(file_.get(), handle, &contents);
+  Status s = ReadBlock(file_.get(), file_size_, handle, &contents);
   if (!s.ok()) {
     return s;
   }

@@ -109,6 +109,7 @@ class SSTable {
 
   TableOptions options_;
   uint64_t file_number_;
+  uint64_t file_size_ = 0;  // bounds every untrusted BlockHandle
   BlockCache* block_cache_;
   std::unique_ptr<RandomAccessFile> file_;
   std::unique_ptr<Block> index_block_;

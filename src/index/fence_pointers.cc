@@ -1,12 +1,12 @@
 #include "index/fence_pointers.h"
 
-#include <cassert>
-
 namespace lsmlab {
 
 void FencePointers::Add(const Slice& last_key_of_block) {
-  assert(fences_.empty() ||
-         comparator_->Compare(Slice(fences_.back()), last_key_of_block) < 0);
+  // Fences come from on-disk index blocks, so key order cannot be trusted.
+  // Out-of-order fences only make FindBlock route a lookup to the wrong
+  // block, which the block-level key comparison then rejects (NotFound) —
+  // never memory-unsafe, so no ordering assertion here.
   fences_.push_back(last_key_of_block.ToString());
 }
 

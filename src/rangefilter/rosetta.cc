@@ -116,6 +116,7 @@ class RosettaFilter : public RangeFilterPolicy {
       for (int i = 0; i < num_levels; i++) {
         if (input.size() < 5) return false;
         levels[i].k = static_cast<unsigned char>(input[0]);
+        // bounds: input.size() >= 5 was checked above.
         levels[i].nbits = DecodeFixed32(input.data() + 1);
         input.remove_prefix(5);
         const size_t bytes = levels[i].nbits / 8;
@@ -158,6 +159,7 @@ class RosettaFilter : public RangeFilterPolicy {
   }
 
   static uint64_t PrefixHash(uint64_t prefix, int depth) {
+    // cast-ok: hashes a trusted local integer, not untrusted bytes.
     return Hash64(reinterpret_cast<const char*>(&prefix), sizeof(prefix),
                   /*seed=*/0x9E3779B9u + static_cast<uint64_t>(depth));
   }

@@ -147,6 +147,7 @@ class SnarfFilter : public RangeFilterPolicy {
     bool Parse(const Slice& filter) {
       Slice input = filter;
       if (input.size() < 4) return false;
+      // bounds: size checked >= 4 immediately above.
       const uint32_t num_knots = DecodeFixed32(input.data());
       input.remove_prefix(4);
       if (num_knots == 0 || input.size() < num_knots * 12ull + 8) {
@@ -154,13 +155,20 @@ class SnarfFilter : public RangeFilterPolicy {
       }
       knots.reserve(num_knots);
       for (uint32_t i = 0; i < num_knots; i++) {
+        // bounds: the size check above guarantees 12 bytes per knot + 8.
         const uint64_t k = DecodeFixed64(input.data());
         const uint32_t p = DecodeFixed32(input.data() + 8);
         knots.emplace_back(k, p);
         input.remove_prefix(12);
       }
+      // bounds: 8 trailing bytes guaranteed by the same size check.
       nbits = DecodeFixed64(input.data());
       input.remove_prefix(8);
+      // Reject nbits the remaining bytes cannot possibly back BEFORE
+      // computing word counts: (nbits + 63) wraps for nbits near 2^64 and
+      // would otherwise pass the size check with nwords == 0 while Rank1
+      // still walks `nbits` worth of words.
+      if (nbits == 0 || nbits / 8 > input.size()) return false;
       nwords = (nbits + 63) / 64;
       const size_t sample_bytes = (nwords / 8 + 1) * 4;
       if (input.size() < nwords * 8 + sample_bytes) return false;

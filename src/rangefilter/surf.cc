@@ -77,6 +77,7 @@ struct BitsView {
   /// Parses a section from *input, advancing it. Returns false on corruption.
   bool Parse(Slice* input) {
     if (input->size() < 4) return false;
+    // bounds: size checked >= 4 immediately above.
     nbits = DecodeFixed32(input->data());
     input->remove_prefix(4);
     nwords = WordsForBits(nbits);
@@ -191,7 +192,7 @@ class SurfFilter : public RangeFilterPolicy {
         const uint8_t label = static_cast<uint8_t>(b);
         const bool internal = node->children.count(label) > 0;
         const bool leaf = node->leaf_suffixes.count(label) > 0;
-        assert(!(internal && leaf));  // truncation makes labels unique
+        assert(!(internal && leaf));  // builder-ok: trusted build-side keys
         if (internal) {
           labels.Set(id * 256 + b);
           has_child.Set(id * 256 + b);
@@ -227,6 +228,9 @@ class SurfFilter : public RangeFilterPolicy {
     if (!v.Parse(filter)) return true;
     size_t node = 0;
     for (size_t depth = 0;; depth++) {
+      if (node >= v.num_nodes) {
+        return true;  // corrupt rank structure: answer maybe, never read OOB
+      }
       if (depth >= key.size()) {
         // Key exhausted at an internal node: present iff a stored key
         // terminates exactly here.
@@ -242,6 +246,9 @@ class SurfFilter : public RangeFilterPolicy {
       // Leaf edge: verify the suffix bits of the remaining key.
       if (v.suffix_nbits == 0) return true;
       const size_t leaf = v.LeafId(pos);
+      if (leaf >= v.num_leaves) {
+        return true;  // corrupt rank structure: maybe
+      }
       const uint32_t stored = v.Suffix(leaf);
       const uint32_t expected =
           PackSuffix(Slice(key.data() + depth + 1, key.size() - depth - 1),
@@ -276,13 +283,28 @@ class SurfFilter : public RangeFilterPolicy {
     bool Parse(const Slice& filter) {
       Slice input = filter;
       if (input.size() < 12) return false;
+      // bounds: size checked >= 12 immediately above.
       num_nodes = DecodeFixed32(input.data());
       num_leaves = DecodeFixed32(input.data() + 4);
       suffix_nbits = DecodeFixed32(input.data() + 8);
       input.remove_prefix(12);
-      return labels.Parse(&input) && has_child.Parse(&input) &&
-             prefix_key.Parse(&input) && suffixes.Parse(&input) &&
-             num_nodes > 0;
+      if (!labels.Parse(&input) || !has_child.Parse(&input) ||
+          !prefix_key.Parse(&input) || !suffixes.Parse(&input) ||
+          num_nodes == 0) {
+        return false;
+      }
+      // Cross-check the section sizes against the claimed node/leaf counts
+      // (all 64-bit math): traversal indexes bitmaps by node * 256 + label
+      // and the suffix array by leaf * suffix_nbits, so undersized sections
+      // would turn a lookup into an out-of-bounds read.
+      const uint64_t label_bits = static_cast<uint64_t>(num_nodes) * 256;
+      if (labels.nbits < label_bits || has_child.nbits < label_bits ||
+          prefix_key.nbits < num_nodes || suffix_nbits > 32 ||
+          suffixes.nbits <
+              static_cast<uint64_t>(num_leaves) * suffix_nbits) {
+        return false;
+      }
+      return true;
     }
 
     size_t ChildId(size_t pos) const {
@@ -358,6 +380,9 @@ class SurfFilter : public RangeFilterPolicy {
     size_t node = 0;
     size_t depth = 0;
     while (true) {
+      if (node >= v.num_nodes) {
+        return 1;  // corrupt rank structure: ambiguous, caller says maybe
+      }
       if (depth >= lo.size()) {
         // lo exhausted: every key in this subtree >= lo.
         if (v.prefix_key.Get(node)) {
@@ -413,7 +438,14 @@ class SurfFilter : public RangeFilterPolicy {
 
   static int DescendSmallestFrom(const View& v, size_t node,
                                  std::string* succ) {
+    // Bound both the node id and the walk length: a corrupt has_child
+    // bitmap can produce child ids that do not advance, and a valid trie
+    // path never visits more than num_nodes nodes.
+    size_t steps = 0;
     while (true) {
+      if (node >= v.num_nodes || ++steps > v.num_nodes) {
+        return 1;  // corrupt rank structure: ambiguous, caller says maybe
+      }
       if (v.prefix_key.Get(node)) {
         return 0;  // a key terminates at this node
       }

@@ -48,6 +48,13 @@ bool GetVarint32(Slice* input, uint32_t* value);
 bool GetVarint64(Slice* input, uint64_t* value);
 bool GetLengthPrefixedSlice(Slice* input, Slice* result);
 
+/// Checked fixed-width reads from the front of *input, advancing it.
+/// Returns false when fewer than 4/8 bytes remain. Untrusted-byte decoders
+/// must use these (or an explicitly bounds-annotated DecodeFixed*) so the
+/// parser contract stays grep-enforceable; see tools/check_parsers.sh.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
 /// Lower-level raw-pointer variants; return nullptr on failure, otherwise a
 /// pointer just past the parsed varint.
 const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);

@@ -131,15 +131,32 @@ Status ValueLog::Get(const Slice& pointer, std::string* value) const {
     }
   }
 
+  if (size < 5) {
+    return Status::Corruption("bad value-log pointer size");
+  }
+  // The pointer was decoded from untrusted SSTable bytes: before sizing a
+  // buffer from it, bound large claims by the log file itself so a corrupt
+  // pointer cannot demand a multi-gigabyte allocation.
+  if (size > (1u << 26)) {
+    uint64_t log_size = 0;
+    Status fs = env_->GetFileSize(FileName(dbname_, number), &log_size);
+    if (!fs.ok()) {
+      return fs;
+    }
+    if (size > log_size || offset > log_size - size) {
+      return Status::Corruption("value-log pointer out of file bounds");
+    }
+  }
   std::string scratch(size, '\0');
   Slice record;
   Status s = reader->Read(offset, size, &record, scratch.data());
   if (!s.ok()) {
     return s;
   }
-  if (record.size() != size || size < 5) {
+  if (record.size() != size) {
     return Status::Corruption("truncated value-log record");
   }
+  // bounds: size >= 5 was checked above, record.size() == size.
   const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(record.data()));
   Slice body(record.data() + 4, record.size() - 4);
   uint32_t value_size;

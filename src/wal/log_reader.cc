@@ -133,6 +133,7 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
       return kBadRecord;
     }
 
+    // bounds: buffer_.size() >= kHeaderSize (7) was checked above.
     const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
     uint32_t actual_crc = crc32c::Value(header + 6, 1 + length);
     if (actual_crc != expected_crc) {

@@ -12,6 +12,7 @@
 #include "format/two_level_iterator.h"
 #include "filter/filter_policy.h"
 #include "storage/env.h"
+#include "util/coding.h"
 #include "util/hash.h"
 #include "util/random.h"
 
@@ -188,6 +189,53 @@ TEST_F(BlockTest, HashIndexProvesAbsence) {
   // With a load factor of 0.75, a majority of absent probes hit empty
   // buckets.
   EXPECT_GT(definitive_absent, 50);
+}
+
+TEST_F(BlockTest, EntryLengthOverflowIsCorruption) {
+  // Regression for a bug found by the corruption sweep: an entry header of
+  // shared=0, non_shared=0xffffffff, value_length=1 summed to 0 in 32-bit
+  // arithmetic, so the "enough bytes left?" check passed and the iterator
+  // appended ~4GB of out-of-bounds memory to its key buffer. The lengths
+  // must be summed in 64 bits and the entry rejected as corruption.
+  std::string raw;
+  PutVarint32(&raw, 0);           // shared
+  PutVarint32(&raw, 0xffffffff);  // non_shared
+  PutVarint32(&raw, 1);           // value_length (wraps the 32-bit sum to 0)
+  PutFixed32(&raw, 0);            // restart array: one restart at offset 0
+  PutFixed32(&raw, 1);            // trailer: num_restarts = 1
+
+  BlockContents contents;
+  contents.owned = raw;
+  contents.data = Slice(contents.owned);
+  contents.heap_allocated = true;
+  Block block(std::move(contents));
+  std::unique_ptr<Iterator> it(block.NewIterator(BytewiseComparator()));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().IsCorruption());
+}
+
+TEST_F(BlockTest, RestartPointBeyondEntriesIsRejected) {
+  // A restart offset pointing past the entry region must be caught at
+  // construction (the block parses as malformed/empty), not chased later.
+  std::string raw;
+  PutVarint32(&raw, 0);  // shared
+  PutVarint32(&raw, 1);  // non_shared
+  PutVarint32(&raw, 0);  // value_length
+  raw.push_back('k');
+  PutFixed32(&raw, 0x7fffffff);  // restart far beyond the entry region
+  PutFixed32(&raw, 1);           // trailer: num_restarts = 1
+
+  BlockContents contents;
+  contents.owned = raw;
+  contents.data = Slice(contents.owned);
+  contents.heap_allocated = true;
+  Block block(std::move(contents));
+  std::unique_ptr<Iterator> it(block.NewIterator(BytewiseComparator()));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  it->Seek("k");
+  EXPECT_FALSE(it->Valid());
 }
 
 // --------------------------------------------------------------- Footer --

@@ -1,0 +1,43 @@
+// Shared corpus generator for the deterministic fuzz tests, the corruption
+// sweep, and the libFuzzer seed-corpus tool (tools/make_corpus.cc). Keeping
+// one definition guarantees the checked-in fuzz/corpora seeds exercise the
+// same byte shapes the in-tree tests do.
+
+#ifndef LSMLAB_TESTS_FUZZ_INPUTS_H_
+#define LSMLAB_TESTS_FUZZ_INPUTS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lsmlab {
+
+/// Random byte strings: empty, short, block-sized, with long runs and
+/// varint-looking patterns.
+inline std::vector<std::string> FuzzInputs(uint64_t seed, int count) {
+  Random rng(seed);
+  std::vector<std::string> inputs;
+  inputs.push_back("");
+  inputs.push_back(std::string(1, '\x00'));
+  inputs.push_back(std::string(1, '\xff'));
+  inputs.push_back(std::string(4096, '\x00'));
+  inputs.push_back(std::string(4096, '\xff'));
+  for (int i = 0; i < count; i++) {
+    const size_t len = rng.Uniform(2048) + 1;
+    std::string s;
+    s.reserve(len);
+    for (size_t j = 0; j < len; j++) {
+      // Mix uniform bytes with varint-continuation-heavy bytes.
+      s.push_back(rng.OneIn(3)
+                      ? static_cast<char>(0x80 | rng.Uniform(128))
+                      : static_cast<char>(rng.Uniform(256)));
+    }
+    inputs.push_back(std::move(s));
+  }
+  return inputs;
+}
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TESTS_FUZZ_INPUTS_H_

@@ -16,37 +16,13 @@
 #include "format/sstable_reader.h"
 #include "rangefilter/range_filter.h"
 #include "storage/env.h"
+#include "tests/fuzz_inputs.h"
 #include "util/random.h"
 #include "wal/log_reader.h"
 #include "workload/keygen.h"
 
 namespace lsmlab {
 namespace {
-
-/// Random byte strings: empty, short, block-sized, with long runs and
-/// varint-looking patterns.
-std::vector<std::string> FuzzInputs(uint64_t seed, int count) {
-  Random rng(seed);
-  std::vector<std::string> inputs;
-  inputs.push_back("");
-  inputs.push_back(std::string(1, '\x00'));
-  inputs.push_back(std::string(1, '\xff'));
-  inputs.push_back(std::string(4096, '\x00'));
-  inputs.push_back(std::string(4096, '\xff'));
-  for (int i = 0; i < count; i++) {
-    const size_t len = rng.Uniform(2048) + 1;
-    std::string s;
-    s.reserve(len);
-    for (size_t j = 0; j < len; j++) {
-      // Mix uniform bytes with varint-continuation-heavy bytes.
-      s.push_back(rng.OneIn(3)
-                      ? static_cast<char>(0x80 | rng.Uniform(128))
-                      : static_cast<char>(rng.Uniform(256)));
-    }
-    inputs.push_back(std::move(s));
-  }
-  return inputs;
-}
 
 TEST(FuzzTest, BlockParserNeverCrashes) {
   for (const std::string& input : FuzzInputs(1, 300)) {

@@ -128,6 +128,72 @@ TEST(CodingTest, TruncatedVarintFails) {
   EXPECT_FALSE(GetVarint32(&input, &v));
 }
 
+TEST(CodingTest, OverlongVarintRejected) {
+  // A varint32 is at most 5 bytes and a varint64 at most 10; an attacker
+  // can pad with 0x80 continuation bytes forever, and the decoders must
+  // stop at the width limit instead of running off into adjacent memory.
+  const std::string overlong32(6, '\x80');
+  uint32_t v32;
+  EXPECT_EQ(GetVarint32Ptr(overlong32.data(),
+                           overlong32.data() + overlong32.size(), &v32),
+            nullptr);
+
+  const std::string overlong64(11, '\x80');
+  uint64_t v64;
+  EXPECT_EQ(GetVarint64Ptr(overlong64.data(),
+                           overlong64.data() + overlong64.size(), &v64),
+            nullptr);
+
+  // Slice-level wrappers reject the same encodings without consuming input.
+  Slice in32(overlong32);
+  EXPECT_FALSE(GetVarint32(&in32, &v32));
+  Slice in64(overlong64);
+  EXPECT_FALSE(GetVarint64(&in64, &v64));
+}
+
+TEST(CodingTest, VarintStraddlingLimitRejected) {
+  // All continuation bytes up to `limit`: the decoder must notice the
+  // encoding runs past the end of the buffer and return nullptr rather
+  // than reading beyond limit.
+  const std::string buf(16, '\x80');
+  for (size_t limit = 1; limit <= 5; limit++) {
+    uint32_t v32;
+    EXPECT_EQ(GetVarint32Ptr(buf.data(), buf.data() + limit, &v32), nullptr)
+        << "limit " << limit;
+  }
+  for (size_t limit = 1; limit <= 10; limit++) {
+    uint64_t v64;
+    EXPECT_EQ(GetVarint64Ptr(buf.data(), buf.data() + limit, &v64), nullptr)
+        << "limit " << limit;
+  }
+  // Zero-length input: nothing to decode.
+  uint32_t v32;
+  EXPECT_EQ(GetVarint32Ptr(buf.data(), buf.data(), &v32), nullptr);
+}
+
+TEST(CodingTest, CheckedFixedDecoders) {
+  std::string s;
+  PutFixed32(&s, 0xdeadbeefu);
+  PutFixed64(&s, 0x0123456789abcdefull);
+
+  Slice input(s);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&input, &v32));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  ASSERT_TRUE(GetFixed64(&input, &v64));
+  EXPECT_EQ(v64, 0x0123456789abcdefull);
+  EXPECT_TRUE(input.empty());
+
+  // Too-short inputs fail without consuming anything.
+  Slice short32("abc", 3);
+  EXPECT_FALSE(GetFixed32(&short32, &v32));
+  EXPECT_EQ(short32.size(), 3u);
+  Slice short64("abcdefg", 7);
+  EXPECT_FALSE(GetFixed64(&short64, &v64));
+  EXPECT_EQ(short64.size(), 7u);
+}
+
 TEST(CodingTest, LengthPrefixedSlice) {
   std::string s;
   PutLengthPrefixedSlice(&s, Slice("hello"));

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Static enforcement of the corruption contract over every file that
+# decodes untrusted bytes (the audited set in tools/parser_audit.list; see
+# DESIGN.md "Corruption safety contract").
+#
+# Three checks per audited file:
+#   1. No assert(): asserts compile out under NDEBUG, so a corrupt input
+#      that "can't happen" becomes memory corruption in release builds.
+#      Escape hatch: a `builder-ok:` comment on the line marks a trusted
+#      build-side invariant inside an otherwise-audited file.
+#   2. No raw reinterpret_cast: type-punning untrusted bytes hides length
+#      assumptions from review. Escape hatch: `cast-ok: <why>` on the line.
+#   3. Every DecodeFixed16/32/64 and GetVarint32Ptr/GetVarint64Ptr call
+#      carries a `bounds: <why>` annotation (same line or the line above)
+#      stating which check guarantees the bytes are there — or uses the
+#      checked Slice-based helpers instead.
+#
+# Plus a negative self-test: a seeded file violating all three rules must
+# be flagged. This proves the greps are alive, not silently matching
+# nothing (same spirit as tools/check_thread_safety.sh).
+#
+# Exit code 0 = clean, 1 = violations (or a dead self-test).
+
+set -u
+cd "$(dirname "$0")/.."
+
+AUDIT_LIST="tools/parser_audit.list"
+
+fail=0
+
+# check_file <file> — prints violations, returns 1 if any.
+check_file() {
+  local file="$1"
+  local bad=0
+
+  # 1. assert() ban. \bassert\( does not match static_assert( (no word
+  #    boundary after '_'), which is compile-time and welcome.
+  local asserts
+  asserts=$(grep -nE '\bassert\(' "$file" | grep -v 'builder-ok:')
+  if [ -n "$asserts" ]; then
+    echo "PARSERS: assert() in audited file $file (use Status::Corruption or a latched iterator status):"
+    echo "$asserts" | sed 's/^/  /'
+    bad=1
+  fi
+
+  # 2. reinterpret_cast ban; 'cast-ok:' may sit on the line or the line
+  #    above.
+  local casts
+  casts=$(awk '
+    {
+      if ($0 ~ /reinterpret_cast/ && $0 !~ /cast-ok:/ && !prev_ok) {
+        printf "%d:%s\n", NR, $0
+      }
+      prev_ok = ($0 ~ /cast-ok:/)
+    }
+  ' "$file")
+  if [ -n "$casts" ]; then
+    echo "PARSERS: raw reinterpret_cast in audited file $file (annotate 'cast-ok: <why>' if the source bytes are trusted):"
+    echo "$casts" | sed 's/^/  /'
+    bad=1
+  fi
+
+  # 3. Unannotated unchecked decodes. One 'bounds:' annotation covers the
+  #    contiguous run that follows it: further comment lines and further
+  #    decode lines extend the covered region; any other line ends it.
+  local decodes
+  decodes=$(awk '
+    {
+      is_comment = ($0 ~ /^[ \t]*\/\//)
+      has_bounds = ($0 ~ /bounds:/)
+      is_decode = ($0 ~ /(DecodeFixed(16|32|64)|GetVarint(32|64)Ptr)\(/)
+      if (is_decode && !has_bounds && !covered) {
+        printf "%d:%s\n", NR, $0
+        next  # an unannotated decode does not extend coverage
+      }
+      if (has_bounds || (covered && (is_comment || is_decode))) covered = 1
+      else covered = 0
+    }
+  ' "$file")
+  if [ -n "$decodes" ]; then
+    echo "PARSERS: unchecked decode without 'bounds:' annotation in $file (annotate the guaranteeing size check, or use GetFixed32/64 / GetVarint32/64):"
+    echo "$decodes" | sed 's/^/  /'
+    bad=1
+  fi
+
+  return "$bad"
+}
+
+echo "== audited parser files =="
+while IFS= read -r file; do
+  case "$file" in ''|'#'*) continue ;; esac
+  if [ ! -f "$file" ]; then
+    echo "PARSERS: audited file missing: $file (update $AUDIT_LIST)"
+    fail=1
+    continue
+  fi
+  check_file "$file" || fail=1
+done < "$AUDIT_LIST"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_parsers: FAIL"
+  exit 1
+fi
+echo "OK"
+
+echo "== negative: seeded violations must be flagged =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/seeded_violation.cc" <<'EOF'
+// Deliberately violates every rule: an assert on untrusted input, a raw
+// reinterpret_cast, and an unannotated unchecked decode.
+#include <cassert>
+void Parse(const char* p, unsigned n) {
+  assert(n >= 4);
+  const unsigned* w = reinterpret_cast<const unsigned*>(p);
+  unsigned v = DecodeFixed32(p);
+  (void)w; (void)v;
+}
+EOF
+if check_file "$tmp/seeded_violation.cc" > "$tmp/out.txt" 2>&1; then
+  echo "check_parsers: FAIL (seeded violation passed cleanly; the checks are dead)"
+  cat "$tmp/out.txt"
+  exit 1
+fi
+for rule in 'assert()' 'reinterpret_cast' "without 'bounds:'"; do
+  if ! grep -qF "$rule" "$tmp/out.txt"; then
+    echo "check_parsers: FAIL (seeded violation not flagged for: $rule)"
+    cat "$tmp/out.txt"
+    exit 1
+  fi
+done
+echo "OK (all three seeded violations flagged)"
+echo "check_parsers: PASS"

@@ -7,6 +7,8 @@
 #
 # Legs:
 #   lint           tools/lint.sh banned-API checks (no compiler needed)
+#   check-parsers  tools/check_parsers.sh corruption-contract checks over
+#                  the audited untrusted-byte parsers (no compiler needed)
 #   gcc            g++ RelWithDebInfo, -Werror, full ctest
 #   clang-tsa      clang++ with -Wthread-safety -Werror + the seeded
 #                  compile-fail check (tools/check_thread_safety.sh)
@@ -16,6 +18,8 @@
 #                  race check over the PerfContext/StatsRegistry/listener
 #                  counter paths; subset of `tsan`)
 #   asan-ubsan     Address+UB sanitizer builds + full ctest
+#   fuzz-smoke     libFuzzer harnesses (LSMLAB_FUZZ build, clang only),
+#                  10k runs per target from the checked-in seed corpora
 #
 # Each leg builds in its own directory (build-ci-<leg>); sanitized and
 # unsanitized objects never mix.
@@ -38,6 +42,10 @@ build_and_test() {
 
 leg_lint() {
   ./tools/lint.sh
+}
+
+leg_check_parsers() {
+  ./tools/check_parsers.sh
 }
 
 leg_gcc() {
@@ -99,18 +107,39 @@ leg_asan_ubsan() {
       -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=undefined
 }
 
+leg_fuzz_smoke() {
+  local cxx="${CLANGXX:-clang++}"
+  if ! have "$cxx"; then
+    echo "ci[fuzz-smoke]: SKIP ($cxx not found; libFuzzer is clang-only)"
+    return 0
+  fi
+  CXX="$cxx" cmake -B build-ci-fuzz -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSMLAB_FUZZ=ON >/dev/null
+  cmake --build build-ci-fuzz -j "$JOBS"
+  local runs="${FUZZ_RUNS:-10000}"
+  local target
+  for target in fuzz_block fuzz_sstable fuzz_wal_record fuzz_version_edit \
+                fuzz_write_batch fuzz_filter; do
+    echo "-- $target ($runs runs)"
+    "./build-ci-fuzz/fuzz/$target" "fuzz/corpora/$target" \
+        -runs="$runs" -max_total_time=120 -print_final_stats=0
+  done
+}
+
 run_leg() {
   echo "=== ci leg: $1 ==="
   case "$1" in
-    lint)        leg_lint ;;
-    gcc)         leg_gcc ;;
-    clang-tsa)   leg_clang_tsa ;;
-    clang-tidy)  leg_clang_tidy ;;
-    tsan)        leg_tsan ;;
-    tsan-obs)    leg_tsan_obs ;;
-    asan-ubsan)  leg_asan_ubsan ;;
+    lint)          leg_lint ;;
+    check-parsers) leg_check_parsers ;;
+    gcc)           leg_gcc ;;
+    clang-tsa)     leg_clang_tsa ;;
+    clang-tidy)    leg_clang_tidy ;;
+    tsan)          leg_tsan ;;
+    tsan-obs)      leg_tsan_obs ;;
+    asan-ubsan)    leg_asan_ubsan ;;
+    fuzz-smoke)    leg_fuzz_smoke ;;
     *)
-      echo "unknown leg '$1' (legs: lint gcc clang-tsa clang-tidy tsan tsan-obs asan-ubsan)" >&2
+      echo "unknown leg '$1' (legs: lint check-parsers gcc clang-tsa clang-tidy tsan tsan-obs asan-ubsan fuzz-smoke)" >&2
       return 2
       ;;
   esac
@@ -119,7 +148,7 @@ run_leg() {
 if [ "$#" -ge 1 ]; then
   run_leg "$1"
 else
-  for leg in lint gcc clang-tsa clang-tidy tsan asan-ubsan; do
+  for leg in lint check-parsers gcc clang-tsa clang-tidy tsan asan-ubsan fuzz-smoke; do
     run_leg "$leg"
   done
   echo "=== ci: all legs done ==="

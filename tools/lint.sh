@@ -16,6 +16,10 @@
 #      src/storage. I/O accounting happens exactly once, at the Env file
 #      wrappers; a second call site would double-count and break the
 #      PerfContext <-> IoStats reconciliation the tests assert.
+#   6. No assert() in the untrusted-byte parsers listed in
+#      tools/parser_audit.list: asserts compile out of release builds, so
+#      corruption must surface as Status, never as an invariant check.
+#      (tools/check_parsers.sh enforces the rest of the parser contract.)
 #
 # Exit code 0 = clean, 1 = violations found.
 
@@ -65,6 +69,14 @@ grep -rnE '\bRecord(Read|Append)\(' \
     src/ --include='*.h' --include='*.cc' \
   | grep -v '^src/storage/' \
   | report "direct IoStats poke outside src/storage (I/O is charged once, in the Env wrappers)"
+
+# 6. assert() in audited untrusted-byte parsers (tools/parser_audit.list).
+#    \bassert\( does not match static_assert(; `builder-ok:` marks a
+#    trusted build-side invariant inside an otherwise-audited file.
+grep -v -e '^#' -e '^$' tools/parser_audit.list \
+  | xargs grep -nE '\bassert\(' 2>/dev/null \
+  | grep -v 'builder-ok:' \
+  | report "assert() in an audited parser (corrupt bytes must return Status::Corruption; see tools/check_parsers.sh)"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint: OK"
