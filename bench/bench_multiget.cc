@@ -1,0 +1,140 @@
+// E20 — Batched point lookups (DB::MultiGet) vs looped Get.
+//
+// Claim: a batch that pins the read view once, prunes through the filters
+// before any data I/O, and fetches every distinct data block exactly once
+// turns k lookups with locality into ~(distinct blocks) reads instead of
+// k. Measured: ns/key and logical block reads per key for looped Get vs
+// one MultiGet, at batch sizes {1, 8, 64, 512}, cache-cold (no block
+// cache: every fetch is a read) and cache-warm (shared 64 MiB cache).
+//
+// Batches draw `batch` keys adjacent in key order from the loaded set, the
+// locality regime MultiGet's coalescing targets (think index-driven
+// secondary lookups or a scatter-gather over a key range).
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "cache/block_cache.h"
+
+namespace lsmlab {
+namespace bench {
+namespace {
+
+constexpr size_t kEntries = 50000;
+constexpr size_t kValueBytes = 64;
+constexpr size_t kLookups = 8192;  // per (mode, batch) cell, keys not ops
+
+struct Cell {
+  double ns_per_key = 0;
+  double blocks_per_key = 0;
+};
+
+Cell MeasureLoopedGet(TestDb* t, const std::vector<std::string>& sorted_keys,
+                      size_t batch, uint64_t seed) {
+  Random rng(seed);
+  const uint64_t io_before = t->io()->block_reads.load();
+  size_t keys_done = 0;
+  std::string value;
+  const auto start = std::chrono::steady_clock::now();
+  while (keys_done < kLookups) {
+    const size_t base = rng.Uniform(sorted_keys.size() - batch);
+    for (size_t i = 0; i < batch; i++) {
+      t->db->Get({}, sorted_keys[base + i], &value).IgnoreError();
+    }
+    keys_done += batch;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  Cell c;
+  c.ns_per_key =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count() /
+      static_cast<double>(keys_done);
+  c.blocks_per_key =
+      static_cast<double>(t->io()->block_reads.load() - io_before) /
+      static_cast<double>(keys_done);
+  return c;
+}
+
+Cell MeasureMultiGet(TestDb* t, const std::vector<std::string>& sorted_keys,
+                     size_t batch, uint64_t seed) {
+  Random rng(seed);
+  const uint64_t io_before = t->io()->block_reads.load();
+  size_t keys_done = 0;
+  std::vector<Slice> slices(batch);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  const auto start = std::chrono::steady_clock::now();
+  while (keys_done < kLookups) {
+    const size_t base = rng.Uniform(sorted_keys.size() - batch);
+    for (size_t i = 0; i < batch; i++) {
+      slices[i] = sorted_keys[base + i];
+    }
+    t->db->MultiGet({}, std::span<const Slice>(slices), &values, &statuses);
+    keys_done += batch;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  Cell c;
+  c.ns_per_key =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count() /
+      static_cast<double>(keys_done);
+  c.blocks_per_key =
+      static_cast<double>(t->io()->block_reads.load() - io_before) /
+      static_cast<double>(keys_done);
+  return c;
+}
+
+void Run() {
+  PrintHeader("E20 batched reads: MultiGet vs looped Get",
+              "cache,batch,get_ns_per_key,mget_ns_per_key,speedup,"
+              "get_blocks_per_key,mget_blocks_per_key");
+  for (bool warm : {false, true}) {
+    Options options;
+    options.filter_allocation = FilterAllocation::kUniform;
+    options.filter_bits_per_key = 10.0;
+    BlockCache cache(64 << 20);
+    if (warm) {
+      options.block_cache = &cache;
+    }
+    TestDb db = LoadDb(options, kEntries, kValueBytes);
+    if (!db.db->CompactAll().ok()) {
+      std::abort();
+    }
+
+    std::vector<std::string> sorted_keys = LoadedKeys(kEntries);
+    std::sort(sorted_keys.begin(), sorted_keys.end());
+    sorted_keys.erase(std::unique(sorted_keys.begin(), sorted_keys.end()),
+                      sorted_keys.end());
+
+    if (warm) {
+      // Prime the cache with one full pass so both sides read 0 blocks
+      // and the comparison isolates per-key CPU overhead.
+      std::string value;
+      for (const std::string& key : sorted_keys) {
+        db.db->Get({}, key, &value).IgnoreError();
+      }
+    }
+
+    for (size_t batch : {size_t{1}, size_t{8}, size_t{64}, size_t{512}}) {
+      const Cell get = MeasureLoopedGet(&db, sorted_keys, batch, 7 + batch);
+      const Cell mget = MeasureMultiGet(&db, sorted_keys, batch, 7 + batch);
+      std::printf("%s,%zu,%.0f,%.0f,%.2f,%.3f,%.3f\n",
+                  warm ? "warm" : "cold", batch, get.ns_per_key,
+                  mget.ns_per_key, get.ns_per_key / mget.ns_per_key,
+                  get.blocks_per_key, mget.blocks_per_key);
+    }
+  }
+  std::printf(
+      "# expect: cold, looped Get pays ~1 block read per key while the\n"
+      "# batch pays ~(distinct blocks)/batch — blocks/key collapses and\n"
+      "# the speedup grows with batch size; batch=1 matches Get (the\n"
+      "# batch machinery adds no per-key regression). Warm, both sides\n"
+      "# read 0 blocks and the batch still wins on amortized snapshot\n"
+      "# pinning and one cache lookup per distinct block.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsmlab
+
+int main() { lsmlab::bench::Run(); }

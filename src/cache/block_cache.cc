@@ -13,7 +13,8 @@ std::string BlockCache::MakeKey(uint64_t file_number, uint64_t offset) {
   return key;
 }
 
-BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
+BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset,
+                                   uint64_t access_weight) {
   const std::string key = MakeKey(file_number, offset);
   LruCache::Handle* handle = cache_.Lookup(key);
   if (handle == nullptr) {
@@ -23,7 +24,7 @@ BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
   GetPerfContext()->block_cache_hit_count++;
   {
     MutexLock lock(&access_mu_);
-    file_accesses_[file_number]++;
+    file_accesses_[file_number] += access_weight;
   }
   return Ref(&cache_, handle,
              static_cast<const Block*>(cache_.Value(handle)));

@@ -64,8 +64,13 @@ class BlockCache {
     const Block* block_;
   };
 
-  /// Returns a pinned ref, or an empty Ref on miss.
-  Ref Lookup(uint64_t file_number, uint64_t offset);
+  /// Returns a pinned ref, or an empty Ref on miss. `access_weight` is the
+  /// number of logical accesses this lookup stands for — a coalesced
+  /// MultiGet probe serving N keys from one block credits the file's
+  /// hotness counter with N, keeping the prefetcher's signal comparable to
+  /// N looped Gets.
+  Ref Lookup(uint64_t file_number, uint64_t offset,
+             uint64_t access_weight = 1);
 
   /// Inserts `block` (ownership transferred) and returns a pinned ref.
   Ref Insert(uint64_t file_number, uint64_t offset,

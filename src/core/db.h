@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,14 @@ struct DBStats {
   uint64_t learned_index_seeks = 0;
   size_t index_filter_memory = 0;      ///< bytes of in-memory metadata
 
+  // Batched reads (DB::MultiGet).
+  uint64_t multigets = 0;              ///< MultiGet batches
+  uint64_t multiget_keys = 0;          ///< keys across all batches
+  uint64_t multiget_filter_pruned = 0; ///< per-key probes filters rejected
+  uint64_t multiget_coalesced_block_hits = 0;  ///< keys served by a block
+                                               ///< another key already paid
+                                               ///< for
+
   // Key-value separation.
   uint64_t value_log_bytes = 0;
   uint64_t value_log_files = 0;
@@ -94,6 +103,20 @@ class DB {
 
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  /// Batched point lookup: resolves every key of `keys` against one
+  /// consistent view of the database (one snapshot, one version pin for the
+  /// whole batch). `values` and `statuses` are resized to keys.size();
+  /// `(*statuses)[i]` is OK / NotFound / an error for `keys[i]` alone —
+  /// a corrupt block fails only the keys it serves, the rest of the batch
+  /// still resolves. Compared with looping Get, a batch probes each
+  /// table's filter before any data-block I/O and fetches every distinct
+  /// data block at most once no matter how many keys land in it.
+  /// Duplicate keys are fine (each slot gets its own answer).
+  virtual void MultiGet(const ReadOptions& options,
+                        std::span<const Slice> keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) = 0;
 
   /// Ordered iterator over the live user keys. The caller deletes it
   /// before the DB is destroyed.

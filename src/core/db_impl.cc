@@ -205,10 +205,6 @@ Status DestroyDB(const Options& options, const std::string& name) {
 
 namespace {
 
-// When separation is enabled every stored value carries a 1-byte tag.
-constexpr char kInlineTag = 0x00;
-constexpr char kPointerTag = 0x01;
-
 /// Batch rewriter: moves large values into the value log.
 class SeparatingHandler : public WriteBatch::Handler {
  public:
@@ -221,7 +217,7 @@ class SeparatingHandler : public WriteBatch::Handler {
     }
     std::string stored;
     if (value.size() >= threshold_) {
-      stored.push_back(kPointerTag);
+      stored.push_back(kVlogPointerTag);
       std::string pointer;
       status_ = vlog_->Add(value, &pointer);
       if (!status_.ok()) {
@@ -229,7 +225,7 @@ class SeparatingHandler : public WriteBatch::Handler {
       }
       stored.append(pointer);
     } else {
-      stored.push_back(kInlineTag);
+      stored.push_back(kVlogInlineTag);
       stored.append(value.data(), value.size());
     }
     out_->Put(key, stored);
@@ -275,11 +271,11 @@ Status DBImpl::ResolveValue(const Slice& stored, std::string* out) {
     out->clear();
     return Status::OK();
   }
-  if (stored[0] == kInlineTag) {
+  if (stored[0] == kVlogInlineTag) {
     out->assign(stored.data() + 1, stored.size() - 1);
     return Status::OK();
   }
-  if (stored[0] == kPointerTag) {
+  if (stored[0] == kVlogPointerTag) {
     stats_.Add(Ticker::kSeparatedReads);
     return vlog_->Get(Slice(stored.data() + 1, stored.size() - 1), out);
   }
@@ -309,7 +305,7 @@ Status DBImpl::GarbageCollectValues() {
   Status s;
   for (it->SeekToFirst(); it->Valid() && s.ok(); it->Next()) {
     const Slice stored = it->value();
-    if (stored.size() < 2 || stored[0] != kPointerTag) {
+    if (stored.size() < 2 || stored[0] != kVlogPointerTag) {
       continue;
     }
     const Slice pointer(stored.data() + 1, stored.size() - 1);
@@ -1433,14 +1429,7 @@ Status DBImpl::GetImpl(const ReadOptions& options, const Slice& key,
   for (int level = 0; level < version->num_levels() && !done; level++) {
     for (const Run& run : version->levels()[level].runs) {
       // Locate the single candidate file within the (non-overlapping) run.
-      const FileMetaPtr* candidate = nullptr;
-      for (const FileMetaPtr& f : run.files) {
-        if (ucmp->Compare(key, ExtractUserKey(Slice(f->smallest))) >= 0 &&
-            ucmp->Compare(key, ExtractUserKey(Slice(f->largest))) <= 0) {
-          candidate = &f;
-          break;
-        }
-      }
+      const FileMetaPtr* candidate = FindFileInRun(run, ucmp, key);
       if (candidate == nullptr) {
         continue;
       }
@@ -1739,6 +1728,11 @@ DBStats DBImpl::GetStats() {
   stats.runs_probed = stats_.Get(Ticker::kRunsProbed);
   stats.filter_skips = stats_.Get(Ticker::kFilterSkips);
   stats.range_filter_skips = stats_.Get(Ticker::kRangeFilterSkips);
+  stats.multigets = stats_.Get(Ticker::kMultiGets);
+  stats.multiget_keys = stats_.Get(Ticker::kMultiGetKeys);
+  stats.multiget_filter_pruned = stats_.Get(Ticker::kMultiGetFilterPruned);
+  stats.multiget_coalesced_block_hits =
+      stats_.Get(Ticker::kMultiGetCoalescedBlockHits);
   stats.write_slowdowns = stats_.Get(Ticker::kWriteSlowdowns);
   stats.write_stalls = stats_.Get(Ticker::kWriteStalls);
   stats.write_slowdown_micros = stats_.Get(Ticker::kWriteSlowdownMicros);

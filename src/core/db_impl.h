@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,12 @@
 
 namespace lsmlab {
 
+/// Value tags used when key-value separation is enabled: every stored value
+/// carries one as its first byte. Shared by the single-key path
+/// (db_impl.cc) and the batched path (db_multiget.cc).
+inline constexpr char kVlogInlineTag = 0x00;
+inline constexpr char kVlogPointerTag = 0x01;
+
 class DBImpl : public DB {
  public:
   DBImpl(const Options& options, std::string dbname);
@@ -36,6 +43,9 @@ class DBImpl : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  void MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
   Iterator* NewIterator(const ReadOptions& options) override;
   Status Scan(const ReadOptions& options, const Slice& start,
               const Slice& end, size_t limit,
@@ -91,6 +101,11 @@ class DBImpl : public DB {
   /// mu_; Get takes mu_ only briefly to pin state).
   Status GetImpl(const ReadOptions& options, const Slice& key,
                  std::string* value) EXCLUDES(mu_);
+  /// Body of MultiGet (defined in db_multiget.cc): takes mu_ only briefly
+  /// to pin the memtables/version/sequence; all batch I/O runs unlocked.
+  void MultiGetImpl(const ReadOptions& options, std::span<const Slice> keys,
+                    std::vector<std::string>* values,
+                    std::vector<Status>* statuses) EXCLUDES(mu_);
   Status ScanImpl(const ReadOptions& options, const Slice& start,
                   const Slice& end, size_t limit,
                   std::vector<std::pair<std::string, std::string>>* results)

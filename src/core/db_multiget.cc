@@ -1,0 +1,251 @@
+/// DB::MultiGet — the batched point-lookup path.
+///
+/// One batch pins the read view (memtables, version, sequence) exactly once,
+/// probes the memtables for every key, then walks the tree level by level:
+/// the keys still unresolved after a run are grouped by candidate file
+/// (fence pointers), each file's filter is consulted per key before any
+/// data-block I/O, and every distinct data block is fetched at most once no
+/// matter how many keys land in it (TableCache::GetBatch ->
+/// SSTable::MultiGet). Separated values resolve through one
+/// ValueLog::GetBatch sorted by (file, offset).
+///
+/// Lock discipline: mu_ is held only for the initial pin; all batch I/O
+/// runs unlocked against immutable state (the pinned version and its
+/// files). Per-key statuses observe the corruption contract — a corrupt
+/// block or value-log record fails only the keys it serves.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/db_impl.h"
+#include "obs/perf_context.h"
+#include "util/hash.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// One key's state across the whole batch.
+struct KeyState {
+  KeyState(const Slice& user_key, SequenceNumber sequence)
+      : lkey(user_key, sequence) {}
+
+  LookupKey lkey;        // owns the encoded key bytes the Slices point into
+  BatchGetContext ctx;
+  size_t slot = 0;       // index into the caller's keys/values/statuses
+  const Comparator* ucmp = nullptr;
+  enum : uint8_t { kNotFound, kFound, kDeleted } state = kNotFound;
+  bool failed = false;   // an I/O/corruption error is this key's answer
+  std::string stored;    // raw (possibly vlog-tagged) stored value
+};
+
+/// BatchGetContext handler: plain function pointer, `arg` is the KeyState.
+/// Mirrors GetImpl's saver lambda.
+void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
+  auto* ks = static_cast<KeyState*>(arg);
+  if (ks->state != KeyState::kNotFound) {
+    return;  // already answered by a newer run
+  }
+  if (ks->ucmp->Compare(ExtractUserKey(ikey), ks->ctx.searchable) != 0) {
+    return;  // seek overshot into the next user key: not present here
+  }
+  if (ExtractValueType(ikey) == ValueType::kTypeDeletion) {
+    ks->state = KeyState::kDeleted;
+  } else {
+    ks->stored.assign(v.data(), v.size());
+    ks->state = KeyState::kFound;
+  }
+}
+
+}  // namespace
+
+void DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                      std::vector<std::string>* values,
+                      std::vector<Status>* statuses) {
+  PerfContext* perf = GetPerfContext();
+  const PerfContext before = *perf;
+  {
+    PerfTimer timer(&perf->multiget_micros);
+    MultiGetImpl(options, keys, values, statuses);
+  }
+  stats_.Record(
+      PhaseHistogram::kMultiGetMicros,
+      static_cast<double>(perf->multiget_micros - before.multiget_micros));
+  stats_.MergePerfDelta(perf->Delta(before));
+}
+
+void DBImpl::MultiGetImpl(const ReadOptions& options,
+                          std::span<const Slice> keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses) {
+  values->clear();
+  values->resize(keys.size());
+  statuses->assign(keys.size(), Status::OK());
+  stats_.Add(Ticker::kMultiGets);
+  if (keys.empty()) {
+    return;
+  }
+  GetPerfContext()->multiget_keys += keys.size();
+
+  // Pin one consistent view for the whole batch: every key resolves at the
+  // same sequence against the same memtables and tree shape, regardless of
+  // concurrent writes and flushes.
+  MemTable* mem;
+  MemTable* imm = nullptr;
+  VersionPtr version;
+  SequenceNumber sequence;
+  {
+    MutexLock lock(&mu_);
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) {
+      imm->Ref();
+    }
+    version = versions_->current();
+    sequence = options.snapshot != nullptr ? options.snapshot->sequence()
+                                           : versions_->last_sequence();
+  }
+
+  const Comparator* ucmp = icmp_.user_comparator();
+  std::vector<KeyState> states;
+  // reserve() is load-bearing: ctx.target/searchable are Slices into each
+  // LookupKey's internal buffer, so the vector must never reallocate after
+  // the Slices are taken.
+  states.reserve(keys.size());
+  for (const Slice& key : keys) {
+    states.emplace_back(key, sequence);
+  }
+  for (size_t i = 0; i < states.size(); i++) {
+    KeyState& ks = states[i];
+    ks.slot = i;
+    ks.ucmp = ucmp;
+    ks.ctx.target = ks.lkey.internal_key();
+    ks.ctx.searchable = ks.lkey.user_key();
+    // Hash each user key once; every filter probe across every run reuses
+    // it (shared hashing).
+    ks.ctx.hash = Hash64(ks.ctx.searchable);
+    ks.ctx.handler = &SaveValue;
+    ks.ctx.arg = &ks;
+  }
+
+  // Phase 1: newest data first — the live memtable, then the frozen one.
+  std::vector<KeyState*> pending;
+  pending.reserve(states.size());
+  for (KeyState& ks : states) {
+    Status mem_status;
+    if (mem->Get(ks.lkey, &ks.stored, &mem_status) ||
+        (imm != nullptr && imm->Get(ks.lkey, &ks.stored, &mem_status))) {
+      stats_.Add(Ticker::kMemtableHits);
+      GetPerfContext()->memtable_hit_count++;
+      ks.state = mem_status.ok() ? KeyState::kFound : KeyState::kDeleted;
+    } else {
+      pending.push_back(&ks);
+    }
+  }
+  mem->Unref();
+  if (imm != nullptr) {
+    imm->Unref();
+  }
+
+  // Phase 2: the tree, newest run first. After each run, keys that got an
+  // answer (or a confined error) leave the pending set; the batch narrows
+  // as it descends.
+  for (int level = 0; level < version->num_levels() && !pending.empty();
+       level++) {
+    for (const Run& run : version->levels()[level].runs) {
+      if (pending.empty()) {
+        break;
+      }
+      // Group the unresolved keys by candidate file via the fence
+      // pointers, preserving batch order within each file.
+      std::vector<std::pair<const FileMetaPtr*, std::vector<BatchGetContext*>>>
+          work;
+      std::unordered_map<const FileMetaData*, size_t> file_to_work;
+      for (KeyState* ks : pending) {
+        const FileMetaPtr* file = FindFileInRun(run, ucmp, ks->ctx.searchable);
+        if (file == nullptr) {
+          continue;  // the run's key space does not cover this key
+        }
+        auto [it, inserted] = file_to_work.emplace(file->get(), work.size());
+        if (inserted) {
+          work.emplace_back(file, std::vector<BatchGetContext*>());
+        }
+        work[it->second].second.push_back(&ks->ctx);
+      }
+      for (auto& [file, ctxs] : work) {
+        table_cache_->GetBatch(**file, std::span<BatchGetContext* const>(ctxs),
+                               options.use_filter);
+        for (BatchGetContext* ctx : ctxs) {
+          KeyState* ks = static_cast<KeyState*>(ctx->arg);
+          if (ctx->filter_pruned) {
+            stats_.Add(Ticker::kFilterSkips);
+            continue;
+          }
+          if (!ctx->status.ok()) {
+            // Confined failure: the error is this key's final answer; the
+            // rest of the batch keeps probing.
+            (*statuses)[ks->slot] = ctx->status;
+            ks->failed = true;
+            continue;
+          }
+          stats_.Add(Ticker::kRunsProbed);
+          if (ks->state == KeyState::kNotFound) {
+            // The probe paid an I/O and found nothing: read-trigger signal,
+            // same accounting as the single-key path.
+            const uint64_t wasted = (*file)->wasted_probes.fetch_add(
+                                        1, std::memory_order_relaxed) +
+                                    1;
+            if (options_.seek_compaction_threshold > 0 &&
+                wasted >= options_.seek_compaction_threshold) {
+              pending_seek_compaction_.store(true, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+      pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                   [](const KeyState* ks) {
+                                     return ks->state != KeyState::kNotFound ||
+                                            ks->failed;
+                                   }),
+                    pending.end());
+    }
+  }
+
+  // Phase 3: per-key outcomes. Separated values are collected and resolved
+  // in one (file, offset)-sorted pass over the value log.
+  std::vector<ValueLog::BatchRead> vlog_reads;
+  for (KeyState& ks : states) {
+    if (ks.failed) {
+      continue;  // the confined error is already in the slot
+    }
+    Status& slot_status = (*statuses)[ks.slot];
+    if (ks.state != KeyState::kFound) {
+      slot_status = Status::NotFound("");
+      continue;
+    }
+    if (vlog_ == nullptr) {
+      (*values)[ks.slot] = std::move(ks.stored);
+      continue;
+    }
+    const std::string& stored = ks.stored;  // tag dispatch, as ResolveValue
+    if (stored.empty()) {
+      (*values)[ks.slot].clear();
+    } else if (stored[0] == kVlogInlineTag) {
+      (*values)[ks.slot].assign(stored.data() + 1, stored.size() - 1);
+    } else if (stored[0] == kVlogPointerTag) {
+      stats_.Add(Ticker::kSeparatedReads);
+      vlog_reads.push_back(
+          ValueLog::BatchRead{Slice(stored.data() + 1, stored.size() - 1),
+                              &(*values)[ks.slot], &slot_status});
+    } else {
+      slot_status = Status::Corruption("unknown value tag");
+    }
+  }
+  if (!vlog_reads.empty()) {
+    vlog_->GetBatch(&vlog_reads);
+  }
+}
+
+}  // namespace lsmlab

@@ -2,6 +2,7 @@
 
 #include "core/filename.h"
 #include "filter/filter_policy.h"
+#include "obs/perf_context.h"
 
 namespace lsmlab {
 
@@ -72,6 +73,11 @@ const TableOptions& TableCache::TableOptionsForLevel(int level) const {
 
 Status TableCache::FindTable(const FileMetaData& meta,
                              std::shared_ptr<SSTable>* table) {
+  // Error paths must not leave a previously-resolved reader pinned in the
+  // out-param: callers that reuse one shared_ptr across a loop (the batch
+  // read path does) would otherwise keep the last table's handle — and its
+  // open file — alive past Evict for as long as the loop variable lives.
+  table->reset();
   {
     MutexLock lock(&mu_);
     auto it = tables_.find(meta.number);
@@ -83,6 +89,7 @@ Status TableCache::FindTable(const FileMetaData& meta,
 
   std::unique_ptr<RandomAccessFile> file;
   const std::string fname = TableFileName(dbname_, meta.number);
+  // batch-io-ok: one open per table, amortized across every key probing it.
   Status s = options_->env->NewRandomAccessFile(fname, &file);
   if (!s.ok()) {
     return s;
@@ -153,6 +160,38 @@ Status TableCache::Get(
   }
   return table->InternalGet(internal_target, user_key, handler, use_filter,
                             filter_skipped);
+}
+
+Status TableCache::GetBatch(const FileMetaData& meta,
+                            std::span<BatchGetContext* const> keys,
+                            bool use_filter) {
+  std::shared_ptr<SSTable> table;  // pinned until the whole probe is done
+  Status s = FindTable(meta, &table);
+  if (!s.ok()) {
+    for (BatchGetContext* ctx : keys) {
+      ctx->filter_pruned = false;
+      ctx->status = s;
+    }
+    return s;
+  }
+  // Monolithic filter-first pruning: one probe per key, before any index
+  // seek or data-block I/O.
+  std::vector<BatchGetContext*> survivors;
+  survivors.reserve(keys.size());
+  for (BatchGetContext* ctx : keys) {
+    ctx->filter_pruned = false;
+    ctx->status = Status::OK();
+    if (use_filter && !table->KeyMayMatch(ctx->searchable, ctx->hash)) {
+      ctx->filter_pruned = true;
+      GetPerfContext()->multiget_filter_pruned++;
+      continue;
+    }
+    survivors.push_back(ctx);
+  }
+  if (!survivors.empty()) {
+    table->MultiGet(std::span<BatchGetContext* const>(survivors), use_filter);
+  }
+  return Status::OK();
 }
 
 bool TableCache::RangeMayMatch(const FileMetaData& meta, const Slice& lo_user,

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,15 @@ class TableCache {
              const Slice& user_key, uint64_t hash, bool use_filter,
              bool* filter_skipped,
              const std::function<void(const Slice&, const Slice&)>& handler);
+
+  /// Batched point lookup within one table: resolves the reader handle
+  /// once (pinned across the whole probe), probes the monolithic filter
+  /// once per key, and forwards the survivors to SSTable::MultiGet for
+  /// coalesced block I/O. A table that cannot be opened fails every key in
+  /// the batch — they all needed it — while filter rejections and
+  /// per-block corruption are reported per key via the contexts.
+  Status GetBatch(const FileMetaData& meta,
+                  std::span<BatchGetContext* const> keys, bool use_filter);
 
   /// Probes only the table's range filter.
   bool RangeMayMatch(const FileMetaData& meta, const Slice& lo_user,

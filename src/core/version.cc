@@ -32,6 +32,31 @@ int Version::NumFiles() const {
   return total;
 }
 
+const FileMetaPtr* FindFileInRun(const Run& run, const Comparator* ucmp,
+                                 const Slice& user_key) {
+  // First file whose largest user key is >= user_key; since run files are
+  // sorted and disjoint, it is the only candidate.
+  size_t lo = 0;
+  size_t hi = run.files.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (ucmp->Compare(ExtractUserKey(Slice(run.files[mid]->largest)),
+                      user_key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == run.files.size()) {
+    return nullptr;
+  }
+  if (ucmp->Compare(user_key,
+                    ExtractUserKey(Slice(run.files[lo]->smallest))) < 0) {
+    return nullptr;
+  }
+  return &run.files[lo];
+}
+
 int Version::MaxPopulatedLevel() const {
   for (int i = num_levels() - 1; i >= 0; i--) {
     if (!levels_[i].runs.empty()) {

@@ -89,6 +89,13 @@ struct Run {
   }
 };
 
+/// The single file of `run` whose [smallest, largest] user-key range covers
+/// `user_key`, or nullptr when no file does. Run files are ordered by
+/// smallest key and pairwise non-overlapping, so a binary search over the
+/// fence pointers suffices. Shared by the Get and MultiGet read paths.
+const FileMetaPtr* FindFileInRun(const Run& run, const Comparator* ucmp,
+                                 const Slice& user_key);
+
 /// One level: runs ordered newest-first (queries probe in this order).
 /// Leveling keeps at most one run here; tiering up to T.
 struct LevelState {

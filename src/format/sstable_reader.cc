@@ -238,10 +238,10 @@ Status SSTable::ReadMeta(const Footer& footer) {
 
 Status SSTable::GetBlock(const BlockHandle& handle, BlockCache::Ref* ref,
                          std::shared_ptr<const Block>* owned,
-                         const Block** block) const {
+                         const Block** block, uint64_t access_weight) const {
   *block = nullptr;
   if (block_cache_ != nullptr) {
-    *ref = block_cache_->Lookup(file_number_, handle.offset());
+    *ref = block_cache_->Lookup(file_number_, handle.offset(), access_weight);
     if (*ref) {
       *block = ref->block();
       return Status::OK();
@@ -528,6 +528,103 @@ Status SSTable::InternalGet(
     handler(iter->key(), iter->value());
   }
   return iter->status();
+}
+
+void SSTable::MultiGetFromBlock(
+    const BlockHandle& handle,
+    std::span<BatchGetContext* const> keys) const {
+  BlockCache::Ref ref;
+  std::shared_ptr<const Block> owned;
+  const Block* block = nullptr;
+  Status s = GetBlock(handle, &ref, &owned, &block,
+                      /*access_weight=*/keys.size());
+  if (!s.ok()) {
+    // Corruption contract: a bad block fails only the keys it serves; the
+    // rest of the batch is untouched.
+    for (BatchGetContext* ctx : keys) {
+      ctx->status = s;
+    }
+    return;
+  }
+  // Every key past the first rides a block another key already paid for.
+  GetPerfContext()->multiget_coalesced_block_hits += keys.size() - 1;
+  std::unique_ptr<Block::BlockIterator> iter(
+      block->NewIterator(options_.comparator));
+  for (BatchGetContext* ctx : keys) {
+    iter->Seek(ctx->target);
+    if (!iter->status().ok()) {
+      ctx->status = iter->status();
+      continue;
+    }
+    // The fence pointer guarantees this block's largest key >= target, so
+    // the seek always lands on an entry; the handler's user-key comparison
+    // decides whether it actually covers the sought key.
+    if (iter->Valid()) {
+      ctx->handler(ctx->arg, iter->key(), iter->value());
+    }
+  }
+}
+
+void SSTable::MultiGet(std::span<BatchGetContext* const> keys,
+                       bool use_filter) const {
+  // Phase 1 (index pass): map every key to its candidate data block via
+  // the fence pointers and prune with the partitioned filter, all before
+  // any data-block I/O. The batch path intentionally uses plain binary
+  // fence search — no learned index or in-block hash index — because keys
+  // sharing a block must resolve against one iterator.
+  struct BlockWork {
+    BlockHandle handle;
+    std::vector<BatchGetContext*> keys;
+  };
+  std::vector<BlockWork> work;
+  std::unordered_map<uint64_t, size_t> offset_to_work;
+
+  std::unique_ptr<Iterator> index_iter(
+      index_block_->NewIterator(options_.comparator));
+  for (BatchGetContext* ctx : keys) {
+    ctx->filter_pruned = false;
+    ctx->status = Status::OK();
+    GetPerfContext()->index_seek_count++;
+    index_iter->Seek(ctx->target);
+    if (!index_iter->Valid()) {
+      // Past the last fence (absent from this table), or a corrupt index:
+      // either way the iterator's status is this key's answer.
+      ctx->status = index_iter->status();
+      continue;
+    }
+    Slice handle_value = index_iter->value();
+    BlockHandle handle;
+    Status s = handle.DecodeFrom(&handle_value);
+    if (!s.ok()) {
+      ctx->status = s;
+      continue;
+    }
+    if (use_filter && has_partitioned_filter()) {
+      auto ord = block_offset_to_ordinal_.find(handle.offset());
+      if (ord != block_offset_to_ordinal_.end() &&
+          !PartitionMayMatch(ord->second, ctx->hash)) {
+        ctx->filter_pruned = true;
+        GetPerfContext()->multiget_filter_pruned++;
+        continue;
+      }
+    }
+    auto [it, inserted] = offset_to_work.emplace(handle.offset(), work.size());
+    if (inserted) {
+      work.push_back(BlockWork{handle, {}});
+    }
+    work[it->second].keys.push_back(ctx);
+  }
+
+  // Phase 2 (block pass): fetch each distinct block exactly once, in file
+  // order (sequential-friendly on a miss-heavy batch), and resolve all of
+  // its keys against the one decoded copy.
+  std::sort(work.begin(), work.end(),
+            [](const BlockWork& a, const BlockWork& b) {
+              return a.handle.offset() < b.handle.offset();
+            });
+  for (const BlockWork& w : work) {
+    MultiGetFromBlock(w.handle, w.keys);
+  }
 }
 
 size_t SSTable::PrefetchBlocks(size_t budget_bytes) const {

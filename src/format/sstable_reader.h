@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,27 @@
 #include "util/iterator.h"
 
 namespace lsmlab {
+
+/// One key's state within a batched lookup (DB::MultiGet). The same
+/// contexts travel through TableCache::GetBatch and SSTable::MultiGet for
+/// every table the batch probes; the per-probe outputs (`filter_pruned`,
+/// `status`) are reset by the callee at the start of each table.
+struct BatchGetContext {
+  // Inputs, set once per batch by the caller.
+  Slice target;       ///< internal lookup key (user_key . seq/type tag)
+  Slice searchable;   ///< user-key portion, for filters and hash indexes
+  uint64_t hash = 0;  ///< Hash64(searchable), shared across all probes
+  /// Invoked with the first entry >= target in the candidate block, exactly
+  /// like InternalGet's handler. A plain function pointer (not
+  /// std::function) so a batch of hundreds of keys allocates nothing per
+  /// key.
+  void (*handler)(void* arg, const Slice& key, const Slice& value) = nullptr;
+  void* arg = nullptr;
+
+  // Per-table-probe outputs, reset by the callee.
+  bool filter_pruned = false;  ///< a filter rejected this key: no block I/O
+  Status status;               ///< failure confined to this key's block
+};
 
 /// Immutable reader over one SSTable file.
 ///
@@ -64,6 +86,16 @@ class SSTable {
           handler,
       bool use_filter = true, bool* filter_skipped = nullptr) const;
 
+  /// Batched point lookup: resolves every context against this table with
+  /// one fence-pointer seek per key but at most ONE block-cache lookup and
+  /// ONE file read per distinct data block, no matter how many keys land in
+  /// it. Keys a partitioned filter rejects get `filter_pruned` set before
+  /// any data-block I/O; a corrupt or unreadable block sets `status` only
+  /// on the keys it serves. Monolithic filters are the caller's job
+  /// (KeyMayMatch), as with InternalGet.
+  void MultiGet(std::span<BatchGetContext* const> keys,
+                bool use_filter) const;
+
   const TableProperties& properties() const { return props_; }
   uint64_t file_number() const { return file_number_; }
 
@@ -94,10 +126,16 @@ class SSTable {
   Iterator* BlockReader(const Slice& index_value) const;
 
   /// Fetches (and pins/owns) the block at `handle`. On success *block
-  /// points at a Block kept alive by *ref or *owned.
+  /// points at a Block kept alive by *ref or *owned. `access_weight` is the
+  /// number of keys this fetch serves (see BlockCache::Lookup).
   Status GetBlock(const BlockHandle& handle, BlockCache::Ref* ref,
-                  std::shared_ptr<const Block>* owned,
-                  const Block** block) const;
+                  std::shared_ptr<const Block>* owned, const Block** block,
+                  uint64_t access_weight = 1) const;
+
+  /// Resolves the subset of a batch that mapped to one data block: one
+  /// block fetch, then one in-block seek per key.
+  void MultiGetFromBlock(const BlockHandle& handle,
+                         std::span<BatchGetContext* const> keys) const;
 
   /// Locates the data block that may hold `target` via the learned fence
   /// index. Returns false if the learned index is not available.

@@ -24,12 +24,16 @@ void ForEachField(PerfContext& ctx, const Fn& fn) {
   fn("learned_index_seek_count", ctx.learned_index_seek_count);
   fn("hash_index_hit_count", ctx.hash_index_hit_count);
   fn("hash_index_absent_count", ctx.hash_index_absent_count);
+  fn("multiget_keys", ctx.multiget_keys);
+  fn("multiget_filter_pruned", ctx.multiget_filter_pruned);
+  fn("multiget_coalesced_block_hits", ctx.multiget_coalesced_block_hits);
   fn("memtable_hit_count", ctx.memtable_hit_count);
   fn("merge_iter_seek_count", ctx.merge_iter_seek_count);
   fn("merge_iter_step_count", ctx.merge_iter_step_count);
   fn("wal_append_count", ctx.wal_append_count);
   fn("wal_sync_count", ctx.wal_sync_count);
   fn("get_micros", ctx.get_micros);
+  fn("multiget_micros", ctx.multiget_micros);
   fn("seek_micros", ctx.seek_micros);
   fn("next_micros", ctx.next_micros);
   fn("write_micros", ctx.write_micros);

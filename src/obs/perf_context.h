@@ -41,6 +41,13 @@ struct PerfContext {
   uint64_t hash_index_hit_count = 0;
   uint64_t hash_index_absent_count = 0;
 
+  // --- Batched reads (DB::MultiGet) ---------------------------------------
+  uint64_t multiget_keys = 0;            ///< keys submitted across batches
+  uint64_t multiget_filter_pruned = 0;   ///< per-key table probes a filter
+                                         ///< rejected before any block I/O
+  uint64_t multiget_coalesced_block_hits = 0;  ///< keys served by a block
+                                               ///< another key already paid for
+
   // --- Memtable / merge ---------------------------------------------------
   uint64_t memtable_hit_count = 0;
   uint64_t merge_iter_seek_count = 0;  ///< Seek/SeekToFirst/SeekToLast fanouts
@@ -52,6 +59,7 @@ struct PerfContext {
 
   // --- Phase timers (microseconds) ----------------------------------------
   uint64_t get_micros = 0;
+  uint64_t multiget_micros = 0;  ///< whole batches, not per key
   uint64_t seek_micros = 0;
   uint64_t next_micros = 0;
   uint64_t write_micros = 0;

@@ -18,6 +18,14 @@ const char* StatsRegistry::TickerName(Ticker ticker) {
       return "rangefilter.run_skips";
     case Ticker::kSeparatedReads:
       return "vlog.separated_reads";
+    case Ticker::kMultiGets:
+      return "multiget.batches";
+    case Ticker::kMultiGetKeys:
+      return "multiget.keys";
+    case Ticker::kMultiGetFilterPruned:
+      return "multiget.filter_pruned";
+    case Ticker::kMultiGetCoalescedBlockHits:
+      return "multiget.coalesced_block_hits";
     case Ticker::kBlockReads:
       return "block.reads";
     case Ticker::kBlockReadBytes:
@@ -78,6 +86,8 @@ const char* StatsRegistry::HistogramName(PhaseHistogram h) {
   switch (h) {
     case PhaseHistogram::kGetMicros:
       return "get_micros";
+    case PhaseHistogram::kMultiGetMicros:
+      return "multiget_micros";
     case PhaseHistogram::kWriteMicros:
       return "write_micros";
     case PhaseHistogram::kFlushMicros:
@@ -96,6 +106,10 @@ void StatsRegistry::MergePerfDelta(const PerfContext& delta) {
       Add(t, n);
     }
   };
+  add(Ticker::kMultiGetKeys, delta.multiget_keys);
+  add(Ticker::kMultiGetFilterPruned, delta.multiget_filter_pruned);
+  add(Ticker::kMultiGetCoalescedBlockHits,
+      delta.multiget_coalesced_block_hits);
   add(Ticker::kBlockReads, delta.block_read_count);
   add(Ticker::kBlockReadBytes, delta.block_read_bytes);
   add(Ticker::kBlockCacheHits, delta.block_cache_hit_count);

@@ -24,6 +24,11 @@ enum class Ticker : uint32_t {
   kFilterSkips,       ///< runs skipped by monolithic point filters
   kRangeFilterSkips,  ///< runs skipped by range filters
   kSeparatedReads,
+  // Batched reads (DB::MultiGet).
+  kMultiGets,                    ///< MultiGet batches
+  kMultiGetKeys,                 ///< keys across all batches
+  kMultiGetFilterPruned,         ///< per-key probes pruned by filters
+  kMultiGetCoalescedBlockHits,   ///< keys served by an already-paid block
   // Per-subsystem read costs (folded in from PerfContext deltas).
   kBlockReads,
   kBlockReadBytes,
@@ -59,6 +64,7 @@ enum class Ticker : uint32_t {
 /// Latency distributions kept alongside the tickers.
 enum class PhaseHistogram : uint32_t {
   kGetMicros,
+  kMultiGetMicros,  ///< whole-batch latency, not per key
   kWriteMicros,
   kFlushMicros,
   kCompactionMicros,

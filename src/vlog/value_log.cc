@@ -102,61 +102,63 @@ Status ValueLog::Add(const Slice& value, std::string* pointer) {
   return current_file_->Flush();
 }
 
-Status ValueLog::Get(const Slice& pointer, std::string* value) const {
+Status ValueLog::DecodePointer(const Slice& pointer, Pointer* out) {
   Slice input = pointer;
-  uint64_t number, offset;
-  uint32_t size;
-  if (!GetVarint64(&input, &number) || !GetVarint64(&input, &offset) ||
-      !GetVarint32(&input, &size)) {
+  if (!GetVarint64(&input, &out->number) ||
+      !GetVarint64(&input, &out->offset) ||
+      !GetVarint32(&input, &out->size)) {
     return Status::Corruption("bad value-log pointer");
   }
-
-  std::shared_ptr<RandomAccessFile> reader;
-  {
-    MutexLock lock(&readers_mu_);
-    for (const auto& [n, r] : readers_) {
-      if (n == number) {
-        reader = r;
-        break;
-      }
-    }
-    if (reader == nullptr) {
-      std::unique_ptr<RandomAccessFile> file;
-      Status s = env_->NewRandomAccessFile(FileName(dbname_, number), &file);
-      if (!s.ok()) {
-        return s;
-      }
-      reader = std::shared_ptr<RandomAccessFile>(file.release());
-      readers_.emplace_back(number, reader);
-    }
-  }
-
-  if (size < 5) {
+  if (out->size < 5) {  // fixed32 crc + at least a 1-byte varint size
     return Status::Corruption("bad value-log pointer size");
   }
-  // The pointer was decoded from untrusted SSTable bytes: before sizing a
-  // buffer from it, bound large claims by the log file itself so a corrupt
-  // pointer cannot demand a multi-gigabyte allocation.
-  if (size > (1u << 26)) {
-    uint64_t log_size = 0;
-    Status fs = env_->GetFileSize(FileName(dbname_, number), &log_size);
-    if (!fs.ok()) {
-      return fs;
-    }
-    if (size > log_size || offset > log_size - size) {
-      return Status::Corruption("value-log pointer out of file bounds");
+  return Status::OK();
+}
+
+Status ValueLog::GetReader(uint64_t number,
+                           std::shared_ptr<RandomAccessFile>* reader) const {
+  MutexLock lock(&readers_mu_);
+  for (const auto& [n, r] : readers_) {
+    if (n == number) {
+      *reader = r;
+      return Status::OK();
     }
   }
-  std::string scratch(size, '\0');
-  Slice record;
-  Status s = reader->Read(offset, size, &record, scratch.data());
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = env_->NewRandomAccessFile(FileName(dbname_, number), &file);
   if (!s.ok()) {
     return s;
   }
-  if (record.size() != size) {
+  *reader = std::shared_ptr<RandomAccessFile>(file.release());
+  readers_.emplace_back(number, *reader);
+  return Status::OK();
+}
+
+Status ValueLog::ReadRecord(RandomAccessFile* reader, const Pointer& ptr,
+                            std::string* value) const {
+  // The pointer was decoded from untrusted SSTable bytes: before sizing a
+  // buffer from it, bound large claims by the log file itself so a corrupt
+  // pointer cannot demand a multi-gigabyte allocation.
+  if (ptr.size > (1u << 26)) {
+    uint64_t log_size = 0;
+    Status fs = env_->GetFileSize(FileName(dbname_, ptr.number), &log_size);
+    if (!fs.ok()) {
+      return fs;
+    }
+    if (ptr.size > log_size || ptr.offset > log_size - ptr.size) {
+      return Status::Corruption("value-log pointer out of file bounds");
+    }
+  }
+  std::string scratch(ptr.size, '\0');
+  Slice record;
+  Status s = reader->Read(ptr.offset, ptr.size, &record, scratch.data());
+  if (!s.ok()) {
+    return s;
+  }
+  if (record.size() != ptr.size) {
     return Status::Corruption("truncated value-log record");
   }
-  // bounds: size >= 5 was checked above, record.size() == size.
+  // bounds: size >= 5 was checked at decode, record.size() == size.
   const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(record.data()));
   Slice body(record.data() + 4, record.size() - 4);
   uint32_t value_size;
@@ -168,6 +170,59 @@ Status ValueLog::Get(const Slice& pointer, std::string* value) const {
   }
   value->assign(body.data(), body.size());
   return Status::OK();
+}
+
+Status ValueLog::Get(const Slice& pointer, std::string* value) const {
+  Pointer ptr;
+  Status s = DecodePointer(pointer, &ptr);
+  if (!s.ok()) {
+    return s;
+  }
+  std::shared_ptr<RandomAccessFile> reader;
+  s = GetReader(ptr.number, &reader);
+  if (!s.ok()) {
+    return s;
+  }
+  return ReadRecord(reader.get(), ptr, value);
+}
+
+void ValueLog::GetBatch(std::vector<BatchRead>* reads) const {
+  struct Work {
+    Pointer ptr;
+    BatchRead* read;
+  };
+  std::vector<Work> work;
+  work.reserve(reads->size());
+  for (BatchRead& r : *reads) {
+    Pointer ptr;
+    Status s = DecodePointer(r.pointer, &ptr);
+    if (!s.ok()) {
+      *r.status = s;  // a bad pointer fails only its own slot
+      continue;
+    }
+    work.push_back(Work{ptr, &r});
+  }
+  // Issue reads in (file, offset) order: values written together are read
+  // together, turning the batch's log access pattern sequential and
+  // resolving each file's read handle exactly once.
+  std::sort(work.begin(), work.end(), [](const Work& a, const Work& b) {
+    return a.ptr.number != b.ptr.number ? a.ptr.number < b.ptr.number
+                                        : a.ptr.offset < b.ptr.offset;
+  });
+  std::shared_ptr<RandomAccessFile> reader;
+  uint64_t reader_number = 0;
+  for (const Work& w : work) {
+    if (reader == nullptr || reader_number != w.ptr.number) {
+      reader.reset();
+      Status s = GetReader(w.ptr.number, &reader);
+      if (!s.ok()) {
+        *w.read->status = s;
+        continue;
+      }
+      reader_number = w.ptr.number;
+    }
+    *w.read->status = ReadRecord(reader.get(), w.ptr, w.read->value);
+  }
 }
 
 Status ValueLog::Sync(bool fsync) {

@@ -48,6 +48,19 @@ class ValueLog {
   /// Resolves a pointer produced by Add (possibly in an earlier session).
   Status Get(const Slice& pointer, std::string* value) const;
 
+  /// One separated value to resolve within a batch (DB::MultiGet).
+  struct BatchRead {
+    Slice pointer;             ///< in: encoded pointer (from the LSM value)
+    std::string* value;        ///< out: decoded payload
+    Status* status;            ///< out: per-slot; a bad pointer or record
+                               ///< fails only its own slot
+  };
+
+  /// Resolves several pointers in one pass. Reads are issued sorted by
+  /// (file, offset), so a batch whose values cluster in one log file walks
+  /// it front-to-back instead of seeking per key in LSM order.
+  void GetBatch(std::vector<BatchRead>* reads) const;
+
   /// Flushes (and optionally fsyncs) the current log file.
   Status Sync(bool fsync);
 
@@ -69,6 +82,21 @@ class ValueLog {
   }
 
  private:
+  /// A decoded (and syntactically validated) value-log pointer.
+  struct Pointer {
+    uint64_t number = 0;
+    uint64_t offset = 0;
+    uint32_t size = 0;
+  };
+
+  static Status DecodePointer(const Slice& pointer, Pointer* out);
+  /// Returns (lazily opening and caching) the read handle for log `number`.
+  Status GetReader(uint64_t number,
+                   std::shared_ptr<RandomAccessFile>* reader) const;
+  /// Reads and CRC-verifies the record at `ptr` through `reader`.
+  Status ReadRecord(RandomAccessFile* reader, const Pointer& ptr,
+                    std::string* value) const;
+
   Status RotateLocked() REQUIRES(mu_);
   static std::string FileName(const std::string& dbname, uint64_t number);
 

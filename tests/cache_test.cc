@@ -6,8 +6,13 @@
 
 #include "cache/block_cache.h"
 #include "cache/lru_cache.h"
+#include "core/dbformat.h"
+#include "core/filename.h"
+#include "core/table_cache.h"
 #include "format/block.h"
 #include "format/block_builder.h"
+#include "format/sstable_builder.h"
+#include "storage/env.h"
 
 namespace lsmlab {
 namespace {
@@ -196,6 +201,64 @@ TEST(BlockCacheTest, RefKeepsBlockAliveAcrossEviction) {
   it->SeekToFirst();
   ASSERT_TRUE(it->Valid());
   EXPECT_EQ(it->key().ToString(), "key1");
+}
+
+// ---------------------------------------------------------- TableCache --
+
+/// Regression: FindTable's error paths must clear the out-param. The batch
+/// read path reuses one shared_ptr across a per-file loop; before the fix,
+/// a failed open left the previous table's reader pinned in it, keeping
+/// the handle (and its open file) alive past Evict.
+TEST(TableCacheTest, ErrorPathsDoNotRetainPriorHandle) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  Options options;
+  options.env = env.get();
+  options.filter_allocation = FilterAllocation::kNone;
+  InternalKeyComparator icmp(BytewiseComparator());
+  TableCache cache("/db", &options, &icmp);
+
+  ASSERT_TRUE(env->CreateDir("/db").ok());
+  const std::string good_name = TableFileName("/db", 7);
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(good_name, &file).ok());
+    SSTableBuilder builder(cache.TableOptionsForLevel(0), file.get());
+    std::string ikey;
+    AppendInternalKey(&ikey, "key", 1, ValueType::kTypeValue);
+    builder.Add(ikey, "value");
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  FileMetaData good;
+  good.number = 7;
+  ASSERT_TRUE(env->GetFileSize(good_name, &good.file_size).ok());
+
+  // A table whose bytes cannot possibly parse, and one that does not exist.
+  FileMetaData corrupt;
+  corrupt.number = 8;
+  corrupt.file_size = 64;
+  ASSERT_TRUE(WriteStringToFile(env.get(), std::string(64, 'z'),
+                                TableFileName("/db", 8))
+                  .ok());
+  FileMetaData missing;
+  missing.number = 9;
+  missing.file_size = 64;
+
+  std::shared_ptr<SSTable> table;
+  ASSERT_TRUE(cache.FindTable(good, &table).ok());
+  ASSERT_NE(table, nullptr);
+  std::weak_ptr<const SSTable> alive = table;
+
+  EXPECT_FALSE(cache.FindTable(corrupt, &table).ok());
+  EXPECT_EQ(table, nullptr) << "failed open retained the previous handle";
+
+  ASSERT_TRUE(cache.FindTable(good, &table).ok());
+  EXPECT_FALSE(cache.FindTable(missing, &table).ok());
+  EXPECT_EQ(table, nullptr) << "failed open retained the previous handle";
+
+  // With no stray pin left behind, evicting the good table drops the last
+  // reference to its reader.
+  cache.Evict(7);
+  EXPECT_TRUE(alive.expired());
 }
 
 }  // namespace

@@ -125,6 +125,45 @@ TEST_F(PerfContextTest, PointLookupCostIsExactPerRun) {
   EXPECT_EQ(d.block_read_count, 0u);
 }
 
+TEST_F(PerfContextTest, MultiGetCoalescesSameBlockKeysExactly) {
+  Open();
+  BuildThreeRuns();
+  WarmUp();
+
+  // "a" and "z" both live in the newest run, whose few entries fit one
+  // data block. Two looped Gets each pay one block read there; the batch
+  // must pay the index seek per key but fetch the shared block once.
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  const std::vector<Slice> batch = {Slice("a"), Slice("z")};
+
+  const PerfContext before = *GetPerfContext();
+  db_->MultiGet({}, std::span<const Slice>(batch), &values, &statuses);
+  const PerfContext d = GetPerfContext()->Delta(before);
+
+  ASSERT_TRUE(statuses[0].ok());
+  ASSERT_TRUE(statuses[1].ok());
+  EXPECT_EQ(values[0], "pad3");
+  EXPECT_EQ(values[1], "pad3");
+  EXPECT_EQ(d.multiget_keys, 2u);
+  EXPECT_EQ(d.index_seek_count, 2u);       // one fence lookup per key
+  EXPECT_EQ(d.block_read_count, 1u);       // the shared block, fetched once
+  EXPECT_EQ(d.multiget_coalesced_block_hits, 1u);  // second key rode along
+  EXPECT_EQ(d.memtable_hit_count, 0u);
+
+  // The same two keys as looped Gets pay the block read twice: the saving
+  // asserted above is exactly the coalesced hit.
+  std::string value;
+  Status s;
+  const PerfContext d_a = GetDelta("a", &value, &s);
+  ASSERT_TRUE(s.ok());
+  const PerfContext d_z = GetDelta("z", &value, &s);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(d_a.block_read_count + d_z.block_read_count, 2u);
+  EXPECT_EQ(d.block_read_count + d.multiget_coalesced_block_hits,
+            d_a.block_read_count + d_z.block_read_count);
+}
+
 TEST_F(PerfContextTest, CompactedTreeLookupIsSingleProbe) {
   Open();
   BuildThreeRuns();

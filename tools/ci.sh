@@ -97,7 +97,7 @@ leg_tsan_obs() {
       -DCMAKE_BUILD_TYPE=Debug -DLSMLAB_SANITIZE=thread >/dev/null
   cmake --build build-ci-tsan -j "$JOBS"
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-      -R 'perf_context_test|listener_test|concurrency_test|crash_test'
+      -R 'perf_context_test|listener_test|concurrency_test|crash_test|multiget_test'
 }
 
 leg_asan_ubsan() {

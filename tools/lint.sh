@@ -20,11 +20,20 @@
 #      tools/parser_audit.list: asserts compile out of release builds, so
 #      corruption must surface as Status, never as an invariant check.
 #      (tools/check_parsers.sh enforces the rest of the parser contract.)
+#   7. No per-key I/O calls in the batch read path. The whole point of
+#      MultiGet is one open per table and one fetch per distinct block;
+#      a stray Read/open in those files silently reverts it to a looped
+#      Get. Deliberate, amortized calls carry a `batch-io-ok:` comment.
 #
 # Exit code 0 = clean, 1 = violations found.
 
 set -u
 cd "$(dirname "$0")/.."
+
+# report() is the last element of each check's pipeline; without lastpipe
+# it would run in a subshell and its fail=1 could never reach this shell,
+# turning every violation into exit 0.
+shopt -s lastpipe
 
 fail=0
 
@@ -77,6 +86,23 @@ grep -v -e '^#' -e '^$' tools/parser_audit.list \
   | xargs grep -nE '\bassert\(' 2>/dev/null \
   | grep -v 'builder-ok:' \
   | report "assert() in an audited parser (corrupt bytes must return Status::Corruption; see tools/check_parsers.sh)"
+
+# 7. Per-key I/O in the batch read path. Any block read, file read, or
+#    file open in these files must be the amortized one (annotated
+#    `batch-io-ok:` on the call line or the line above); anything else is
+#    a looped-Get regression hiding inside MultiGet.
+BATCH_PATH_FILES="src/core/db_multiget.cc src/core/table_cache.cc"
+for f in $BATCH_PATH_FILES; do
+  [ -f "$f" ] || continue
+  awk -v file="$f" '
+    /ReadBlock\(|->Read\(|NewRandomAccessFile\(|NewSequentialFile\(/ {
+      if ($0 !~ /batch-io-ok:/ && prev !~ /batch-io-ok:/) {
+        printf "%s:%d: %s\n", file, NR, $0
+      }
+    }
+    { prev = $0 }
+  ' "$f"
+done | report "unannotated I/O call in a batch-path file (coalesce it, or mark the amortized call with batch-io-ok:)"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint: OK"
