@@ -46,6 +46,24 @@ struct DBStats {
                      static_cast<double>(bytes_flushed);
   }
 
+  // Group commit (see DESIGN.md "Group commit"). The registry reconciles
+  // wal_syncs + wal_sync_skipped == group_commits (every group either
+  // syncs or is counted as skipped), and — absent write errors —
+  // group_commits + group_followers == writes.
+  uint64_t writes = 0;             ///< DB::Write calls (each Put/Delete is one)
+  uint64_t group_commits = 0;      ///< commit groups built by a leader
+  uint64_t group_followers = 0;    ///< writers committed by someone else's group
+  uint64_t wal_syncs = 0;          ///< group commits that synced the WAL
+  uint64_t wal_sync_skipped = 0;   ///< group commits the policy left unsynced
+  uint64_t vlog_syncs = 0;         ///< write-path value-log syncs
+  /// Mean writers per commit group.
+  double MeanWriteGroupSize() const {
+    return group_commits == 0
+               ? 0.0
+               : static_cast<double>(group_commits + group_followers) /
+                     static_cast<double>(group_commits);
+  }
+
   // Write controller (background pipeline; see Options::l0_slowdown_trigger
   // and Options::l0_stop_trigger).
   uint64_t write_slowdowns = 0;        ///< writes delayed by the L0 trigger

@@ -202,65 +202,8 @@ Status DestroyDB(const Options& options, const std::string& name) {
 }
 
 // -------------------------------------------------- Key-value separation --
-
-namespace {
-
-/// Batch rewriter: moves large values into the value log.
-class SeparatingHandler : public WriteBatch::Handler {
- public:
-  SeparatingHandler(ValueLog* vlog, size_t threshold, WriteBatch* out)
-      : vlog_(vlog), threshold_(threshold), out_(out) {}
-
-  void Put(const Slice& key, const Slice& value) override {
-    if (!status_.ok()) {
-      return;
-    }
-    std::string stored;
-    if (value.size() >= threshold_) {
-      stored.push_back(kVlogPointerTag);
-      std::string pointer;
-      status_ = vlog_->Add(value, &pointer);
-      if (!status_.ok()) {
-        return;
-      }
-      stored.append(pointer);
-    } else {
-      stored.push_back(kVlogInlineTag);
-      stored.append(value.data(), value.size());
-    }
-    out_->Put(key, stored);
-  }
-
-  void Delete(const Slice& key) override { out_->Delete(key); }
-
-  Status status() const { return status_; }
-
- private:
-  ValueLog* vlog_;
-  size_t threshold_;
-  WriteBatch* out_;
-  Status status_;
-};
-
-}  // namespace
-
-Status DBImpl::MaybeSeparateBatch(WriteBatch* updates) {
-  if (vlog_ == nullptr) {
-    return Status::OK();
-  }
-  WriteBatch separated;
-  SeparatingHandler handler(vlog_.get(), options_.value_separation_threshold,
-                            &separated);
-  Status s = updates->Iterate(&handler);
-  if (s.ok()) {
-    s = handler.status();
-  }
-  if (!s.ok()) {
-    return s;
-  }
-  *updates = separated;
-  return Status::OK();
-}
+// (Batch separation itself — SeparatingHandler / MaybeSeparateBatch — lives
+// in db_write.cc with the rest of the write path.)
 
 Status DBImpl::ResolveValue(const Slice& stored, std::string* out) {
   if (vlog_ == nullptr) {
@@ -417,115 +360,25 @@ Status DBImpl::NewWal() {
     return s;
   }
   wal_ = std::make_unique<wal::Writer>(wal_file_.get());
+  // Fresh log: nothing in it is unsynced. Safe to touch the leader-owned
+  // counter here because rotation only runs while the log is idle.
+  wal_unsynced_bytes_ = 0;
   return Status::OK();
 }
 
 // ------------------------------------------------------------ Write path --
-
-Status DBImpl::Put(const WriteOptions& options, const Slice& key,
-                   const Slice& value) {
-  WriteBatch batch;
-  batch.Put(key, value);
-  return Write(options, &batch);
-}
-
-Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
-  WriteBatch batch;
-  batch.Delete(key);
-  return Write(options, &batch);
-}
-
-Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
-  PerfContext* perf = GetPerfContext();
-  const PerfContext before = *perf;
-  PendingEvents events;
-  Status s;
-  {
-    PerfTimer timer(&perf->write_micros);
-    MutexLock lock(&mu_);
-    s = WriteLocked(options, updates, &events);
-  }
-  stats_.Add(Ticker::kWrites);
-  stats_.Record(PhaseHistogram::kWriteMicros,
-                static_cast<double>(perf->write_micros - before.write_micros));
-  stats_.MergePerfDelta(perf->Delta(before));
-  NotifyListeners(&events);
-  return s;
-}
-
-Status DBImpl::WriteLocked(const WriteOptions& options, WriteBatch* updates,
-                           PendingEvents* events) {
-  if (bg_pool_ != nullptr) {
-    // Background mode: make room first so the batch lands in the memtable
-    // and WAL that will stay current (a freeze rotates both).
-    Status rs = MakeRoomForWrite(events);
-    if (!rs.ok()) {
-      return rs;
-    }
-  }
-  const SequenceNumber base = versions_->last_sequence() + 1;
-
-  Status s = MaybeSeparateBatch(updates);
-  if (!s.ok()) {
-    return s;
-  }
-  if (vlog_ != nullptr) {
-    // Values must be durable in the log before the pointers are logged.
-    s = vlog_->Sync(options.sync);
-    if (!s.ok()) {
-      return s;
-    }
-  }
-  updates->set_sequence(base);
-
-  if (wal_ != nullptr) {
-    s = wal_->AddRecord(updates->Contents());
-    if (s.ok()) {
-      GetPerfContext()->wal_append_count++;
-      if (options.sync) {
-        s = wal_file_->Sync();
-        if (s.ok()) {
-          GetPerfContext()->wal_sync_count++;
-        }
-      }
-    }
-    if (!s.ok()) {
-      return s;
-    }
-  }
-  s = updates->InsertInto(mem_);
-  if (!s.ok()) {
-    return s;
-  }
-  versions_->SetLastSequence(base + updates->Count() - 1);
-
-  if (bg_pool_ != nullptr) {
-    if (pending_seek_compaction_.exchange(false, std::memory_order_relaxed)) {
-      // Reads flagged a file that keeps wasting probes; wake the
-      // background thread to service it (tutorial I-2 trigger primitive).
-      bg_compaction_hint_ = true;
-      MaybeScheduleBackgroundWork();
-    }
-    return s;
-  }
-
-  if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
-    s = FlushMemTableLocked(events);
-    if (s.ok()) {
-      s = MaybeCompact(events, options_.max_compactions_per_write);
-    }
-  } else if (pending_seek_compaction_.exchange(
-                 false, std::memory_order_relaxed)) {
-    // Inline mode services the read-triggered compaction on this write.
-    s = MaybeCompact(events, options_.max_compactions_per_write);
-  }
-  return s;
-}
+// Put/Delete/Write and the leader-based group-commit protocol live in
+// db_write.cc, the only module allowed to touch the WAL file.
 
 // ------------------------------------------------- Background pipeline --
 
 Status DBImpl::FreezeMemTableLocked() {
   assert(imm_ == nullptr);
+  // Rotation destroys the current WAL writer; the group-commit leader must
+  // not be appending to it with mu_ released. Callers that can race a
+  // leader (Flush paths) wait for log_busy_ to clear before getting here;
+  // MakeRoomForWrite runs on the leader itself, where the log is idle.
+  assert(!log_busy_);
   // WiscKey durability order: the frozen entries' values must be durable
   // in the value log before their pointers can become durable in tables.
   if (vlog_ != nullptr) {
@@ -813,9 +666,10 @@ Status DBImpl::FlushLocked(PendingEvents* events) {
     }
     return FlushMemTableLocked(events);
   }
-  // Background mode: freeze (waiting for a previous freeze to drain
-  // first), then wait until the background thread installs the flush.
-  while (imm_ != nullptr && bg_error_.ok()) {
+  // Background mode: freeze (waiting for a previous freeze to drain and
+  // for any in-flight group commit to leave the WAL idle — freezing
+  // rotates it), then wait until the background thread installs the flush.
+  while ((imm_ != nullptr || log_busy_) && bg_error_.ok()) {
     bg_cv_.Wait();
   }
   if (!bg_error_.ok()) {
@@ -919,6 +773,12 @@ void DBImpl::ReconfigureMonkeyLocked(int output_level) {
 }
 
 Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
+  // This flush rotates the WAL below; wait out any group-commit leader
+  // that is appending with mu_ released. (No bg_error_ check needed: the
+  // leader clears log_busy_ on every path, success or failure.)
+  while (log_busy_) {
+    bg_cv_.Wait();
+  }
   stats_.Add(Ticker::kFlushes);
   const auto flush_start = std::chrono::steady_clock::now();
   if (has_listeners()) {
@@ -1737,6 +1597,12 @@ DBStats DBImpl::GetStats() {
   stats.write_stalls = stats_.Get(Ticker::kWriteStalls);
   stats.write_slowdown_micros = stats_.Get(Ticker::kWriteSlowdownMicros);
   stats.write_stall_micros = stats_.Get(Ticker::kWriteStallMicros);
+  stats.writes = stats_.Get(Ticker::kWrites);
+  stats.group_commits = stats_.Get(Ticker::kWalGroupCommits);
+  stats.group_followers = stats_.Get(Ticker::kWalGroupFollowers);
+  stats.wal_syncs = stats_.Get(Ticker::kWalSyncs);
+  stats.wal_sync_skipped = stats_.Get(Ticker::kWalSyncSkipped);
+  stats.vlog_syncs = stats_.Get(Ticker::kVlogSyncs);
   const SSTable::Counters counters = table_cache_->AggregateCounters();
   stats.hash_index_hits = counters.hash_index_hits;
   stats.hash_index_absent = counters.hash_index_absent;

@@ -2,6 +2,8 @@
 #define LSMLAB_CORE_DB_IMPL_H_
 
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -13,6 +15,7 @@
 #include "core/db.h"
 #include "core/table_cache.h"
 #include "core/version.h"
+#include "core/write_batch.h"
 #include "memtable/memtable.h"
 #include "obs/event_listener.h"
 #include "obs/stats_registry.h"
@@ -75,10 +78,20 @@ class DBImpl : public DB {
 #endif
   }
 
+  /// Writers currently parked in the group-commit queue (leader included).
+  /// Test hook for staging deterministic commit groups.
+  size_t TEST_WriteQueueLength() {
+    MutexLock lock(&mu_);
+    return writers_.size();
+  }
+
  private:
   /// Listener callbacks staged while mu_ is held; NotifyListeners fires
   /// them in staging order once the mutex is released.
   using PendingEvents = std::vector<std::function<void(EventListener&)>>;
+  /// One queued write (batch + options + a CondVar to park on); defined in
+  /// db_write.cc with the rest of the group-commit module.
+  struct Writer;
   class SnapshotImpl : public Snapshot {
    public:
     explicit SnapshotImpl(SequenceNumber seq) : seq_(seq) {}
@@ -110,8 +123,22 @@ class DBImpl : public DB {
                   const Slice& end, size_t limit,
                   std::vector<std::pair<std::string, std::string>>* results)
       EXCLUDES(mu_);
-  Status WriteLocked(const WriteOptions& options, WriteBatch* updates,
-                     PendingEvents* events) REQUIRES(mu_);
+  /// Body of Write: the leader/follower group-commit protocol. Defined in
+  /// db_write.cc — the only module allowed to touch the WAL file (see
+  /// DESIGN.md "Group commit" and the lint.sh ban). Takes mu_ to queue the
+  /// writer; the leader releases it during WAL/value-log I/O.
+  Status WriteImpl(const WriteOptions& options, WriteBatch* updates,
+                   PendingEvents* events) EXCLUDES(mu_);
+  /// Claims queued writers from the front of writers_ up to the group size
+  /// cap. Returns the batch to commit — the leader's own for a group of
+  /// one, else group_batch_ — and reports the last claimed writer, whether
+  /// any member requested sync, and the member count.
+  WriteBatch* BuildWriteGroupLocked(Writer** last_writer, bool* group_sync,
+                                    uint64_t* writer_count) REQUIRES(mu_);
+  /// Durability policy (Options::wal_sync_mode): whether the commit whose
+  /// WAL record is `record_bytes` long syncs the log. Leader-only state
+  /// (last_wal_sync_, wal_unsynced_bytes_); called without mu_.
+  bool ShouldSyncWal(bool group_sync, uint64_t record_bytes) const;
   Status FlushLocked(PendingEvents* events) REQUIRES(mu_);
   Status CompactAllLocked(PendingEvents* events) REQUIRES(mu_);
   /// Replays WAL files newer than the manifest's log number.
@@ -177,8 +204,10 @@ class DBImpl : public DB {
   void CollectIterators(const Slice* lo, const Slice* hi,
                         std::vector<Iterator*>* children) REQUIRES(mu_);
   /// Key-value separation: rewrites large values of `updates` into the
-  /// value log, leaving tagged pointers (no-op when disabled).
-  Status MaybeSeparateBatch(WriteBatch* updates);
+  /// value log, leaving tagged pointers (no-op when disabled). Sets
+  /// *vlog_appended iff at least one value actually moved to the log, so
+  /// the caller can skip the value-log sync otherwise.
+  Status MaybeSeparateBatch(WriteBatch* updates, bool* vlog_appended);
   bool separation_enabled() const { return vlog_ != nullptr; }
   bool has_listeners() const { return !options_.listeners.empty(); }
   /// User-view iterator over raw (tagged) stored values.
@@ -208,6 +237,23 @@ class DBImpl : public DB {
   std::unique_ptr<WritableFile> wal_file_ GUARDED_BY(mu_);
   std::unique_ptr<wal::Writer> wal_ GUARDED_BY(mu_);
   uint64_t wal_number_ GUARDED_BY(mu_) = 0;
+
+  // --- Group commit (src/core/db_write.cc) --------------------------------
+  /// FIFO of pending writes. The front writer is the leader; it commits a
+  /// prefix of the queue as one group and signals each member's CondVar.
+  std::deque<Writer*> writers_ GUARDED_BY(mu_);
+  /// True while the leader runs WAL/value-log I/O with mu_ released. WAL
+  /// rotation (FreezeMemTableLocked / FlushMemTableLocked) must wait for
+  /// the log to go idle, or it would destroy the file mid-append.
+  bool log_busy_ GUARDED_BY(mu_) = false;
+  /// Leader-owned scratch and durability-policy state. Not GUARDED_BY:
+  /// only the current leader touches these, between setting and clearing
+  /// log_busy_, and the mu_ handoff at those edges orders the accesses
+  /// (queue-front discipline means there is never more than one leader).
+  WriteBatch group_batch_;
+  uint64_t wal_unsynced_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_wal_sync_{};
+
   std::multiset<SequenceNumber> snapshots_ GUARDED_BY(mu_);
   /// Non-null iff separation enabled; internally synchronized.
   std::unique_ptr<ValueLog> vlog_;

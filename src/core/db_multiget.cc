@@ -175,8 +175,12 @@ void DBImpl::MultiGetImpl(const ReadOptions& options,
         work[it->second].second.push_back(&ks->ctx);
       }
       for (auto& [file, ctxs] : work) {
-        table_cache_->GetBatch(**file, std::span<BatchGetContext* const>(ctxs),
-                               options.use_filter);
+        // A table-level failure is already mirrored into every member's
+        // ctx->status, which the loop below consumes per key.
+        table_cache_
+            ->GetBatch(**file, std::span<BatchGetContext* const>(ctxs),
+                       options.use_filter)
+            .IgnoreError();
         for (BatchGetContext* ctx : ctxs) {
           KeyState* ks = static_cast<KeyState*>(ctx->arg);
           if (ctx->filter_pruned) {

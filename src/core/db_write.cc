@@ -1,0 +1,346 @@
+// Group-commit write path: the only module allowed to append to or sync
+// the WAL (tools/lint.sh bans wal_->AddRecord / wal_file_->Sync anywhere
+// else; annotate deliberate exceptions with group-commit-ok:).
+//
+// Protocol (the LevelDB/RocksDB writer queue):
+//
+//   1. Every DBImpl::Write parks a Writer{batch, sync, cv} in writers_.
+//      The front of the queue is the leader; everyone else sleeps on a
+//      per-writer CondVar.
+//   2. The leader claims a prefix of the queue up to a size cap and
+//      concatenates the members into one batch with contiguous sequence
+//      numbers. It then sets log_busy_ and RELEASES mu_ for the expensive
+//      part: key-value separation, the single WAL append, and the sync
+//      the durability mode calls for. Readers and the background thread
+//      proceed under mu_ meanwhile; only WAL rotation (memtable freeze)
+//      must wait for log_busy_ to clear.
+//   3. The leader re-acquires mu_, applies the group to the memtable,
+//      publishes last_sequence (so no reader observes the group before it
+//      is applied), pops the group — completing each follower with the
+//      group status — and signals the next queued writer to lead.
+//
+// Mixed-group sync semantics: one group containing any sync writer syncs
+// once for all members (kSyncEveryCommit); the interval/bytes modes
+// instead bound staleness by time or by unsynced WAL bytes.
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "core/db_impl.h"
+#include "obs/perf_context.h"
+
+namespace lsmlab {
+
+struct DBImpl::Writer {
+  explicit Writer(Mutex* mu) : cv(mu) {}
+
+  WriteBatch* batch = nullptr;
+  bool sync = false;
+  bool done = false;
+  Status status;
+  CondVar cv;
+};
+
+Status DBImpl::Put(const WriteOptions& options, const Slice& key,
+                   const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  PerfContext* perf = GetPerfContext();
+  const PerfContext before = *perf;
+  PendingEvents events;
+  Status s;
+  {
+    PerfTimer timer(&perf->write_micros);
+    s = WriteImpl(options, updates, &events);
+  }
+  stats_.Add(Ticker::kWrites);
+  stats_.Record(PhaseHistogram::kWriteMicros,
+                static_cast<double>(perf->write_micros - before.write_micros));
+  stats_.MergePerfDelta(perf->Delta(before));
+  NotifyListeners(&events);
+  return s;
+}
+
+Status DBImpl::WriteImpl(const WriteOptions& options, WriteBatch* updates,
+                         PendingEvents* events) {
+  Writer w(&mu_);
+  w.batch = updates;
+  w.sync = options.sync;
+
+  mu_.Lock();
+  writers_.push_back(&w);
+  if (&w != writers_.front()) {
+    const auto park_start = std::chrono::steady_clock::now();
+    while (!w.done && &w != writers_.front()) {
+      w.cv.Wait();
+    }
+    GetPerfContext()->write_queue_wait_micros += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - park_start)
+            .count());
+    if (w.done) {
+      // A leader committed (or failed) this batch on our behalf.
+      const Status s = w.status;
+      mu_.Unlock();
+      return s;
+    }
+  }
+
+  // This writer leads.
+  Status s;
+  if (bg_pool_ != nullptr) {
+    // Background mode: make room first so the group lands in the memtable
+    // and WAL that will stay current (a freeze rotates both). May release
+    // and reacquire mu_; writers arriving meanwhile queue behind us.
+    s = MakeRoomForWrite(events);
+  }
+
+  Writer* last_writer = &w;
+  if (s.ok()) {
+    bool group_sync = false;
+    uint64_t writer_count = 1;
+    WriteBatch* group =
+        BuildWriteGroupLocked(&last_writer, &group_sync, &writer_count);
+    const SequenceNumber base = versions_->last_sequence() + 1;
+    // Raw pointers for the unlocked window: log_busy_ keeps rotation out,
+    // so the WAL writer and file cannot be replaced while we use them.
+    wal::Writer* wal = wal_.get();
+    WritableFile* wal_file = wal_file_.get();
+
+    log_busy_ = true;
+    mu_.Unlock();
+
+    PerfContext* perf = GetPerfContext();
+    bool vlog_appended = false;
+    s = MaybeSeparateBatch(group, &vlog_appended);
+    group->set_sequence(base);
+    const bool want_sync =
+        s.ok() && ShouldSyncWal(group_sync, group->Contents().size());
+    bool synced = false;
+    if (s.ok() && vlog_ != nullptr && vlog_appended) {
+      // WiscKey durability order: separated values must be durable before
+      // their pointers are. Match the value-log's durability to the WAL's:
+      // fsync it exactly when this commit fsyncs the log. Batches that
+      // separated nothing skip the call entirely.
+      s = vlog_->Sync(/*fsync=*/want_sync);
+      if (s.ok()) {
+        stats_.Add(Ticker::kVlogSyncs);
+      }
+    }
+    if (s.ok() && wal != nullptr) {
+      s = wal->AddRecord(group->Contents());
+      if (s.ok()) {
+        perf->wal_append_count++;
+        wal_unsynced_bytes_ += group->Contents().size();
+        if (want_sync) {
+          s = wal_file->Sync();
+          if (s.ok()) {
+            perf->wal_sync_count++;
+            synced = true;
+            wal_unsynced_bytes_ = 0;
+            last_wal_sync_ = std::chrono::steady_clock::now();
+          }
+        }
+      }
+    }
+    stats_.Add(Ticker::kWalGroupCommits);
+    if (writer_count > 1) {
+      stats_.Add(Ticker::kWalGroupFollowers, writer_count - 1);
+    }
+    if (!synced) {
+      stats_.Add(Ticker::kWalSyncSkipped);
+    }
+    stats_.Record(PhaseHistogram::kWriteGroupSize,
+                  static_cast<double>(writer_count));
+
+    mu_.Lock();
+    log_busy_ = false;
+    // Freeze/flush waiters park on bg_cv_ until the log is idle again.
+    bg_cv_.SignalAll();
+
+    if (s.ok()) {
+      s = group->InsertInto(mem_);
+    }
+    if (s.ok()) {
+      versions_->SetLastSequence(base + group->Count() - 1);
+    }
+
+    if (s.ok()) {
+      if (bg_pool_ != nullptr) {
+        if (pending_seek_compaction_.exchange(false,
+                                              std::memory_order_relaxed)) {
+          // Reads flagged a file that keeps wasting probes; wake the
+          // background thread to service it (tutorial I-2 trigger
+          // primitive).
+          bg_compaction_hint_ = true;
+          MaybeScheduleBackgroundWork();
+        }
+      } else if (mem_->ApproximateMemoryUsage() >=
+                 options_.write_buffer_size) {
+        s = FlushMemTableLocked(events);
+        if (s.ok()) {
+          s = MaybeCompact(events, options_.max_compactions_per_write);
+        }
+      } else if (pending_seek_compaction_.exchange(
+                     false, std::memory_order_relaxed)) {
+        // Inline mode services the read-triggered compaction on this
+        // write.
+        s = MaybeCompact(events, options_.max_compactions_per_write);
+      }
+    }
+  }
+
+  // Complete the group: pop [leader .. last_writer], waking each follower
+  // with the group status (a leader error fails every member), then hand
+  // leadership to the next queued writer. On a MakeRoomForWrite failure no
+  // group was built and last_writer == &w, so only the leader pops.
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = s;
+      ready->done = true;
+      ready->cv.Signal();
+    }
+    if (ready == last_writer) {
+      break;
+    }
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.Signal();
+  }
+  mu_.Unlock();
+  return s;
+}
+
+WriteBatch* DBImpl::BuildWriteGroupLocked(Writer** last_writer,
+                                          bool* group_sync,
+                                          uint64_t* writer_count) {
+  Writer* leader = writers_.front();
+  size_t bytes = leader->batch->ApproximateSize();
+  // Cap group growth so one commit cannot balloon its members' latency; a
+  // small leader picks up at most ~128 KiB of followers, so a tiny write
+  // is never stuck behind a megabyte of concatenation.
+  size_t max_bytes = options_.max_write_group_bytes;
+  if (bytes <= (128u << 10)) {
+    max_bytes = std::min(max_bytes, bytes + (128u << 10));
+  }
+
+  *group_sync = leader->sync;
+  *last_writer = leader;
+  *writer_count = 1;
+  WriteBatch* group = leader->batch;
+  for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+    Writer* follower = *it;
+    if (bytes + follower->batch->ApproximateSize() > max_bytes) {
+      break;
+    }
+    if (group == leader->batch) {
+      // First follower: switch to the scratch batch (leader-owned while
+      // we sit at the queue front) so the caller's batch stays intact.
+      group_batch_.Clear();
+      group_batch_.Append(*leader->batch);
+      group = &group_batch_;
+    }
+    group_batch_.Append(*follower->batch);
+    bytes += follower->batch->ApproximateSize();
+    *group_sync = *group_sync || follower->sync;
+    *last_writer = follower;
+    ++(*writer_count);
+  }
+  return group;
+}
+
+bool DBImpl::ShouldSyncWal(bool group_sync, uint64_t record_bytes) const {
+  switch (options_.wal_sync_mode) {
+    case WalSyncMode::kSyncEveryCommit:
+      return group_sync;
+    case WalSyncMode::kSyncIntervalMs:
+      return std::chrono::steady_clock::now() - last_wal_sync_ >=
+             std::chrono::milliseconds(options_.wal_sync_interval_ms);
+    case WalSyncMode::kSyncBytes:
+      return wal_unsynced_bytes_ + record_bytes >= options_.wal_sync_bytes;
+  }
+  return group_sync;
+}
+
+// -------------------------------------------------- Key-value separation --
+
+namespace {
+
+/// Batch rewriter: moves large values into the value log.
+class SeparatingHandler : public WriteBatch::Handler {
+ public:
+  SeparatingHandler(ValueLog* vlog, size_t threshold, WriteBatch* out)
+      : vlog_(vlog), threshold_(threshold), out_(out) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    if (!status_.ok()) {
+      return;
+    }
+    std::string stored;
+    if (value.size() >= threshold_) {
+      stored.push_back(kVlogPointerTag);
+      std::string pointer;
+      status_ = vlog_->Add(value, &pointer);
+      if (!status_.ok()) {
+        return;
+      }
+      stored.append(pointer);
+      separated_count_++;
+    } else {
+      stored.push_back(kVlogInlineTag);
+      stored.append(value.data(), value.size());
+    }
+    out_->Put(key, stored);
+  }
+
+  void Delete(const Slice& key) override { out_->Delete(key); }
+
+  Status status() const { return status_; }
+  /// Values actually appended to the value log (a batch of small values
+  /// separates nothing and needs no value-log sync).
+  uint64_t separated_count() const { return separated_count_; }
+
+ private:
+  ValueLog* vlog_;
+  size_t threshold_;
+  WriteBatch* out_;
+  uint64_t separated_count_ = 0;
+  Status status_;
+};
+
+}  // namespace
+
+Status DBImpl::MaybeSeparateBatch(WriteBatch* updates, bool* vlog_appended) {
+  *vlog_appended = false;
+  if (vlog_ == nullptr) {
+    return Status::OK();
+  }
+  WriteBatch separated;
+  SeparatingHandler handler(vlog_.get(), options_.value_separation_threshold,
+                            &separated);
+  Status s = updates->Iterate(&handler);
+  if (s.ok()) {
+    s = handler.status();
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  *updates = separated;
+  *vlog_appended = handler.separated_count() > 0;
+  return Status::OK();
+}
+
+}  // namespace lsmlab

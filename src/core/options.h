@@ -46,6 +46,21 @@ enum class CompactionFilePicker {
   kWholeLevel,   ///< no partial compaction: merge the entire level
 };
 
+/// WAL durability policy applied by the group-commit leader (the only
+/// code that touches the log file; see src/core/db_write.cc).
+enum class WalSyncMode {
+  /// Sync iff the group contains a writer with WriteOptions::sync. The
+  /// classic contract: an acknowledged sync write survives a crash.
+  kSyncEveryCommit,
+  /// Sync on the first commit after wal_sync_interval_ms has elapsed
+  /// since the previous sync. WriteOptions::sync becomes a hint; an
+  /// acknowledged write may be lost up to one interval back.
+  kSyncIntervalMs,
+  /// Sync once at least wal_sync_bytes of unsynced WAL have accumulated.
+  /// WriteOptions::sync becomes a hint, as with kSyncIntervalMs.
+  kSyncBytes,
+};
+
 /// How filter memory is spread across levels (tutorial §II-5).
 enum class FilterAllocation {
   kUniform,  ///< same bits/key at every level (production default)
@@ -151,6 +166,22 @@ struct Options {
 
   // --- Durability ---------------------------------------------------------
   bool enable_wal = true;
+  /// When the group-commit leader syncs the WAL (see DESIGN.md "Group
+  /// commit" for the full durability matrix). kSyncEveryCommit honors
+  /// WriteOptions::sync per group: a group containing any sync writer
+  /// syncs once for all of them. The interval/bytes modes relax
+  /// WriteOptions::sync into a hint and bound staleness by time or by
+  /// unsynced WAL bytes instead.
+  WalSyncMode wal_sync_mode = WalSyncMode::kSyncEveryCommit;
+  /// kSyncIntervalMs: at most one WAL sync per this many milliseconds.
+  uint64_t wal_sync_interval_ms = 50;
+  /// kSyncBytes: sync once at least this many unsynced WAL bytes exist.
+  uint64_t wal_sync_bytes = 1 << 20;
+  /// Upper bound on the serialized size of one commit group. The leader
+  /// stops claiming followers past this cap (and keeps small-leader groups
+  /// near leader_size + 128 KiB so a tiny write is never stuck behind a
+  /// megabyte of followers).
+  size_t max_write_group_bytes = 1 << 20;
 
   // --- Observability ------------------------------------------------------
   /// Observers of flush/compaction/stall/file lifecycle events; see

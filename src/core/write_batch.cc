@@ -47,6 +47,12 @@ void WriteBatch::Delete(const Slice& key) {
   PutLengthPrefixedSlice(&rep_, key);
 }
 
+void WriteBatch::Append(const WriteBatch& src) {
+  SetCount(Count() + src.Count());
+  // bounds: rep_.size() >= kHeader (12) is a class invariant of src too.
+  rep_.append(src.rep_.data() + kHeader, src.rep_.size() - kHeader);
+}
+
 void WriteBatch::SetContentsFrom(const Slice& contents) {
   rep_.assign(contents.data(), contents.size());
   if (rep_.size() < kHeader) {

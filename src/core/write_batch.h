@@ -23,6 +23,11 @@ class WriteBatch {
   void Delete(const Slice& key);
   void Clear();
 
+  /// Appends src's entries to this batch (group-commit concatenation: the
+  /// leader folds follower batches into one WAL record). src's sequence is
+  /// ignored; the combined batch is renumbered by set_sequence().
+  void Append(const WriteBatch& src);
+
   uint32_t Count() const;
   size_t ApproximateSize() const { return rep_.size(); }
 

@@ -32,6 +32,7 @@ void ForEachField(PerfContext& ctx, const Fn& fn) {
   fn("merge_iter_step_count", ctx.merge_iter_step_count);
   fn("wal_append_count", ctx.wal_append_count);
   fn("wal_sync_count", ctx.wal_sync_count);
+  fn("write_queue_wait_micros", ctx.write_queue_wait_micros);
   fn("get_micros", ctx.get_micros);
   fn("multiget_micros", ctx.multiget_micros);
   fn("seek_micros", ctx.seek_micros);

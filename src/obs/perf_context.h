@@ -57,6 +57,11 @@ struct PerfContext {
   uint64_t wal_append_count = 0;
   uint64_t wal_sync_count = 0;
 
+  // --- Group commit -------------------------------------------------------
+  uint64_t write_queue_wait_micros = 0;  ///< time parked in the writer queue
+                                         ///< before a leader committed us (or
+                                         ///< we became leader ourselves)
+
   // --- Phase timers (microseconds) ----------------------------------------
   uint64_t get_micros = 0;
   uint64_t multiget_micros = 0;  ///< whole batches, not per key

@@ -56,6 +56,14 @@ const char* StatsRegistry::TickerName(Ticker ticker) {
       return "wal.appends";
     case Ticker::kWalSyncs:
       return "wal.syncs";
+    case Ticker::kWalGroupCommits:
+      return "wal.group_commits";
+    case Ticker::kWalGroupFollowers:
+      return "wal.group_followers";
+    case Ticker::kWalSyncSkipped:
+      return "wal.sync_skipped";
+    case Ticker::kVlogSyncs:
+      return "vlog.syncs";
     case Ticker::kWriteSlowdowns:
       return "write.slowdowns";
     case Ticker::kWriteStalls:
@@ -90,6 +98,8 @@ const char* StatsRegistry::HistogramName(PhaseHistogram h) {
       return "multiget_micros";
     case PhaseHistogram::kWriteMicros:
       return "write_micros";
+    case PhaseHistogram::kWriteGroupSize:
+      return "write_group_size";
     case PhaseHistogram::kFlushMicros:
       return "flush_micros";
     case PhaseHistogram::kCompactionMicros:

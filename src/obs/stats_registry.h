@@ -46,6 +46,11 @@ enum class Ticker : uint32_t {
   kWrites,
   kWalAppends,
   kWalSyncs,
+  kWalGroupCommits,    ///< commit groups built by a leader
+  kWalGroupFollowers,  ///< writers that rode along in someone else's group
+  kWalSyncSkipped,     ///< group commits the durability policy left unsynced
+  kVlogSyncs,          ///< write-path value-log syncs (skipped when a batch
+                       ///< separated nothing)
   kWriteSlowdowns,
   kWriteStalls,
   kWriteSlowdownMicros,
@@ -66,6 +71,7 @@ enum class PhaseHistogram : uint32_t {
   kGetMicros,
   kMultiGetMicros,  ///< whole-batch latency, not per key
   kWriteMicros,
+  kWriteGroupSize,  ///< writers per commit group (count, not micros)
   kFlushMicros,
   kCompactionMicros,
 

@@ -437,13 +437,15 @@ TEST_F(MultiGetTest, ConsistentUnderConcurrentFlush) {
   std::vector<std::string> values;
   std::vector<Status> statuses;
   int batches = 0;
-  while (!stop.load()) {
+  // do-while: a fast writer can finish all 200 rounds before this thread
+  // first checks stop, so guarantee at least one batch runs.
+  do {
     db_->MultiGet({}, MakeSlices(keys), &values, &statuses);
     ASSERT_TRUE(statuses[0].ok());
     ASSERT_TRUE(statuses[1].ok());
     ASSERT_EQ(values[0], values[1]) << "batch saw a torn write";
     batches++;
-  }
+  } while (!stop.load());
   writer.join();
   EXPECT_GT(batches, 0);
   db_->MultiGet({}, MakeSlices(keys), &values, &statuses);

@@ -24,6 +24,13 @@
 #      MultiGet is one open per table and one fetch per distinct block;
 #      a stray Read/open in those files silently reverts it to a looped
 #      Get. Deliberate, amortized calls carry a `batch-io-ok:` comment.
+#   8. No WAL appends or WAL-file syncs outside the group-commit module
+#      (src/core/db_write.cc). The writer-queue protocol is what makes
+#      unlocked WAL I/O safe (one leader at a time, log_busy_ excludes
+#      rotation) and what keeps the wal.group_commits / wal.syncs /
+#      wal.sync_skipped reconciliation exact; a stray append or sync
+#      elsewhere bypasses both. Deliberate exceptions carry a
+#      `group-commit-ok:` comment.
 #
 # Exit code 0 = clean, 1 = violations found.
 
@@ -103,6 +110,19 @@ for f in $BATCH_PATH_FILES; do
     { prev = $0 }
   ' "$f"
 done | report "unannotated I/O call in a batch-path file (coalesce it, or mark the amortized call with batch-io-ok:)"
+
+# 8. WAL appends/syncs happen only inside the group-commit module. The
+#    DBImpl members are wal_ (the record writer) and wal_file_ (the
+#    underlying file); touching their append/sync surface anywhere else
+#    bypasses the writer queue — the leader is the only thread the
+#    protocol lets near the log, and the ticker reconciliation
+#    (group_commits == syncs + sync_skipped) assumes it. Annotate a
+#    deliberate exception with `group-commit-ok:` on the call line.
+grep -rnE 'wal_->AddRecord\(|wal_file_->Sync\(|wal_file_->Flush\(' \
+    src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/core/db_write.cc:' \
+  | grep -v 'group-commit-ok:' \
+  | report "WAL append/sync outside src/core/db_write.cc (route it through the writer queue, or mark it group-commit-ok:)"
 
 if [ "$fail" -eq 0 ]; then
   echo "lint: OK"
