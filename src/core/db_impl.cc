@@ -386,6 +386,9 @@ Status DBImpl::FreezeMemTableLocked() {
     if (!vs.ok()) {
       return vs;
     }
+    // Safe to touch the leader-owned flag here because rotation only runs
+    // while the log is idle (same as wal_unsynced_bytes_ in NewWal).
+    vlog_unsynced_ = false;
   }
   // Rotate the WAL so writes into the fresh memtable land in a fresh log;
   // the old log is pinned until the frozen memtable's flush is durable.

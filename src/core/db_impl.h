@@ -136,8 +136,10 @@ class DBImpl : public DB {
   WriteBatch* BuildWriteGroupLocked(Writer** last_writer, bool* group_sync,
                                     uint64_t* writer_count) REQUIRES(mu_);
   /// Durability policy (Options::wal_sync_mode): whether the commit whose
-  /// WAL record is `record_bytes` long syncs the log. Leader-only state
-  /// (last_wal_sync_, wal_unsynced_bytes_); called without mu_.
+  /// WAL record is `record_bytes` long syncs the log. A group containing a
+  /// sync writer syncs in every mode; the interval/bytes policies only add
+  /// syncs for non-sync traffic. Leader-only state (last_wal_sync_,
+  /// wal_unsynced_bytes_); called without mu_.
   bool ShouldSyncWal(bool group_sync, uint64_t record_bytes) const;
   Status FlushLocked(PendingEvents* events) REQUIRES(mu_);
   Status CompactAllLocked(PendingEvents* events) REQUIRES(mu_);
@@ -252,7 +254,14 @@ class DBImpl : public DB {
   /// (queue-front discipline means there is never more than one leader).
   WriteBatch group_batch_;
   uint64_t wal_unsynced_bytes_ = 0;
-  std::chrono::steady_clock::time_point last_wal_sync_{};
+  /// True while the value log holds appended-but-not-fsynced bytes.
+  /// WiscKey durability order: any WAL fsync makes previously appended
+  /// pointer records durable, so it must be preceded by a value-log fsync
+  /// whenever this is set — even if the fsyncing group itself separated
+  /// nothing (tests/write_group_test.cc CrossGroupVlogDurabilityOrder).
+  bool vlog_unsynced_ = false;
+  std::chrono::steady_clock::time_point last_wal_sync_ =
+      std::chrono::steady_clock::now();
 
   std::multiset<SequenceNumber> snapshots_ GUARDED_BY(mu_);
   /// Non-null iff separation enabled; internally synchronized.

@@ -20,8 +20,9 @@
 //      group status — and signals the next queued writer to lead.
 //
 // Mixed-group sync semantics: one group containing any sync writer syncs
-// once for all members (kSyncEveryCommit); the interval/bytes modes
-// instead bound staleness by time or by unsynced WAL bytes.
+// once for all members. The interval/bytes modes additionally bound the
+// staleness of non-sync writes by time or by unsynced WAL bytes; a sync
+// writer still forces a sync for its group in every mode.
 
 #include <algorithm>
 #include <cassert>
@@ -99,7 +100,12 @@ Status DBImpl::WriteImpl(const WriteOptions& options, WriteBatch* updates,
 
   // This writer leads.
   Status s;
-  if (bg_pool_ != nullptr) {
+  if (!bg_error_.ok()) {
+    // A prior failure poisoned the DB — a failed flush/compaction, or a
+    // group whose WAL record landed but whose commit could not complete.
+    // Accepting more writes would diverge further from the log.
+    s = bg_error_;
+  } else if (bg_pool_ != nullptr) {
     // Background mode: make room first so the group lands in the memtable
     // and WAL that will stay current (a freeze rotates both). May release
     // and reacquire mu_; writers arriving meanwhile queue behind us.
@@ -128,19 +134,32 @@ Status DBImpl::WriteImpl(const WriteOptions& options, WriteBatch* updates,
     const bool want_sync =
         s.ok() && ShouldSyncWal(group_sync, group->Contents().size());
     bool synced = false;
-    if (s.ok() && vlog_ != nullptr && vlog_appended) {
+    bool wal_appended = false;
+    if (vlog_appended) {
+      // This group buffered new value-log bytes (Add flushes, never
+      // fsyncs); they stay unsynced until the next value-log fsync.
+      vlog_unsynced_ = true;
+    }
+    if (s.ok() && vlog_ != nullptr && vlog_unsynced_ &&
+        (vlog_appended || want_sync)) {
       // WiscKey durability order: separated values must be durable before
-      // their pointers are. Match the value-log's durability to the WAL's:
-      // fsync it exactly when this commit fsyncs the log. Batches that
-      // separated nothing skip the call entirely.
+      // their pointers are. A WAL fsync makes every previously appended
+      // pointer record durable, so it must be preceded by a value-log
+      // fsync whenever ANY unsynced value-log bytes exist — whether this
+      // group appended them or an earlier non-sync group did. Groups that
+      // separated nothing and fsync nothing skip the call entirely.
       s = vlog_->Sync(/*fsync=*/want_sync);
       if (s.ok()) {
         stats_.Add(Ticker::kVlogSyncs);
+        if (want_sync) {
+          vlog_unsynced_ = false;
+        }
       }
     }
     if (s.ok() && wal != nullptr) {
       s = wal->AddRecord(group->Contents());
       if (s.ok()) {
+        wal_appended = true;
         perf->wal_append_count++;
         wal_unsynced_bytes_ += group->Contents().size();
         if (want_sync) {
@@ -174,6 +193,14 @@ Status DBImpl::WriteImpl(const WriteOptions& options, WriteBatch* updates,
     }
     if (s.ok()) {
       versions_->SetLastSequence(base + group->Count() - 1);
+    } else if (wal_appended && bg_error_.ok()) {
+      // The WAL holds this group's record, but every member will be told
+      // the write failed and last_sequence did not advance: the next
+      // group would reuse the same sequence numbers, and recovery would
+      // replay writes the client saw fail. Poison the DB (LevelDB's
+      // RecordBackgroundError posture) so no later write can commit
+      // against the divergent log.
+      bg_error_ = s;
     }
 
     if (s.ok()) {
@@ -263,14 +290,20 @@ WriteBatch* DBImpl::BuildWriteGroupLocked(Writer** last_writer,
 }
 
 bool DBImpl::ShouldSyncWal(bool group_sync, uint64_t record_bytes) const {
+  // A group containing a sync writer syncs in every mode — an application
+  // mixing a relaxed mode with an occasional must-be-durable write (a
+  // commit marker, say) keeps its guarantee. The interval/bytes policies
+  // only add syncs for non-sync traffic, bounding its staleness.
   switch (options_.wal_sync_mode) {
     case WalSyncMode::kSyncEveryCommit:
       return group_sync;
     case WalSyncMode::kSyncIntervalMs:
-      return std::chrono::steady_clock::now() - last_wal_sync_ >=
-             std::chrono::milliseconds(options_.wal_sync_interval_ms);
+      return group_sync ||
+             std::chrono::steady_clock::now() - last_wal_sync_ >=
+                 std::chrono::milliseconds(options_.wal_sync_interval_ms);
     case WalSyncMode::kSyncBytes:
-      return wal_unsynced_bytes_ + record_bytes >= options_.wal_sync_bytes;
+      return group_sync ||
+             wal_unsynced_bytes_ + record_bytes >= options_.wal_sync_bytes;
   }
   return group_sync;
 }

@@ -53,11 +53,12 @@ enum class WalSyncMode {
   /// classic contract: an acknowledged sync write survives a crash.
   kSyncEveryCommit,
   /// Sync on the first commit after wal_sync_interval_ms has elapsed
-  /// since the previous sync. WriteOptions::sync becomes a hint; an
-  /// acknowledged write may be lost up to one interval back.
+  /// since the previous sync. WriteOptions::sync still forces a sync for
+  /// its group; an acknowledged non-sync write may be lost up to one
+  /// interval back.
   kSyncIntervalMs,
   /// Sync once at least wal_sync_bytes of unsynced WAL have accumulated.
-  /// WriteOptions::sync becomes a hint, as with kSyncIntervalMs.
+  /// WriteOptions::sync still forces a sync, as with kSyncIntervalMs.
   kSyncBytes,
 };
 
@@ -167,13 +168,13 @@ struct Options {
   // --- Durability ---------------------------------------------------------
   bool enable_wal = true;
   /// When the group-commit leader syncs the WAL (see DESIGN.md "Group
-  /// commit" for the full durability matrix). kSyncEveryCommit honors
-  /// WriteOptions::sync per group: a group containing any sync writer
-  /// syncs once for all of them. The interval/bytes modes relax
-  /// WriteOptions::sync into a hint and bound staleness by time or by
-  /// unsynced WAL bytes instead.
+  /// commit" for the full durability matrix). A group containing any sync
+  /// writer syncs once for all of them, in every mode. The interval/bytes
+  /// modes additionally sync non-sync traffic on a time or unsynced-WAL-
+  /// bytes policy, bounding how much of it a crash can lose.
   WalSyncMode wal_sync_mode = WalSyncMode::kSyncEveryCommit;
-  /// kSyncIntervalMs: at most one WAL sync per this many milliseconds.
+  /// kSyncIntervalMs: a policy-driven (non-forced) WAL sync happens at
+  /// most once per this many milliseconds.
   uint64_t wal_sync_interval_ms = 50;
   /// kSyncBytes: sync once at least this many unsynced WAL bytes exist.
   uint64_t wal_sync_bytes = 1 << 20;

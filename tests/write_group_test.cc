@@ -29,6 +29,11 @@ bool IsWalFile(const std::string& fname) {
          fname.compare(fname.size() - 4, 4, ".wal") == 0;
 }
 
+bool IsVlogFile(const std::string& fname) {
+  return fname.size() > 5 &&
+         fname.compare(fname.size() - 5, 5, ".vlog") == 0;
+}
+
 /// Env wrapper that gates WAL durability: Sync on .wal files blocks while
 /// the gate is closed (parking a group-commit leader mid-commit, with mu_
 /// released, so followers can pile up behind it deterministically), and
@@ -42,11 +47,16 @@ class WalGateEnv : public Env {
                          std::unique_ptr<WritableFile>* result) override {
     std::unique_ptr<WritableFile> file;
     Status s = base_->NewWritableFile(fname, &file);
-    if (!s.ok() || !IsWalFile(fname)) {
-      *result = std::move(file);
+    if (!s.ok()) {
       return s;
     }
-    *result = std::make_unique<GatedWalFile>(this, std::move(file));
+    if (IsWalFile(fname)) {
+      *result = std::make_unique<GatedWalFile>(this, std::move(file));
+    } else if (IsVlogFile(fname)) {
+      *result = std::make_unique<CountingVlogFile>(this, std::move(file));
+    } else {
+      *result = std::move(file);
+    }
     return s;
   }
   Status NewRandomAccessFile(
@@ -95,9 +105,13 @@ class WalGateEnv : public Env {
     return sync_waiters_;
   }
   void FailNextAppend() { fail_next_append_.store(true); }
+  void FailNextSync() { fail_next_sync_.store(true); }
 
   int wal_appends() const { return wal_appends_.load(); }
   int wal_syncs() const { return wal_syncs_.load(); }
+  /// File-level fsyncs of .vlog files (ValueLog::Sync(false) only
+  /// flushes, which this deliberately does not count).
+  int vlog_syncs() const { return vlog_syncs_.load(); }
 
  private:
   class GatedWalFile : public WritableFile {
@@ -120,7 +134,28 @@ class WalGateEnv : public Env {
         env_->cv_.wait(lock, [this] { return !env_->gate_closed_; });
         env_->sync_waiters_--;
       }
+      if (env_->fail_next_sync_.exchange(false)) {
+        return Status::IOError("injected WAL sync failure");
+      }
       env_->wal_syncs_.fetch_add(1);
+      return base_->Sync();
+    }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    WalGateEnv* env_;
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  class CountingVlogFile : public WritableFile {
+   public:
+    CountingVlogFile(WalGateEnv* env, std::unique_ptr<WritableFile> base)
+        : env_(env), base_(std::move(base)) {}
+
+    Status Append(const Slice& data) override { return base_->Append(data); }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override {
+      env_->vlog_syncs_.fetch_add(1);
       return base_->Sync();
     }
     Status Close() override { return base_->Close(); }
@@ -136,8 +171,10 @@ class WalGateEnv : public Env {
   bool gate_closed_ = false;
   int sync_waiters_ = 0;
   std::atomic<bool> fail_next_append_{false};
+  std::atomic<bool> fail_next_sync_{false};
   std::atomic<int> wal_appends_{0};
   std::atomic<int> wal_syncs_{0};
+  std::atomic<int> vlog_syncs_{0};
 };
 
 std::string TestKey(int writer, int n) {
@@ -338,6 +375,107 @@ TEST(WriteGroupTest, VlogSyncSkippedWhenNothingSeparated) {
   EXPECT_EQ(value, big);
   ASSERT_TRUE(db->Get({}, TestKey(0, 3), &value).ok());
   EXPECT_EQ(value, "small");
+}
+
+// Regression for the cross-group WiscKey durability hole: a non-sync
+// group appends to the value log without fsyncing it; a later group that
+// separates NOTHING but fsyncs the WAL would make the earlier group's
+// pointer records durable ahead of their values. The WAL fsync must be
+// preceded by a value-log fsync whenever unsynced vlog bytes exist, no
+// matter which group appended them.
+TEST(WriteGroupTest, CrossGroupVlogDurabilityOrder) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  WalGateEnv gate(base.get());
+  Options options;
+  options.env = &gate;
+  options.value_separation_threshold = 64;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/wg_vlog_order", &db).ok());
+
+  // Non-sync separated write: value appended to the vlog, flushed but not
+  // fsynced; its pointer record sits unsynced in the WAL.
+  const std::string big(128, 'v');
+  ASSERT_TRUE(db->Put({}, "big", big).ok());
+  EXPECT_EQ(gate.vlog_syncs(), 0);
+
+  // Sync write that separates nothing: its WAL fsync makes the earlier
+  // pointer durable, so it must fsync the value log first.
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  ASSERT_TRUE(db->Put(sync_wo, "small", "inline").ok());
+  EXPECT_EQ(gate.vlog_syncs(), 1);
+  EXPECT_EQ(gate.wal_syncs(), 1);
+
+  // Once fsynced, further sync writes that separate nothing have no
+  // unsynced vlog bytes to cover — no redundant fsyncs.
+  ASSERT_TRUE(db->Put(sync_wo, "small2", "inline").ok());
+  EXPECT_EQ(gate.vlog_syncs(), 1);
+
+  std::string value;
+  ASSERT_TRUE(db->Get({}, "big", &value).ok());
+  EXPECT_EQ(value, big);
+}
+
+// A failure AFTER the group's WAL record landed (here: the fsync) leaves
+// the log holding writes every caller was told failed, with last_sequence
+// not advanced. The DB must go sticky-failed: a later commit would reuse
+// the group's sequence numbers and recovery would resurrect it.
+TEST(WriteGroupTest, PostAppendFailurePoisonsDb) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  WalGateEnv gate(base.get());
+  Options options;
+  options.env = &gate;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/wg_poison", &db).ok());
+
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  ASSERT_TRUE(db->Put(sync_wo, "before", "v").ok());
+
+  gate.FailNextSync();
+  EXPECT_FALSE(db->Put(sync_wo, "poisoned", "v").ok());
+
+  // Sticky: the record for "poisoned" is in the WAL but unacknowledged;
+  // accepting this write would commit sequence numbers that diverge from
+  // the log.
+  EXPECT_FALSE(db->Put({}, "after", "v").ok());
+
+  std::string value;
+  EXPECT_TRUE(db->Get({}, "before", &value).ok());
+  EXPECT_TRUE(db->Get({}, "poisoned", &value).IsNotFound());
+  EXPECT_TRUE(db->Get({}, "after", &value).IsNotFound());
+}
+
+// WriteOptions::sync keeps its durable-at-ack guarantee in the relaxed
+// modes: under kSyncIntervalMs with an interval far longer than the test,
+// non-sync writes ride unsynced but a sync write (a commit marker, say)
+// still forces the fsync for its group.
+TEST(WriteGroupTest, SyncWriteForcesSyncInRelaxedModes) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  WalGateEnv gate(base.get());
+  Options options;
+  options.env = &gate;
+  options.wal_sync_mode = WalSyncMode::kSyncIntervalMs;
+  options.wal_sync_interval_ms = 60 * 60 * 1000;  // never fires here
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/wg_relaxed", &db).ok());
+
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db->Put({}, TestKey(0, i), "v").ok());
+  }
+  EXPECT_EQ(gate.wal_syncs(), 0);  // interval not reached, none forced
+
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  ASSERT_TRUE(db->Put(sync_wo, "marker", "v").ok());
+  EXPECT_EQ(gate.wal_syncs(), 1);
+
+  ASSERT_TRUE(db->Put({}, "tail", "v").ok());
+  EXPECT_EQ(gate.wal_syncs(), 1);
+
+  const DBStats stats = db->GetStats();
+  EXPECT_EQ(stats.wal_syncs, 1u);
+  EXPECT_EQ(stats.wal_sync_skipped + stats.wal_syncs, stats.group_commits);
 }
 
 // Hammers group commit against WAL rotation: a small write buffer and the
