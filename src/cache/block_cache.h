@@ -90,7 +90,7 @@ class BlockCache {
   static std::string MakeKey(uint64_t file_number, uint64_t offset);
 
   LruCache cache_;
-  mutable Mutex access_mu_;
+  mutable Mutex access_mu_{LockRank::kBlockCacheAccessMu};
   std::unordered_map<uint64_t, uint64_t> file_accesses_
       GUARDED_BY(access_mu_);
 };

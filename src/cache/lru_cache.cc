@@ -17,7 +17,7 @@ struct LruCache::Handle {
 };
 
 struct LruCache::Shard {
-  Mutex mu;
+  Mutex mu{LockRank::kLruShardMu};
   size_t capacity = 0;  // set once before use, then read-only
   size_t usage GUARDED_BY(mu) = 0;
   // Front = most recently used.

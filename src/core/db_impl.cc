@@ -98,11 +98,16 @@ Status DBImpl::Init() {
 }
 
 Status DBImpl::InitLocked(PendingEvents* events) {
+  // Recovery is single-threaded: no writer or background thread exists
+  // yet, so holding mu_ across manifest/WAL/vlog I/O cannot stall anyone.
+  ScopedBlockingIoAllowed allow_io("single-threaded recovery");
+  // io-under-lock-ok: recovery manifest read precedes any concurrency.
   Status s = versions_->Recover();
   if (!s.ok()) {
     return s;
   }
   if (vlog_ != nullptr) {
+    // io-under-lock-ok: value-log scan/open during single-threaded recovery.
     s = vlog_->Open();
     if (!s.ok()) {
       return s;
@@ -116,6 +121,7 @@ Status DBImpl::InitLocked(PendingEvents* events) {
   if (!s.ok()) {
     return s;
   }
+  // io-under-lock-ok: orphan sweep during single-threaded recovery.
   versions_->RemoveOrphanedFiles();
   return Status::OK();
 }
@@ -291,6 +297,7 @@ class WalReporter : public wal::Reader::Reporter {
 
 Status DBImpl::RecoverWal(PendingEvents* events) {
   std::vector<std::string> children;
+  // io-under-lock-ok: WAL discovery during single-threaded recovery.
   Status s = options_.env->GetChildren(dbname_, &children);
   if (!s.ok()) {
     return s;
@@ -315,6 +322,7 @@ Status DBImpl::RecoverWal(PendingEvents* events) {
   SequenceNumber max_sequence = versions_->last_sequence();
   for (uint64_t number : wals) {
     std::unique_ptr<SequentialFile> file;
+    // io-under-lock-ok: WAL replay during single-threaded recovery.
     s = options_.env->NewSequentialFile(WalFileName(dbname_, number), &file);
     if (!s.ok()) {
       return s;
@@ -323,6 +331,7 @@ Status DBImpl::RecoverWal(PendingEvents* events) {
     wal::Reader reader(file.get(), &reporter);
     Slice record;
     std::string scratch;
+    // io-under-lock-ok: WAL replay during single-threaded recovery.
     while (reader.ReadRecord(&record, &scratch)) {
       WriteBatch batch;
       batch.SetContentsFrom(record);
@@ -354,6 +363,8 @@ Status DBImpl::NewWal() {
     return Status::OK();
   }
   wal_number_ = versions_->NewFileNumber();
+  // io-under-lock-ok: WAL rotation creates the file under mu_ by design;
+  // the expensive appends/syncs happen later with mu_ released.
   Status s = options_.env->NewWritableFile(WalFileName(dbname_, wal_number_),
                                            &wal_file_);
   if (!s.ok()) {
@@ -379,9 +390,13 @@ Status DBImpl::FreezeMemTableLocked() {
   // leader (Flush paths) wait for log_busy_ to clear before getting here;
   // MakeRoomForWrite runs on the leader itself, where the log is idle.
   assert(!log_busy_);
+  // Rotation I/O (one vlog fsync + one WAL create) is intentionally done
+  // under mu_: it must be atomic with the mem_/imm_ swap.
+  ScopedBlockingIoAllowed allow_io("memtable freeze + WAL rotation");
   // WiscKey durability order: the frozen entries' values must be durable
   // in the value log before their pointers can become durable in tables.
   if (vlog_ != nullptr) {
+    // io-under-lock-ok: durability barrier must precede the memtable swap.
     Status vs = vlog_->Sync(/*fsync=*/true);
     if (!vs.ok()) {
       return vs;
@@ -624,6 +639,10 @@ Status DBImpl::FlushImmMemTable(PendingEvents* events) {
     edit.AddFile(0, meta);
   }
   edit.SetLogNumber(log_number);  // everything older is durable in tables
+  // The manifest install and WAL retirement must be atomic with the
+  // version swap, so this short I/O tail runs under mu_ by design.
+  ScopedBlockingIoAllowed allow_io("flush manifest install");
+  // io-under-lock-ok: manifest install is atomic with the version swap.
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) {
     bg_error_ = s;
@@ -635,6 +654,7 @@ Status DBImpl::FlushImmMemTable(PendingEvents* events) {
   imm_ = nullptr;
   if (options_.enable_wal && wal_to_delete != 0) {
     // Best-effort: a leftover WAL is re-deleted on the next recovery.
+    // io-under-lock-ok: WAL unlink is a metadata op tied to the install.
     options_.env->RemoveFile(WalFileName(dbname_, wal_to_delete))
         .IgnoreError();
   }
@@ -819,9 +839,14 @@ Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
   };
   ReconfigureMonkeyLocked(/*output_level=*/0);
 
+  // Inline-mode flush: the whole freeze/build/install sequence runs under
+  // mu_ by design (single-threaded configs have no one to yield to).
+  ScopedBlockingIoAllowed allow_io("inline-mode flush");
+
   // WiscKey durability order: pointers are about to become durable in
   // tables, so their values must hit storage first.
   if (vlog_ != nullptr) {
+    // io-under-lock-ok: inline-mode durability barrier before the flush.
     Status vs = vlog_->Sync(/*fsync=*/true);
     if (!vs.ok()) {
       finish(vs);
@@ -838,6 +863,7 @@ Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
   }
 
   std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  // io-under-lock-ok: inline-mode table build runs under mu_ by design.
   s = BuildTables(iter.get(), /*output_level=*/0,
                   /*drop_shadowed=*/false, /*drop_tombstones=*/false,
                   SmallestSnapshotLocked(), &outputs, &bytes_written);
@@ -855,6 +881,7 @@ Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
     edit.AddFile(0, meta);
   }
   edit.SetLogNumber(wal_number_);  // everything older is durable in tables
+  // io-under-lock-ok: inline-mode manifest install under mu_ by design.
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) {
     finish(s);
@@ -868,6 +895,7 @@ Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
   mem_->Ref();
   if (options_.enable_wal && old_wal != 0) {
     // Best-effort: a leftover WAL is re-deleted on the next recovery.
+    // io-under-lock-ok: inline-mode WAL unlink tied to the install.
     options_.env->RemoveFile(WalFileName(dbname_, old_wal)).IgnoreError();
   }
   finish(Status::OK());
@@ -1021,6 +1049,8 @@ Status DBImpl::DoCompaction(const CompactionPick& pick,
     for (const FileMetaPtr& f : pick.inputs) {
       edit.RemoveFile(pick.level, f->number);
     }
+    ScopedBlockingIoAllowed allow_io("drop-only manifest install");
+    // io-under-lock-ok: manifest install is atomic with the version swap.
     return versions_->LogAndApply(&edit);
   }
 
@@ -1164,6 +1194,8 @@ Status DBImpl::DoCompaction(const CompactionPick& pick,
     meta.run_seq = run_seq;
     edit.AddFile(pick.output_level, meta);
   }
+  ScopedBlockingIoAllowed allow_io("compaction manifest install + re-warm");
+  // io-under-lock-ok: manifest install is atomic with the version swap.
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) {
     finish(s);
@@ -1183,15 +1215,20 @@ Status DBImpl::DoCompaction(const CompactionPick& pick,
 
 void DBImpl::PrefetchOutputsLocked(const CompactionPick& /*pick*/,
                                    const std::vector<FileMetaData>& outputs) {
+  // Bounded by prefetch_budget_bytes and deliberately under mu_: the
+  // re-warm must complete before readers see the new version's files cold.
+  ScopedBlockingIoAllowed allow_io("post-compaction cache re-warm");
   size_t budget = options_.prefetch_budget_bytes;
   for (const FileMetaData& meta : outputs) {
     if (budget == 0) {
       break;
     }
     std::shared_ptr<SSTable> table;
+    // io-under-lock-ok: budget-bounded output open for the re-warm.
     if (!table_cache_->FindTable(meta, &table).ok()) {
       continue;
     }
+    // io-under-lock-ok: budget-bounded block reads re-warm the cache.
     const size_t loaded = table->PrefetchBlocks(budget);
     budget = loaded >= budget ? 0 : budget - loaded;
   }
@@ -1217,26 +1254,30 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   return s;
 }
 
+DBImpl::ReadView DBImpl::PinReadView(const ReadOptions& options) {
+  ReadView view;
+  MutexLock lock(&mu_);
+  view.mem = mem_;
+  view.mem->Ref();
+  view.imm = imm_;
+  if (view.imm != nullptr) {
+    view.imm->Ref();
+  }
+  view.version = versions_->current();
+  view.sequence = options.snapshot != nullptr ? options.snapshot->sequence()
+                                              : versions_->last_sequence();
+  return view;
+}
+
 Status DBImpl::GetImpl(const ReadOptions& options, const Slice& key,
                        std::string* value) {
   stats_.Add(Ticker::kGets);
 
-  MemTable* mem;
-  MemTable* imm = nullptr;
-  VersionPtr version;
-  SequenceNumber sequence;
-  {
-    MutexLock lock(&mu_);
-    mem = mem_;
-    mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) {
-      imm->Ref();
-    }
-    version = versions_->current();
-    sequence = options.snapshot != nullptr ? options.snapshot->sequence()
-                                           : versions_->last_sequence();
-  }
+  const ReadView view = PinReadView(options);
+  MemTable* mem = view.mem;
+  MemTable* imm = view.imm;
+  const VersionPtr& version = view.version;
+  const SequenceNumber sequence = view.sequence;
 
   LookupKey lkey(key, sequence);
   Status s;
@@ -1398,16 +1439,19 @@ Iterator* DBImpl::NewRunIterator(const Run& run) {
       });
 }
 
-void DBImpl::CollectIterators(const Slice* lo, const Slice* hi,
+void DBImpl::CollectIterators(const ReadView& view, const Slice* lo,
+                              const Slice* hi,
                               std::vector<Iterator*>* children) {
-  children->push_back(mem_->NewIterator());
-  if (imm_ != nullptr) {
-    children->push_back(imm_->NewIterator());
+  children->push_back(view.mem->NewIterator());
+  if (view.imm != nullptr) {
+    children->push_back(view.imm->NewIterator());
   }
-  VersionPtr version = versions_->current();
   const Comparator* ucmp = icmp_.user_comparator();
 
-  for (const LevelState& level : version->levels()) {
+  // No lock held here: RangeMayMatch may fault a cold table open, which
+  // must never stall writers (found by tools/check_lock_io.py when this
+  // ran under mu_).
+  for (const LevelState& level : view.version->levels()) {
     for (const Run& run : level.runs) {
       if (lo != nullptr && hi != nullptr) {
         // Range-filter pruning: include only files that overlap the range
@@ -1439,17 +1483,16 @@ void DBImpl::CollectIterators(const Slice* lo, const Slice* hi,
 }
 
 Iterator* DBImpl::NewRawIterator(const ReadOptions& options) {
+  ReadView view = PinReadView(options);
   std::vector<Iterator*> children;
-  SequenceNumber sequence;
-  {
-    MutexLock lock(&mu_);
-    sequence = options.snapshot != nullptr ? options.snapshot->sequence()
-                                           : versions_->last_sequence();
-    CollectIterators(nullptr, nullptr, &children);
+  CollectIterators(view, nullptr, nullptr, &children);
+  view.mem->Unref();
+  if (view.imm != nullptr) {
+    view.imm->Unref();
   }
   Iterator* merged = NewMergingIterator(&icmp_, children.data(),
                                         static_cast<int>(children.size()));
-  return NewDBIterator(icmp_.user_comparator(), merged, sequence);
+  return NewDBIterator(icmp_.user_comparator(), merged, view.sequence);
 }
 
 namespace {
@@ -1517,18 +1560,17 @@ Status DBImpl::ScanImpl(
     size_t limit,
     std::vector<std::pair<std::string, std::string>>* results) {
   results->clear();
+  ReadView view = PinReadView(options);
   std::vector<Iterator*> children;
-  SequenceNumber sequence;
-  {
-    MutexLock lock(&mu_);
-    sequence = options.snapshot != nullptr ? options.snapshot->sequence()
-                                           : versions_->last_sequence();
-    CollectIterators(&start, &end, &children);
+  CollectIterators(view, &start, &end, &children);
+  view.mem->Unref();
+  if (view.imm != nullptr) {
+    view.imm->Unref();
   }
   Iterator* merged = NewMergingIterator(&icmp_, children.data(),
                                         static_cast<int>(children.size()));
   std::unique_ptr<Iterator> iter(
-      NewDBIterator(icmp_.user_comparator(), merged, sequence));
+      NewDBIterator(icmp_.user_comparator(), merged, view.sequence));
 
   const Comparator* ucmp = icmp_.user_comparator();
   for (iter->Seek(start); iter->Valid(); iter->Next()) {

@@ -201,10 +201,24 @@ class DBImpl : public DB {
       REQUIRES(mu_);
   /// One run's iterator: concatenation of its (non-overlapping) files.
   Iterator* NewRunIterator(const Run& run);
+  /// Pinned snapshot of everything a read needs: referenced memtables, the
+  /// current version (shared_ptr), and the visible sequence. Taken under
+  /// mu_ in one short critical section so that iterator construction —
+  /// which may open cold table files for range-filter pruning — runs with
+  /// the lock released. Callers must Unref() mem/imm when done pinning
+  /// (child iterators hold their own references).
+  struct ReadView {
+    MemTable* mem = nullptr;
+    MemTable* imm = nullptr;
+    VersionPtr version;
+    SequenceNumber sequence = 0;
+  };
+  ReadView PinReadView(const ReadOptions& options) EXCLUDES(mu_);
   /// Collects child iterators for the given bounds (nullptr bounds = all),
-  /// consulting range filters when bounds are present.
-  void CollectIterators(const Slice* lo, const Slice* hi,
-                        std::vector<Iterator*>* children) REQUIRES(mu_);
+  /// consulting range filters when bounds are present. Works on a pinned
+  /// view, not live state: safe (and intended) to call without mu_.
+  void CollectIterators(const ReadView& view, const Slice* lo,
+                        const Slice* hi, std::vector<Iterator*>* children);
   /// Key-value separation: rewrites large values of `updates` into the
   /// value log, leaving tagged pointers (no-op when disabled). Sets
   /// *vlog_appended iff at least one value actually moved to the log, so
@@ -227,7 +241,7 @@ class DBImpl : public DB {
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<CompactionPolicy> policy_;
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kDbMu};
   MemTable* mem_ GUARDED_BY(mu_) = nullptr;  // owned via Ref/Unref
   /// Frozen memtable awaiting background flush.
   MemTable* imm_ GUARDED_BY(mu_) = nullptr;
@@ -292,7 +306,7 @@ class DBImpl : public DB {
   /// Table-file-deletion events queue here (the VersionSet cleanup hooks
   /// fire under mu_, where listener callbacks are forbidden) until the
   /// next NotifyListeners drains them.
-  Mutex deletions_mu_;
+  Mutex deletions_mu_{LockRank::kDeletionsMu};
   std::vector<uint64_t> pending_deletions_ GUARDED_BY(deletions_mu_);
   // Set by Get when a file crosses the seek-compaction threshold; the
   // next write services it (reads never mutate the tree themselves).

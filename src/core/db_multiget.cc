@@ -96,16 +96,11 @@ void DBImpl::MultiGetImpl(const ReadOptions& options,
   VersionPtr version;
   SequenceNumber sequence;
   {
-    MutexLock lock(&mu_);
-    mem = mem_;
-    mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) {
-      imm->Ref();
-    }
-    version = versions_->current();
-    sequence = options.snapshot != nullptr ? options.snapshot->sequence()
-                                           : versions_->last_sequence();
+    const ReadView view = PinReadView(options);
+    mem = view.mem;
+    imm = view.imm;
+    version = view.version;
+    sequence = view.sequence;
   }
 
   const Comparator* ucmp = icmp_.user_comparator();

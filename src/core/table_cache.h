@@ -81,7 +81,7 @@ class TableCache {
   std::vector<TableOptions> per_level_options_;
   std::vector<std::unique_ptr<const FilterPolicy>> owned_filters_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTableCacheMu};
   std::unordered_map<uint64_t, std::shared_ptr<SSTable>> tables_
       GUARDED_BY(mu_);
 };

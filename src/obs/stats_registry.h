@@ -132,7 +132,7 @@ class StatsRegistry {
   std::array<std::atomic<uint64_t>,
              static_cast<size_t>(Ticker::kNumTickers)>
       tickers_;
-  mutable Mutex hist_mu_;
+  mutable Mutex hist_mu_{LockRank::kStatsHistMu};
   std::array<Histogram,
              static_cast<size_t>(PhaseHistogram::kNumHistograms)>
       histograms_ GUARDED_BY(hist_mu_);

@@ -18,7 +18,7 @@ struct FileDurability {
 
 struct FaultInjectionEnv::State {
   Env* base = nullptr;
-  Mutex mu;
+  Mutex mu{LockRank::kFaultStateMu};
   std::map<std::string, FileDurability> files GUARDED_BY(mu);
   std::atomic<bool> crashed{false};
 

@@ -8,11 +8,13 @@ std::string IoStats::ToString() const {
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      "block_reads=%llu block_writes=%llu bytes_read=%llu bytes_written=%llu",
+      "block_reads=%llu block_writes=%llu bytes_read=%llu bytes_written=%llu "
+      "syncs=%llu",
       static_cast<unsigned long long>(block_reads.load()),
       static_cast<unsigned long long>(block_writes.load()),
       static_cast<unsigned long long>(bytes_read.load()),
-      static_cast<unsigned long long>(bytes_written.load()));
+      static_cast<unsigned long long>(bytes_written.load()),
+      static_cast<unsigned long long>(syncs.load()));
   return buf;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/mutex.h"
+
 namespace lsmlab {
 
 /// Logical-I/O accounting for an Env.
@@ -23,8 +25,15 @@ struct IoStats {
   std::atomic<uint64_t> bytes_written{0};
   std::atomic<uint64_t> random_reads{0};   // positioned read calls
   std::atomic<uint64_t> sequential_writes{0};  // append calls
+  std::atomic<uint64_t> syncs{0};              // fsync/Sync calls
+
+  // Every Env implementation funnels each blocking operation through
+  // exactly one Record* call (tools/lint.sh check 5), which makes these
+  // the chokepoint for the debug-build no-I/O-under-engine-lock guard:
+  // AssertBlockingIoAllowed aborts when a ranked no-io mutex is held here.
 
   void RecordRead(uint64_t offset, uint64_t n) {
+    AssertBlockingIoAllowed("read");
     if (n == 0) return;
     const uint64_t first = offset / kBlockSize;
     const uint64_t last = (offset + n - 1) / kBlockSize;
@@ -34,12 +43,18 @@ struct IoStats {
   }
 
   void RecordAppend(uint64_t n) {
+    AssertBlockingIoAllowed("append");
     // Appends are sequential; charge whole blocks on flush boundaries is
     // overkill, so charge ceil(n / block) which matches write amp math.
     block_writes.fetch_add((n + kBlockSize - 1) / kBlockSize,
                            std::memory_order_relaxed);
     bytes_written.fetch_add(n, std::memory_order_relaxed);
     sequential_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RecordSync() {
+    AssertBlockingIoAllowed("sync");
+    syncs.fetch_add(1, std::memory_order_relaxed);
   }
 
   void Reset() {
@@ -49,6 +64,7 @@ struct IoStats {
     bytes_written.store(0);
     random_reads.store(0);
     sequential_writes.store(0);
+    syncs.store(0);
   }
 
   std::string ToString() const;

@@ -55,7 +55,10 @@ class MemWritableFile : public WritableFile {
     return Status::OK();
   }
   Status Flush() override { return Status::OK(); }
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    stats_->RecordSync();
+    return Status::OK();
+  }
   Status Close() override { return Status::OK(); }
 
  private:
@@ -186,7 +189,7 @@ class MemEnv : public Env {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kMemEnvMu};
   std::map<std::string, std::shared_ptr<MemFile>> files_ GUARDED_BY(mu_);
 };
 

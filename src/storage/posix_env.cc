@@ -82,6 +82,7 @@ class PosixWritableFile : public WritableFile {
     if (::fsync(::fileno(file_)) != 0) {
       return PosixError(fname_, errno);
     }
+    stats_->RecordSync();
     return Status::OK();
   }
 

@@ -5,14 +5,99 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
 #include <mutex>
 #include <thread>
+#include <vector>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace lsmlab {
 
 class CondVar;
+
+#ifndef NDEBUG
+namespace lock_debug {
+
+/// Per-thread stack of ranked mutexes currently held, newest last.
+/// Unranked mutexes never appear here. Drives the rank-inversion abort
+/// in Mutex::Lock() and the blocking-I/O guard below.
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+};
+
+inline std::vector<HeldLock>& HeldLockStack() {
+  static thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+/// Depth of active ScopedBlockingIoAllowed scopes on this thread.
+inline int& BlockingIoAllowedDepth() {
+  static thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace lock_debug
+
+/// Number of ranked mutexes the calling thread currently holds (debug
+/// bookkeeping introspection for tests).
+inline size_t HeldRankedLockCount() {
+  return lock_debug::HeldLockStack().size();
+}
+#else
+inline size_t HeldRankedLockCount() { return 0; }
+#endif
+
+/// Aborts (debug builds) when the calling thread holds any ranked
+/// no-I/O engine mutex while a blocking storage call starts. Called from
+/// the IoStats chokepoints every Env implementation reports through, so
+/// each ctest run dynamically validates the invariant that
+/// tools/check_lock_io.py proves statically. `what` names the blocking
+/// operation for the abort message.
+inline void AssertBlockingIoAllowed(const char* what) {
+#ifndef NDEBUG
+  if (lock_debug::BlockingIoAllowedDepth() > 0) {
+    return;
+  }
+  for (const lock_debug::HeldLock& held : lock_debug::HeldLockStack()) {
+    if (!LockRankAllowsIo(held.rank)) {
+      std::fprintf(stderr,
+                   "lsmlab: blocking I/O (%s) while holding engine mutex %s; "
+                   "audited exceptions must use ScopedBlockingIoAllowed\n",
+                   what, LockRankName(held.rank));
+      std::abort();
+    }
+  }
+#else
+  (void)what;
+#endif
+}
+
+/// RAII exemption for the audited call sites where blocking I/O under an
+/// engine mutex is by design (recovery, inline-mode flush, manifest
+/// install under mu_). Every use must match an entry in
+/// tools/lock_io_audit.list so the static and dynamic audit lists stay
+/// one list.
+class ScopedBlockingIoAllowed {
+ public:
+#ifndef NDEBUG
+  explicit ScopedBlockingIoAllowed(const char* why) {
+    (void)why;  // documentation at the call site
+    lock_debug::BlockingIoAllowedDepth()++;
+  }
+  ~ScopedBlockingIoAllowed() { lock_debug::BlockingIoAllowedDepth()--; }
+#else
+  explicit ScopedBlockingIoAllowed(const char* why) { (void)why; }
+  ~ScopedBlockingIoAllowed() = default;
+#endif
+
+  ScopedBlockingIoAllowed(const ScopedBlockingIoAllowed&) = delete;
+  ScopedBlockingIoAllowed& operator=(const ScopedBlockingIoAllowed&) = delete;
+};
 
 /// The engine's only mutex. Wraps std::mutex with the clang
 /// thread-safety-analysis capability attributes so that `GUARDED_BY(mu_)`
@@ -24,15 +109,24 @@ class CondVar;
 /// Debug builds additionally track the holding thread, so AssertHeld()
 /// aborts at runtime when the discipline is violated on a compiler without
 /// the static analysis.
+///
+/// Mutexes constructed with a LockRank additionally participate in the
+/// debug-build lock-order validator: Lock() aborts when the calling
+/// thread already holds a ranked mutex of equal or greater rank, with
+/// both lock names in the message. TryLock() and CondVar reacquisition
+/// are exempt from the ordering check (neither can deadlock) but still
+/// maintain the held-lock stack.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   ~Mutex() = default;
 
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock() ACQUIRE() {
+    DebugCheckRank();
     mu_.lock();
     DebugMarkHeld();
   }
@@ -71,16 +165,52 @@ class CAPABILITY("mutex") Mutex {
 #ifndef NDEBUG
   void DebugMarkHeld() {
     holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    if (rank_ != LockRank::kUnranked) {
+      lock_debug::HeldLockStack().push_back({this, rank_});
+    }
   }
   void DebugMarkReleased() {
     holder_.store(std::thread::id(), std::memory_order_relaxed);
+    if (rank_ != LockRank::kUnranked) {
+      // Engine locks are usually released LIFO, but hand-over-hand
+      // sequences may release out of order; remove the newest entry for
+      // this mutex wherever it sits.
+      auto& stack = lock_debug::HeldLockStack();
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->mu == this) {
+          stack.erase(std::next(it).base());
+          return;
+        }
+      }
+      assert(false && "released a ranked mutex not on the held stack");
+    }
+  }
+  /// Abort (before blocking on the lock) when acquiring this mutex would
+  /// invert the documented lock order.
+  void DebugCheckRank() const {
+    if (rank_ == LockRank::kUnranked) {
+      return;
+    }
+    for (const lock_debug::HeldLock& held : lock_debug::HeldLockStack()) {
+      if (held.rank >= rank_) {
+        std::fprintf(
+            stderr,
+            "lsmlab: lock rank inversion: acquiring %s (rank %d) while "
+            "holding %s (rank %d); see tools/lock_ranks.tsv\n",
+            LockRankName(rank_), static_cast<int>(rank_),
+            LockRankName(held.rank), static_cast<int>(held.rank));
+        std::abort();
+      }
+    }
   }
 #else
   void DebugMarkHeld() {}
   void DebugMarkReleased() {}
+  void DebugCheckRank() const {}
 #endif
 
   std::mutex mu_;
+  const LockRank rank_ = LockRank::kUnranked;
 #ifndef NDEBUG
   std::atomic<std::thread::id> holder_{};
 #endif

@@ -50,7 +50,7 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kThreadPoolMu};
   CondVar work_cv_{&mu_};  // work arrived or shutdown began
   CondVar idle_cv_{&mu_};  // a task finished or the pool stopped
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

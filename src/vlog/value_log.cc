@@ -49,6 +49,18 @@ Status ValueLog::Open() {
     files_.insert(number);
     max_number = std::max(max_number, number);
   }
+  // Seed the byte accounting once at open; afterwards Add/DeleteFiles
+  // maintain it so TotalBytes() never stats files (it is called with the
+  // DB mutex held).
+  total_bytes_ = 0;
+  file_bytes_.clear();
+  for (uint64_t number : files_) {
+    uint64_t size = 0;
+    if (env_->GetFileSize(FileName(dbname_, number), &size).ok()) {
+      file_bytes_[number] = size;
+      total_bytes_ += size;
+    }
+  }
   current_number_ = max_number + 1;
   files_.insert(current_number_);
   current_offset_ = 0;
@@ -94,6 +106,8 @@ Status ValueLog::Add(const Slice& value, std::string* pointer) {
     return s;
   }
   current_offset_ += record.size();
+  file_bytes_[current_number_] += record.size();
+  total_bytes_ += record.size();
 
   pointer->clear();
   PutVarint64(pointer, current_number_);
@@ -252,6 +266,11 @@ Status ValueLog::DeleteFiles(const std::vector<uint64_t>& numbers) {
       continue;  // never delete the live tail
     }
     files_.erase(n);
+    auto bytes_it = file_bytes_.find(n);
+    if (bytes_it != file_bytes_.end()) {
+      total_bytes_ -= bytes_it->second;
+      file_bytes_.erase(bytes_it);
+    }
     {
       MutexLock rlock(&readers_mu_);
       readers_.erase(
@@ -279,14 +298,7 @@ bool ValueLog::PointsInto(const Slice& pointer,
 
 uint64_t ValueLog::TotalBytes() const {
   MutexLock lock(&mu_);
-  uint64_t total = 0;
-  for (uint64_t n : files_) {
-    uint64_t size = 0;
-    if (env_->GetFileSize(FileName(dbname_, n), &size).ok()) {
-      total += size;
-    }
-  }
-  return total;
+  return total_bytes_;
 }
 
 size_t ValueLog::NumFiles() const {

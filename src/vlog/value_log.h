@@ -2,6 +2,7 @@
 #define LSMLAB_VLOG_VALUE_LOG_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -74,6 +75,10 @@ class ValueLog {
   static bool PointsInto(const Slice& pointer,
                          const std::set<uint64_t>& files);
 
+  /// Total bytes across all live log files. Served from an incrementally
+  /// maintained counter: DBImpl::GetStats calls this under the DB mutex,
+  /// so it must not stat files (tools/check_lock_io.py flags the old
+  /// per-call GetFileSize scan as blocking I/O under mu_).
   uint64_t TotalBytes() const;
   size_t NumFiles() const;
   uint64_t current_file_number() const {
@@ -105,15 +110,19 @@ class ValueLog {
   const size_t max_file_bytes_;
 
   // Lock order: mu_ before readers_mu_ (DeleteFiles takes both).
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kValueLogMu};
   /// All live log files (including current).
   std::set<uint64_t> files_ GUARDED_BY(mu_);
+  /// Bytes per live file + their sum, maintained on Add/Open/DeleteFiles
+  /// so TotalBytes() never touches the filesystem.
+  std::map<uint64_t, uint64_t> file_bytes_ GUARDED_BY(mu_);
+  uint64_t total_bytes_ GUARDED_BY(mu_) = 0;
   uint64_t current_number_ GUARDED_BY(mu_) = 0;
   uint64_t current_offset_ GUARDED_BY(mu_) = 0;
   std::unique_ptr<WritableFile> current_file_ GUARDED_BY(mu_);
 
   // Open read handles, keyed by file number (lazily opened, kept).
-  mutable Mutex readers_mu_ ACQUIRED_AFTER(mu_);
+  mutable Mutex readers_mu_ ACQUIRED_AFTER(mu_){LockRank::kValueLogReadersMu};
   mutable std::vector<std::pair<uint64_t, std::shared_ptr<RandomAccessFile>>>
       readers_ GUARDED_BY(readers_mu_);
 };

@@ -59,6 +59,107 @@ TEST(MutexDeathTest, AssertHeldAbortsWhenNotHeld) {
   Mutex mu;
   EXPECT_DEATH(mu.AssertHeld(), "");
 }
+
+// ------------------------------------------------- Lock-rank validator --
+
+TEST(LockRankTest, InOrderNestingIsClean) {
+  Mutex db(LockRank::kDbMu);
+  Mutex cache(LockRank::kTableCacheMu);
+  MutexLock outer(&db);
+  MutexLock inner(&cache);  // 10 -> 50: documented order, no abort
+  EXPECT_EQ(HeldRankedLockCount(), 2u);
+}
+
+TEST(LockRankTest, HeldLockCountBookkeeping) {
+  Mutex db(LockRank::kDbMu);
+  Mutex unranked;
+  EXPECT_EQ(HeldRankedLockCount(), 0u);
+  db.Lock();
+  EXPECT_EQ(HeldRankedLockCount(), 1u);
+  unranked.Lock();  // unranked locks never enter the stack
+  EXPECT_EQ(HeldRankedLockCount(), 1u);
+  unranked.Unlock();
+  db.Unlock();
+  EXPECT_EQ(HeldRankedLockCount(), 0u);
+}
+
+TEST(LockRankTest, ReacquisitionAfterReleaseIsClean) {
+  Mutex db(LockRank::kDbMu);
+  Mutex cache(LockRank::kTableCacheMu);
+  // Release-then-acquire in rank-violating textual order is fine: only
+  // simultaneous holding counts.
+  cache.Lock();
+  cache.Unlock();
+  db.Lock();
+  db.Unlock();
+  cache.Lock();
+  cache.Unlock();
+  EXPECT_EQ(HeldRankedLockCount(), 0u);
+}
+
+TEST(LockRankTest, CondVarWaitPreservesRankState) {
+  // Wait() releases and reacquires its mutex; the reacquisition must not
+  // trip the rank check against locks acquired by other threads meanwhile,
+  // and the held stack must be intact afterwards.
+  Mutex db(LockRank::kDbMu);
+  CondVar cv(&db);
+  bool ready = false;
+  std::thread signaller([&] {
+    MutexLock lock(&db);
+    ready = true;
+    cv.Signal();
+  });
+  {
+    MutexLock lock(&db);
+    while (!ready) {
+      cv.Wait();
+    }
+    EXPECT_EQ(HeldRankedLockCount(), 1u);
+    // Deeper-ranked acquisition still works after the reacquire.
+    Mutex cache(LockRank::kTableCacheMu);
+    MutexLock inner(&cache);
+    EXPECT_EQ(HeldRankedLockCount(), 2u);
+  }
+  signaller.join();
+  EXPECT_EQ(HeldRankedLockCount(), 0u);
+}
+
+TEST(LockRankDeathTest, InversionAbortsWithBothLockNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex db(LockRank::kDbMu);
+  Mutex cache(LockRank::kTableCacheMu);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(&cache);  // rank 50 first...
+        MutexLock inner(&db);     // ...then rank 10: inversion
+      },
+      "lock rank inversion.*DBImpl::mu_.*TableCache::mu_");
+}
+
+TEST(LockRankDeathTest, EqualRankAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two same-rank locks can deadlock against a thread nesting them the
+  // other way round, so equal rank is an inversion too.
+  Mutex a(LockRank::kDbMu);
+  Mutex b(LockRank::kDbMu);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(&a);
+        MutexLock inner(&b);
+      },
+      "lock rank inversion.*DBImpl::mu_.*DBImpl::mu_");
+}
+
+TEST(LockRankTest, TryLockSkipsTheRankCheck) {
+  // TryLock cannot deadlock, so out-of-rank try-acquisition is permitted
+  // but still tracked.
+  Mutex db(LockRank::kDbMu);
+  Mutex cache(LockRank::kTableCacheMu);
+  MutexLock outer(&cache);
+  ASSERT_TRUE(db.TryLock());
+  EXPECT_EQ(HeldRankedLockCount(), 2u);
+  db.Unlock();
+}
 #else
 TEST(MutexTest, AssertHeldIsNoOpInRelease) {
   // Release builds cannot track the holder; AssertHeld must not fire.

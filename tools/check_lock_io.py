@@ -1,0 +1,1111 @@
+#!/usr/bin/env python3
+"""Interprocedural lock / blocking-I/O analyzer (static half of the invariant
+whose runtime half lives in src/util/mutex.h + src/storage/io_stats.h).
+
+Invariant: no blocking I/O (Env / file-handle calls, raw posix I/O, sleeps)
+may execute while a ranked *no-io* engine mutex is held, except at sites
+explicitly audited with an `io-under-lock-ok:` comment AND listed in
+tools/lock_io_audit.list.
+
+The tool:
+  1. scans every .h/.cc under src/ (file list from compile_commands.json when
+     present, e.g. build/compile_commands.json exported by the default cmake
+     configure; falls back to walking src/),
+  2. builds a call graph of project functions with per-site lock context
+     (MutexLock scopes, raw Lock()/Unlock() spans, REQUIRES(...) entry locks),
+  3. propagates "performs blocking I/O" through the graph (io_reach fixpoint),
+  4. reports every path from a locked region to a blocking leaf with the full
+     call chain, minus audited exceptions,
+  5. cross-checks the audit list both ways (stale entries and unlisted
+     annotations are errors) and the lock-rank tables
+     (tools/lock_ranks.tsv vs the X-macro in src/util/lock_rank.h vs the
+     actual `Mutex member{LockRank::k...}` declarations).
+
+Frontends: `--frontend text` (default; pure stdlib, always available) or
+`clang` (libclang refinement; this container ships no python libclang, so
+`auto` degrades to text with a note). `--self-test` runs the analyzer over an
+embedded tree with seeded violations and asserts they are flagged.
+
+Exit status: 0 clean, 1 violations or consistency errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+import tempfile
+
+ANNOTATION = "io-under-lock-ok"
+
+# Blocking leaves, by receiver interface (types from src/storage/env.h).
+FILE_TYPES = {"WritableFile", "RandomAccessFile", "SequentialFile"}
+FILE_BLOCKING = {"Read", "Append", "Sync", "Flush", "Skip", "Close"}
+ENV_BLOCKING = {
+    "NewWritableFile", "NewRandomAccessFile", "NewSequentialFile",
+    "GetChildren", "RemoveFile", "RenameFile", "GetFileSize", "FileExists",
+    "CreateDir", "RemoveDir",
+}
+# Raw libc/posix calls (matched only receiver-less or ::-qualified).
+RAW_BLOCKING = {
+    "fsync", "fdatasync", "open", "pread", "pwrite", "fwrite", "fread",
+    "fflush", "fopen", "fclose", "stat", "unlink", "mkdir",
+    "sleep_for", "sleep_until",
+}
+KEYWORDS = {
+    "if", "while", "for", "switch", "return", "sizeof", "catch", "new",
+    "delete", "assert", "defined", "alignof", "decltype", "static_cast",
+    "reinterpret_cast", "const_cast", "dynamic_cast", "static_assert",
+    "throw", "noexcept", "alignas", "typeid", "co_await", "co_return",
+}
+ATTR_MACROS = ("GUARDED_BY", "ACQUIRED_AFTER", "ACQUIRED_BEFORE", "REQUIRES",
+               "EXCLUDES", "RETURN_CAPABILITY", "CAPABILITY",
+               "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+               "ASSERT_CAPABILITY", "ACQUIRE", "RELEASE", "TRY_ACQUIRE")
+PTR_WRAPPERS = ("std::unique_ptr", "std::shared_ptr", "unique_ptr",
+                "shared_ptr")
+
+
+def preprocess(text):
+    """Blank comments, strings, and preprocessor lines (same length; newlines
+    kept). Returns (code, annotated_lines, comment_only_lines)."""
+    out = list(text)
+    n = len(text)
+    i = 0
+    annotated = set()
+    line = 1
+    line_has_code = {}
+    line_has_comment = {}
+
+    def blank(j):
+        if out[j] != "\n":
+            out[j] = " "
+
+    # Pass 1: preprocessor lines (incl. backslash continuations).
+    at_line_start = True
+    in_pp = False
+    while i < n:
+        c = text[i]
+        if at_line_start and not in_pp and text[i:].lstrip(" \t")[:1] == "#":
+            in_pp = True
+        if in_pp:
+            if c == "\n":
+                in_pp = text[i - 1] == "\\" if i > 0 else False
+            else:
+                blank(i)
+        at_line_start = c == "\n"
+        i += 1
+    text2 = "".join(out)
+
+    # Pass 2: comments and string/char literals.
+    i = 0
+    while i < n:
+        c = text2[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if text2.startswith("//", i):
+            end = text2.find("\n", i)
+            end = n if end < 0 else end
+            if ANNOTATION in text2[i:end]:
+                annotated.add(line)
+            line_has_comment[line] = True
+            for j in range(i, end):
+                blank(j)
+            i = end
+            continue
+        if text2.startswith("/*", i):
+            end = text2.find("*/", i + 2)
+            end = n - 2 if end < 0 else end
+            seg = text2[i:end + 2]
+            for k, part in enumerate(seg.split("\n")):
+                if ANNOTATION in part:
+                    annotated.add(line + k)
+                line_has_comment[line + k] = True
+            for j in range(i, end + 2):
+                blank(j)
+            line += seg.count("\n")
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text2[j] != quote:
+                if text2[j] == "\\":
+                    j += 1
+                j += 1
+            for k in range(i + 1, min(j, n)):
+                blank(k)
+            i = min(j, n - 1) + 1
+            continue
+        if not c.isspace():
+            line_has_code[line] = True
+        i += 1
+    code = "".join(out)
+    comment_only = {ln for ln in line_has_comment if ln not in line_has_code}
+    return code, annotated, comment_only
+
+
+class Site:
+    __slots__ = ("file", "line", "func", "callee", "method", "locks",
+                 "annotated", "leaf", "targets")
+
+    def __init__(self, file, line, func, callee, method, locks, annotated,
+                 leaf, targets):
+        self.file = file            # repo-relative path
+        self.line = line
+        self.func = func            # Function owning the site
+        self.callee = callee        # normalized callee expression
+        self.method = method        # last component
+        self.locks = locks          # frozenset of held no-io lock names
+        self.annotated = annotated
+        self.leaf = leaf            # None or leaf-kind string
+        self.targets = targets      # list of resolved Function keys
+
+
+class Function:
+    def __init__(self, key, file, line, cls, requires):
+        self.key = key              # e.g. "DBImpl::FlushImmMemTable"
+        self.file = file
+        self.line = line
+        self.cls = cls              # owning class key or None
+        self.requires = requires    # qualified entry-lock names
+        self.sites = []
+        self.locals = {}            # name -> normalized type
+        self.io_reach = None        # witness Site once known to reach I/O
+
+
+class Scope:
+    __slots__ = ("kind", "name", "acquired")
+
+    def __init__(self, kind, name=""):
+        self.kind = kind  # namespace|class|function|block|lambda|inline
+        self.name = name
+        self.acquired = []  # lock names acquired in this scope (MutexLock)
+
+
+def strip_type(t):
+    """Normalize a declared type to a bare class key."""
+    t = t.strip()
+    t = re.sub(r"\b(const|constexpr|static|mutable|volatile|inline)\b", "", t)
+    t = t.strip()
+    for w in PTR_WRAPPERS:
+        if t.startswith(w + "<") and t.endswith(">"):
+            t = t[len(w) + 1:-1]
+            return strip_type(t)
+    t = t.replace("*", "").replace("&", "").strip()
+    if t.startswith("lsmlab::"):
+        t = t[len("lsmlab::"):]
+    return t
+
+
+class Analyzer:
+    def __init__(self, root, verbose=False):
+        self.root = root
+        self.verbose = verbose
+        self.functions = {}       # key -> Function (first definition wins)
+        self.class_members = {}   # class key -> {member: type}
+        self.decl_requires = {}   # (class key, method) -> [lock exprs]
+        self.mutex_members = []   # (class key, member, enum-or-None, file, ln)
+        self.annotated_sites = [] # every Site carrying the annotation
+        self.unresolved = []      # (file, line, callee) skipped calls
+        self.rank_names = {}      # lock name -> (rank, io_ok) from tsv
+        self.errors = []
+
+    # -- rank tables ------------------------------------------------------
+    def load_rank_tsv(self, path):
+        if not os.path.exists(path):
+            self.errors.append(f"missing rank table: {path}")
+            return {}
+        table = {}
+        with open(path) as f:
+            for ln, raw in enumerate(f, 1):
+                s = raw.strip()
+                if not s or s.startswith("#"):
+                    continue
+                parts = s.split("\t")
+                if len(parts) != 3 or parts[2] not in ("io-ok", "no-io"):
+                    self.errors.append(f"{path}:{ln}: malformed row: {s!r}")
+                    continue
+                table[parts[1]] = (int(parts[0]), parts[2] == "io-ok")
+        return table
+
+    def load_rank_header(self, path):
+        """Parse X(kName, rank, "Lock::name", io_ok) rows from the X-macro."""
+        if not os.path.exists(path):
+            self.errors.append(f"missing rank header: {path}")
+            return {}
+        text = open(path).read()
+        rows = {}
+        for m in re.finditer(
+                r'X\(\s*(k\w+)\s*,\s*(\d+)\s*,\s*"([^"]+)"\s*,\s*'
+                r'(true|false)\s*\)', text):
+            rows[m.group(1)] = (int(m.group(2)), m.group(3),
+                                m.group(4) == "true")
+        return rows
+
+    def check_rank_tables(self, tsv_path, header_path):
+        tsv = self.load_rank_tsv(tsv_path)
+        hdr = self.load_rank_header(header_path)
+        self.rank_names = dict(tsv)
+        self.enum_to_name = {e: name for e, (_, name, _) in hdr.items()}
+        hdr_by_name = {name: (rank, io) for (rank, name, io) in hdr.values()}
+        for name, (rank, io_ok) in tsv.items():
+            if name not in hdr_by_name:
+                self.errors.append(
+                    f"{tsv_path}: lock {name!r} has no X-macro row in "
+                    f"{header_path}")
+            elif hdr_by_name[name] != (rank, io_ok):
+                self.errors.append(
+                    f"rank table mismatch for {name!r}: tsv says "
+                    f"{(rank, io_ok)}, header says {hdr_by_name[name]}")
+        for name in hdr_by_name:
+            if name not in tsv:
+                self.errors.append(
+                    f"{header_path}: lock {name!r} missing from {tsv_path}")
+
+    def check_mutex_members(self):
+        """Every Mutex member in src/ must be ranked, and its rank's name
+        must equal the qualified declaration (tsv is the single source)."""
+        for cls, member, enum, file, line in self.mutex_members:
+            qual = f"{cls}::{member}" if cls else member
+            if enum is None:
+                self.errors.append(
+                    f"{file}:{line}: unranked engine mutex member {qual!r}; "
+                    f"add a LockRank (see tools/lock_ranks.tsv)")
+                continue
+            name = self.enum_to_name.get(enum)
+            if name is None:
+                self.errors.append(
+                    f"{file}:{line}: {qual!r} uses unknown LockRank::{enum}")
+            elif name != qual:
+                self.errors.append(
+                    f"{file}:{line}: {qual!r} declared with LockRank::{enum} "
+                    f"whose registered name is {name!r}")
+
+    # -- scanning ---------------------------------------------------------
+    def scan_file(self, path):
+        rel = os.path.relpath(path, self.root)
+        text = open(path).read()
+        code, annotated, comment_only = preprocess(text)
+        scanner = _FileScanner(self, rel, code, annotated, comment_only)
+        scanner.run()
+
+    def qualify_lock(self, expr, func, cls):
+        """Map a lock expression (`mu_`, `shard->mu`, `state_->mu`) to its
+        registered name, or None if it is not a ranked lock."""
+        expr = expr.replace(" ", "")
+        parts = re.split(r"\.|->", expr)
+        if len(parts) == 1:
+            owner = cls
+        else:
+            owner = self.resolve_chain(parts[:-1], func, cls)
+        member = parts[-1]
+        if owner:
+            qual = f"{owner}::{member}"
+            if qual in self.rank_names:
+                return qual
+        # Fallback: unique suffix match against registered names. Tries the
+        # partially-qualified form first (`Shard::mu` -> LruCache::Shard::mu)
+        # and the bare member last (`readers_mu_` is unique; `mu_` is not).
+        for needle in ([f"{owner}::{member}"] if owner else []) + [member]:
+            hits = [n for n in self.rank_names
+                    if n == needle or n.endswith("::" + needle)]
+            if len(hits) == 1:
+                return hits[0]
+        return None
+
+    def resolve_chain(self, parts, func, cls):
+        """Resolve a receiver chain like ['options_', 'env'] to a class key."""
+        if not parts:
+            return None
+        first = parts[0]
+        t = None
+        if func is not None and first in func.locals:
+            t = func.locals[first]
+        elif cls and first in self.class_members.get(cls, {}):
+            t = self.class_members[cls][first]
+        elif first == "this":
+            t = cls
+        else:
+            # Unique match across all known class members (helps for
+            # nested-class receivers like `state_` used from inner classes).
+            hits = {m[first] for m in self.class_members.values()
+                    if first in m}
+            if len(hits) == 1:
+                t = hits.pop()
+        if t is None:
+            return None
+        for comp in parts[1:]:
+            members = self.class_members.get(t)
+            if members is None or comp not in members:
+                return None
+            t = members[comp]
+        return t
+
+    # -- fixpoint + reporting ---------------------------------------------
+    def lookup(self, key):
+        """Function lookup with a unique-suffix fallback so `Shard::Unref`
+        finds `LruCache::Shard::Unref`."""
+        f = self.functions.get(key)
+        if f is not None:
+            return f
+        hits = [g for k, g in self.functions.items()
+                if k.endswith("::" + key)]
+        return hits[0] if len(hits) == 1 else None
+
+    def requires_noio(self, f):
+        return [q for q in f.requires
+                if q in self.rank_names and not self.rank_names[q][1]]
+
+    def site_counts_for_reach(self, f, site):
+        if site.annotated:
+            return False
+        if self.requires_noio(f) and not site.locks:
+            # Entry lock(s) released at this point: the caller's lock is the
+            # same lock, so the call does not block under any mutex.
+            return False
+        return True
+
+    def compute_io_reach(self):
+        changed = True
+        while changed:
+            changed = False
+            for f in self.functions.values():
+                if f.io_reach is not None:
+                    continue
+                for site in f.sites:
+                    if not self.site_counts_for_reach(f, site):
+                        continue
+                    if site.leaf:
+                        f.io_reach = site
+                        changed = True
+                        break
+                    for t in site.targets:
+                        g = self.lookup(t)
+                        if g is not None and g.io_reach is not None:
+                            f.io_reach = site
+                            changed = True
+                            break
+                    if f.io_reach is not None:
+                        break
+
+    def witness_chain(self, site, limit=12):
+        chain = [site]
+        while chain[-1].leaf is None and len(chain) < limit:
+            nxt = None
+            for t in chain[-1].targets:
+                g = self.lookup(t)
+                if g is not None and g.io_reach is not None:
+                    nxt = g.io_reach
+                    break
+            if nxt is None:
+                break
+            chain.append(nxt)
+        return chain
+
+    def find_violations(self):
+        violations = []
+        for f in self.functions.values():
+            for site in f.sites:
+                if not site.locks or site.annotated:
+                    continue
+                reaches = site.leaf is not None or any(
+                    (g := self.lookup(t)) is not None
+                    and g.io_reach is not None
+                    for t in site.targets)
+                if reaches:
+                    violations.append(site)
+        return violations
+
+
+CALL_RE = re.compile(
+    r"((?:::)?[A-Za-z_]\w*(?:\s*(?:\.|->|::)\s*~?[A-Za-z_]\w*)*)\s*\(")
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*&\s*([^()]+?)\s*\)")
+LOCK_CALL_RE = re.compile(r"([\w.>\-]+?)\s*(?:\.|->)\s*(Lock|Unlock)\s*\(")
+DECL_RE = re.compile(
+    r"^\s*([A-Za-z_][\w:]*(?:<[^;={}]*?>)?)\s*[*&]*\s+(\w+)\s*"
+    r"(?:=|\(|\{|;|\s*$)")
+CV_RE = re.compile(r"\b(const|constexpr|volatile|mutable|static|inline)\b")
+SIG_NAME_RE = re.compile(r"([\w:~]+)\s*$")
+
+
+def match_decl(s):
+    """DECL_RE with cv/storage qualifiers stripped (handles `Env* const x;`
+    as well as `const Env* x;`)."""
+    return DECL_RE.match(CV_RE.sub(" ", s).strip())
+
+
+class _Lock:
+    __slots__ = ("name", "scope_idx", "suspended")
+
+    def __init__(self, name, scope_idx):
+        self.name = name          # qualified registered lock name
+        self.scope_idx = scope_idx  # scope stack index owning the acquire
+        self.suspended = None     # scope idx where a deeper Unlock happened
+
+
+class _FileScanner:
+    """Character-level scanner: scope stack + per-function lock tracking."""
+
+    def __init__(self, an, rel, code, annotated_lines, comment_only):
+        self.an = an
+        self.rel = rel
+        self.code = code
+        self.annotated_lines = annotated_lines
+        self.comment_only = comment_only
+        self.scopes = [Scope("global")]
+        self.ns = []              # inner namespaces beyond lsmlab
+        self.func = None          # current Function (innermost)
+        self.locks = []           # list of _Lock, in acquisition order
+        self.pending = ""
+        self.pending_line = 1
+
+    # class key from current scope stack (inner namespaces + class names)
+    def class_key(self):
+        names = [s.name for s in self.scopes if s.kind == "class" and s.name]
+        if not names:
+            return None
+        return "::".join(self.ns + names)
+
+    def run(self):
+        line = 1
+        paren = 0
+        i = 0
+        code = self.code
+        n = len(code)
+        while i < n:
+            c = code[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                continue
+            if self.scopes[-1].kind == "lambda":
+                if c == "{":
+                    self.scopes.append(Scope("lambda"))
+                elif c == "}":
+                    self.scopes.pop()
+                i += 1
+                continue
+            if c == "(":
+                paren += 1
+            elif c == ")":
+                paren = max(0, paren - 1)
+            elif c == "{":
+                self.open_brace(line, paren)
+                i += 1
+                continue
+            elif c == "}":
+                self.close_brace()
+                i += 1
+                continue
+            elif c == ";" and paren == 0:
+                self.statement(self.pending, self.pending_line)
+                self.reset_pending(line)
+                i += 1
+                continue
+            if not self.pending.strip():
+                self.pending_line = line
+            self.pending += c
+            i += 1
+
+    def reset_pending(self, line):
+        self.pending = ""
+        self.pending_line = line
+
+    LAMBDA_TAIL_RE = re.compile(
+        r"\[[^\[\]]*\]\s*(\([^()]*\))?\s*(mutable\b\s*)?(noexcept\b\s*)?"
+        r"(->\s*[\w:<>,&*\s]+)?$")
+    BLOCK_HEAD_RE = re.compile(r"^\s*(if|for|while|switch|do|else|try|catch)\b")
+    CLASS_RE = re.compile(
+        r"\b(?:class|struct)\s+([A-Za-z_][\w:]*)\s*(?:final\s*)?(?::[^{]*)?$")
+    NS_RE = re.compile(r"\bnamespace\s+([A-Za-z_]\w*)?\s*$")
+
+    def strip_attrs(self, text):
+        out = text
+        for mac in ATTR_MACROS:
+            out = re.sub(r"\b" + mac + r"\s*\([^()]*\)", " ", out)
+        return out
+
+    def open_brace(self, line, paren):
+        pending = self.pending.strip()
+        if self.LAMBDA_TAIL_RE.search(pending):
+            self.scopes.append(Scope("lambda"))
+            return
+        if paren > 0:
+            self.scopes.append(Scope("inline"))
+            return
+        m = self.NS_RE.search(pending)
+        if m:
+            name = m.group(1) or ""
+            if name and name != "lsmlab":
+                self.ns.append(name)
+                self.scopes.append(Scope("namespace", name))
+            else:
+                self.scopes.append(Scope("namespace", ""))
+            self.reset_pending(line)
+            return
+        m = self.CLASS_RE.search(pending)
+        if m and "enum" not in pending:
+            self.scopes.append(Scope("class", m.group(1)))
+            self.reset_pending(line)
+            return
+        in_function = self.func is not None
+        stripped = self.strip_attrs(pending).strip()
+        if not in_function:
+            # function definition?  needs '(' ... ')' tail (after attrs).
+            if ("(" in stripped and
+                    re.search(r"\)\s*(const\s*)?(noexcept\s*)?(override\s*)?"
+                              r"(final\s*)?(:[^;{]*)?$", stripped) and
+                    "enum" not in stripped and "=" not in
+                    re.sub(r":[^;{]*$", "", stripped)):
+                self.begin_function(pending, line)
+                self.reset_pending(line)
+                return
+            self.scopes.append(Scope("inline"))
+            return
+        # Inside a function: block vs brace-init.
+        if self.BLOCK_HEAD_RE.match(pending) or not pending:
+            self.statement(self.pending, self.pending_line)  # block header
+            self.scopes.append(Scope("block"))
+            self.reset_pending(line)
+            return
+        if stripped.endswith(")"):
+            self.statement(self.pending, self.pending_line)
+            self.scopes.append(Scope("block"))
+            self.reset_pending(line)
+            return
+        self.scopes.append(Scope("inline"))
+
+    def begin_function(self, pending, line):
+        head = re.sub(r":\s*[^;{]*$", "", pending) \
+            if re.search(r"\)\s*:\s*\w", pending) else pending
+        lp = head.find("(")
+        name_m = SIG_NAME_RE.search(head[:lp]) if lp > 0 else None
+        cls = self.class_key()
+        if name_m is None:
+            key = f"<anon@{self.rel}:{line}>"
+            name = key
+        else:
+            name = name_m.group(1)
+            if "::" in name and cls is None:
+                # Out-of-class definition: Class::Method
+                cls = "::".join((self.ns + name.split("::")[:-1]))
+                key = "::".join(self.ns + name.split("::"))
+                name = name.split("::")[-1]
+            elif cls is not None:
+                key = f"{cls}::{name}"
+            else:
+                key = "::".join(self.ns + [name])
+        req_exprs = re.findall(r"\bREQUIRES\s*\(([^()]*)\)", pending)
+        req_exprs = [e.strip() for grp in req_exprs for e in grp.split(",")]
+        if not req_exprs and cls is not None:
+            req_exprs = self.an.decl_requires.get((cls, name), [])
+        f = Function(key, self.rel, line, cls, [])
+        # Parameters -> local types.
+        if lp > 0:
+            params = head[lp + 1:head.rfind(")")]
+            for p in params.split(","):
+                dm = match_decl(p.strip() + ";")
+                if dm:
+                    f.locals[dm.group(2)] = strip_type(dm.group(1))
+        for e in req_exprs:
+            q = self.an.qualify_lock(e, f, cls)
+            if q is not None:
+                f.requires.append(q)
+        self.an.functions[key] = f
+        self.func = f
+        self.scopes.append(Scope("function", name))
+        self.locks = [
+            _Lock(q, len(self.scopes) - 1) for q in f.requires]
+
+    def close_brace(self):
+        if len(self.scopes) <= 1:
+            return
+        scope = self.scopes.pop()
+        idx = len(self.scopes)  # index the popped scope had
+        if scope.kind in ("namespace",) and scope.name:
+            if self.ns and self.ns[-1] == scope.name:
+                self.ns.pop()
+        if self.func is not None:
+            # Release MutexLocks acquired in this scope; restore suspended
+            # manual locks whose deeper Unlock scope just closed (the unlock
+            # sat on an early-exit path or was re-Locked before the close).
+            self.locks = [lk for lk in self.locks
+                          if not (lk.scope_idx == idx and lk.suspended is None
+                                  and lk.name in scope.acquired)]
+            for lk in self.locks:
+                if lk.suspended is not None and lk.suspended >= idx:
+                    lk.suspended = None
+        if scope.kind == "function":
+            self.func = None
+            self.locks = []
+        self.reset_pending(self.pending_line)
+
+    # -- statement analysis ------------------------------------------------
+    def held_locks(self):
+        held = set()
+        for lk in self.locks:
+            if lk.suspended is not None:
+                continue
+            info = self.an.rank_names.get(lk.name)
+            if info is not None and not info[1]:  # no-io only
+                held.add(lk.name)
+        return frozenset(held)
+
+    def statement(self, stmt, line):
+        if self.func is None:
+            self.class_member_decl(stmt, line)
+            return
+        f = self.func
+        cls = f.cls
+        # Local declarations feed receiver-type resolution.
+        dm = match_decl(stmt.strip())
+        if dm and dm.group(1) not in ("return", "delete", "new"):
+            f.locals.setdefault(dm.group(2), strip_type(dm.group(1)))
+        # Lock events first: a MutexLock on this statement guards later text.
+        ml = MUTEXLOCK_RE.search(stmt)
+        if ml:
+            q = self.an.qualify_lock(ml.group(1), f, cls)
+            if q is not None:
+                idx = len(self.scopes) - 1
+                self.locks.append(_Lock(q, idx))
+                self.scopes[-1].acquired.append(q)
+        for m in LOCK_CALL_RE.finditer(stmt):
+            expr, op = m.group(1), m.group(2)
+            q = self.an.qualify_lock(expr, f, cls)
+            if q is None:
+                continue
+            if op == "Lock":
+                existing = [lk for lk in self.locks if lk.name == q]
+                resumed = False
+                for lk in existing:
+                    if lk.suspended is not None:
+                        lk.suspended = None
+                        resumed = True
+                        break
+                if not resumed:
+                    self.locks.append(_Lock(q, len(self.scopes) - 1))
+            else:  # Unlock
+                for lk in reversed(self.locks):
+                    if lk.name == q and lk.suspended is None:
+                        here = len(self.scopes) - 1
+                        if here > lk.scope_idx:
+                            lk.suspended = here  # maybe early-exit path
+                        else:
+                            self.locks.remove(lk)
+                        break
+        self.extract_calls(stmt, line)
+
+    def class_member_decl(self, stmt, line):
+        cls = self.class_key()
+        if cls is None:
+            return
+        s = stmt.strip()
+        # REQUIRES on method declarations.
+        if "(" in s and "REQUIRES" in s:
+            lp = s.find("(")
+            nm = SIG_NAME_RE.search(s[:lp])
+            reqs = re.findall(r"\bREQUIRES\s*\(([^()]*)\)", s)
+            reqs = [e.strip() for grp in reqs for e in grp.split(",")]
+            if nm and reqs:
+                self.an.decl_requires[(cls, nm.group(1).split("::")[-1])] = \
+                    reqs
+        # Mutex members (ranked or not).
+        mm = re.match(
+            r"^(?:mutable\s+)?Mutex\s+(\w+)\s*"
+            r"(?:ACQUIRED_AFTER\([^()]*\)\s*)?"
+            r"(?:\{\s*LockRank::(\w+)\s*\})?$", self.strip_guarded(s))
+        if mm:
+            self.an.mutex_members.append(
+                (cls, mm.group(1), mm.group(2), self.rel, line))
+        # Plain member declarations feed the type maps.
+        dm = match_decl(self.strip_attrs(s))
+        if dm and "(" not in s.split(dm.group(2))[0]:
+            self.an.class_members.setdefault(cls, {})[dm.group(2)] = \
+                strip_type(dm.group(1))
+
+    @staticmethod
+    def strip_guarded(s):
+        s = re.sub(r"\bGUARDED_BY\s*\([^()]*\)", " ", s)
+        s = re.sub(r"=\s*[^;{]*$", "", s)
+        return " ".join(s.split())
+
+    def is_annotated(self, line):
+        if line in self.annotated_lines:
+            return True
+        ln = line - 1
+        while ln > 0 and ln in self.comment_only:
+            if ln in self.annotated_lines:
+                return True
+            ln -= 1
+        return False
+
+    def extract_calls(self, stmt, line):
+        f = self.func
+        cls = f.cls
+        stmt = re.sub(r"\.get\(\)\s*->", "->", stmt)
+        stmt = re.sub(r"\.get\(\)\s*\.", ".", stmt)
+        held = self.held_locks()
+        annotated = self.is_annotated(line)
+        for m in CALL_RE.finditer(stmt):
+            expr = re.sub(r"\s+", "", m.group(1))
+            parts = re.split(r"\.|->", expr)
+            method = parts[-1].split("::")[-1]
+            if method in KEYWORDS or method.startswith("~"):
+                continue
+            if method in ("Lock", "Unlock", "TryLock", "Wait", "TimedWait",
+                          "MutexLock", "ScopedBlockingIoAllowed"):
+                continue
+            leaf = None
+            targets = []
+            if method in ("sleep_for", "sleep_until"):
+                leaf = "sleep"
+            elif method in RAW_BLOCKING and expr in (
+                    method, "::" + method, "std::" + method):
+                leaf = "raw"
+            elif len(parts) > 1 and "::" not in parts[-1]:
+                recv = self.an.resolve_chain(parts[:-1], f, cls)
+                if recv in FILE_TYPES and method in FILE_BLOCKING:
+                    leaf = "file"
+                elif recv == "Env" and method in ENV_BLOCKING:
+                    leaf = "env"
+                elif recv is not None:
+                    targets = [f"{recv}::{method}"]
+            elif "::" in expr:
+                targets = [expr[2:] if expr.startswith("::") else expr]
+            elif cls is not None:
+                targets = [f"{cls}::{method}", method]
+            else:
+                targets = [method]
+            site = Site(self.rel, line, f, expr, method, held, annotated,
+                        leaf, targets)
+            if annotated:
+                self.an.annotated_sites.append(site)
+            if leaf is not None or targets:
+                f.sites.append(site)
+            elif held and self.an.verbose:
+                self.an.unresolved.append((self.rel, line, expr))
+
+
+# ---------------------------------------------------------------- driver --
+def collect_files(root):
+    files = set()
+    cc = os.path.join(root, "build", "compile_commands.json")
+    if os.path.exists(cc):
+        try:
+            for entry in json.load(open(cc)):
+                f = entry.get("file", "")
+                if f.endswith((".cc", ".h")) and os.path.exists(f):
+                    if os.path.realpath(f).startswith(
+                            os.path.realpath(os.path.join(root, "src"))):
+                        files.add(os.path.realpath(f))
+        except (ValueError, OSError):
+            pass
+    src = os.path.join(root, "src")
+    for dirpath, _, names in os.walk(src):
+        for nm in names:
+            if nm.endswith((".h", ".cc")):
+                files.add(os.path.realpath(os.path.join(dirpath, nm)))
+    # Headers first so declarations (REQUIRES, members) precede definitions.
+    return sorted(files, key=lambda p: (not p.endswith(".h"), p))
+
+
+def load_audit_list(path, errors):
+    entries = []
+    if not os.path.exists(path):
+        errors.append(f"missing audit list: {path}")
+        return entries
+    with open(path) as f:
+        for ln, raw in enumerate(f, 1):
+            s = raw.rstrip("\n")
+            if not s.strip() or s.lstrip().startswith("#"):
+                continue
+            parts = s.split("\t")
+            if len(parts) != 4:
+                errors.append(f"{path}:{ln}: expected 4 tab-separated "
+                              f"fields (file, function, callee, reason)")
+                continue
+            entries.append((ln, parts[0], parts[1], parts[2], parts[3]))
+    return entries
+
+
+def run_analysis(root, verbose=False):
+    an = Analyzer(root, verbose=verbose)
+    an.check_rank_tables(os.path.join(root, "tools", "lock_ranks.tsv"),
+                         os.path.join(root, "src", "util", "lock_rank.h"))
+    files = collect_files(root)
+    # Two passes: the first builds type maps / REQUIRES declarations /
+    # mutex-member facts, the second resolves receivers and lock names with
+    # the complete maps. Cheap (the tree is small) and order-independent.
+    for phase in (1, 2):
+        if phase == 2:
+            an.functions = {}
+            an.annotated_sites = []
+            an.mutex_members = []
+            an.unresolved = []
+        for path in files:
+            an.scan_file(path)
+    an.check_mutex_members()
+    an.compute_io_reach()
+    return an
+
+
+def relevant_annotated(an):
+    """Annotated call sites that actually name a blocking operation (the
+    annotation line may contain incidental helper calls too)."""
+    out = []
+    for site in an.annotated_sites:
+        reaches = site.leaf is not None or any(
+            (g := an.lookup(t)) is not None and g.io_reach is not None
+            for t in site.targets)
+        if reaches:
+            out.append(site)
+    return out
+
+
+def check_audit_list(an, root):
+    path = os.path.join(root, "tools", "lock_io_audit.list")
+    entries = load_audit_list(path, an.errors)
+    sites = relevant_annotated(an)
+    used = set()
+    warnings = []
+    seen = set()
+    for site in sites:
+        sig = (site.file, site.func.key, site.callee)
+        if not site.locks:
+            if sig not in seen:
+                warnings.append(
+                    f"{site.file}:{site.line}: {ANNOTATION} annotation on "
+                    f"{site.callee!r} but no no-io mutex is held there")
+            seen.add(sig)
+            continue
+        seen.add(sig)
+        hit = None
+        for e in entries:
+            if (e[1], e[2], e[3]) == sig:
+                hit = e
+                break
+        if hit is None:
+            an.errors.append(
+                f"{site.file}:{site.line}: audited site "
+                f"[{site.func.key}] {site.callee!r} is missing from "
+                f"tools/lock_io_audit.list")
+        else:
+            used.add(hit[0])
+    for e in entries:
+        if e[0] not in used:
+            an.errors.append(
+                f"{path}:{e[0]}: stale audit entry ({e[1]}, {e[2]}, "
+                f"{e[3]!r}) matches no annotated blocking site in src/")
+    return warnings
+
+
+def report(an, violations, warnings, verbose):
+    for w in warnings:
+        print(f"warning: {w}")
+    for e in an.errors:
+        print(f"error: {e}")
+    for site in sorted(violations, key=lambda s: (s.file, s.line)):
+        locks = ", ".join(sorted(site.locks))
+        print(f"VIOLATION {site.file}:{site.line} in [{site.func.key}] "
+              f"holding {{{locks}}}: {site.callee}(...)")
+        for step in an.witness_chain(site)[1:]:
+            print(f"    -> {step.file}:{step.line} [{step.func.key}] "
+                  f"{step.callee}(...)")
+        last = an.witness_chain(site)[-1]
+        if last.leaf:
+            print(f"    => blocking leaf [{last.leaf}] {last.callee}")
+    if verbose and an.unresolved:
+        print(f"note: {len(an.unresolved)} unresolved calls under locks "
+              f"(textual frontend limit):")
+        for file, line, expr in an.unresolved[:40]:
+            print(f"  unresolved {file}:{line}: {expr}")
+    if not violations and not an.errors:
+        print(f"check_lock_io: OK — {len(an.functions)} functions, "
+              f"{len(relevant_annotated(an))} audited blocking sites, "
+              f"0 unaudited lock->I/O paths")
+
+
+# -------------------------------------------------------------- self-test --
+SELF_TEST_RANK_H = """\
+#pragma once
+#define LSMLAB_LOCK_RANKS(X) \\
+  X(kWidgetMu, 10, "Widget::mu_", false) \\
+  X(kLoggerMu, 20, "Logger::mu_", true)
+"""
+
+SELF_TEST_TSV = """\
+10\tWidget::mu_\tno-io
+20\tLogger::mu_\tio-ok
+"""
+
+SELF_TEST_H = """\
+#pragma once
+namespace lsmlab {
+class Status;
+class Slice;
+class WritableFile {
+ public:
+  Status Append(const Slice& s);
+  Status Sync();
+};
+class Widget {
+ public:
+  void Direct();
+  void Indirect();
+  void Required() REQUIRES(mu_);
+  void Audited();
+  void Scoped();
+  void Span();
+ private:
+  void Helper();
+  Mutex mu_{LockRank::kWidgetMu};
+  Mutex logger_mu_{LockRank::kLoggerMu};
+  std::unique_ptr<WritableFile> file_;
+};
+}  // namespace lsmlab
+"""
+
+SELF_TEST_CC = """\
+#include "widget.h"
+namespace lsmlab {
+
+void Widget::Helper() {
+  file_->Append(Slice("x")).IgnoreError();
+}
+
+void Widget::Direct() {
+  MutexLock l(&mu_);
+  file_->Sync().IgnoreError();  // seeded violation: direct leaf under mu_
+}
+
+void Widget::Indirect() {
+  MutexLock l(&mu_);
+  Helper();  // seeded violation: leaf one call away
+}
+
+void Widget::Required() {
+  file_->Sync().IgnoreError();  // seeded violation: REQUIRES(mu_) entry lock
+}
+
+void Widget::Audited() {
+  MutexLock l(&mu_);
+  // io-under-lock-ok: exercised by the self-test; listed in the audit file.
+  file_->Sync().IgnoreError();
+}
+
+void Widget::Scoped() {
+  {
+    MutexLock l(&mu_);
+  }
+  file_->Sync().IgnoreError();  // clean: lock scope already closed
+}
+
+void Widget::Span() {
+  mu_.Lock();
+  mu_.Unlock();
+  file_->Sync().IgnoreError();  // clean: explicit span already released
+  MutexLock g(&logger_mu_);
+  file_->Append(Slice("y")).IgnoreError();  // clean: io-ok rank
+}
+
+}  // namespace lsmlab
+"""
+
+SELF_TEST_AUDIT = (
+    "# file\tfunction\tcallee\treason\n"
+    "src/widget.cc\tWidget::Audited\tfile_->Sync\tself-test exception\n"
+    "src/widget.cc\tWidget::Bogus\tfile_->Sync\tstale entry, must error\n"
+)
+
+
+def self_test(verbose):
+    with tempfile.TemporaryDirectory(prefix="check_lock_io_") as tmp:
+        os.makedirs(os.path.join(tmp, "src", "util"))
+        os.makedirs(os.path.join(tmp, "tools"))
+        paths = {
+            "src/util/lock_rank.h": SELF_TEST_RANK_H,
+            "tools/lock_ranks.tsv": SELF_TEST_TSV,
+            "src/widget.h": SELF_TEST_H,
+            "src/widget.cc": SELF_TEST_CC,
+            "tools/lock_io_audit.list": SELF_TEST_AUDIT,
+        }
+        for rel, content in paths.items():
+            with open(os.path.join(tmp, rel), "w") as f:
+                f.write(content)
+        an = run_analysis(tmp, verbose=verbose)
+        warnings = check_audit_list(an, tmp)
+        violations = an.find_violations()
+        flagged = {v.func.key for v in violations}
+        failures = []
+        for expect in ("Widget::Direct", "Widget::Indirect",
+                       "Widget::Required"):
+            if expect not in flagged:
+                failures.append(f"seeded violation in {expect} NOT flagged")
+        for clean in ("Widget::Scoped", "Widget::Span", "Widget::Audited"):
+            if clean in flagged:
+                failures.append(f"clean function {clean} falsely flagged")
+        if not any("stale audit entry" in e for e in an.errors):
+            failures.append("stale audit entry (Widget::Bogus) not reported")
+        if any("Widget::Audited" in e for e in an.errors):
+            failures.append("listed+annotated site wrongly reported")
+        if verbose:
+            report(an, violations, warnings, verbose)
+        if failures:
+            print("check_lock_io --self-test: FAIL")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("check_lock_io --self-test: PASS "
+              f"({len(flagged)} seeded violations flagged, "
+              "clean/audited/scoped sites quiet, stale entry rejected)")
+        return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="no-blocking-I/O-under-engine-lock analyzer")
+    ap.add_argument("--root",
+                    default=os.path.dirname(os.path.dirname(
+                        os.path.abspath(__file__))),
+                    help="repo root (default: parent of tools/)")
+    ap.add_argument("--frontend", choices=("auto", "text", "clang"),
+                    default="auto",
+                    help="parser frontend; 'clang' needs python libclang "
+                         "and degrades to 'text' when unavailable")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded seeded-violation self-test")
+    ap.add_argument("--dump-annotated", action="store_true",
+                    help="list every audited blocking site and exit")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+
+    if args.frontend == "clang":
+        try:
+            import clang.cindex  # noqa: F401
+            print("note: libclang frontend not yet wired; the textual "
+                  "frontend is authoritative for this tree")
+        except ImportError:
+            print("note: python libclang unavailable; using the textual "
+                  "frontend")
+
+    if args.self_test:
+        sys.exit(self_test(args.verbose))
+
+    an = run_analysis(args.root, verbose=args.verbose)
+    warnings = check_audit_list(an, args.root)
+    violations = an.find_violations()
+    if args.dump_annotated:
+        for site in relevant_annotated(an):
+            locks = ",".join(sorted(site.locks)) or "-"
+            print(f"{site.file}:{site.line}\t{site.func.key}\t"
+                  f"{site.callee}\t{locks}")
+        sys.exit(0)
+    report(an, violations, warnings, args.verbose)
+    sys.exit(1 if violations or an.errors else 0)
+
+
+if __name__ == "__main__":
+    main()

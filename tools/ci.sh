@@ -7,8 +7,12 @@
 #
 # Legs:
 #   lint           tools/lint.sh banned-API checks (no compiler needed)
+#   lint-self-test tools/lint.sh --self-test seeded-violation check (every
+#                  lint check must fire on a deliberately bad tree)
 #   check-parsers  tools/check_parsers.sh corruption-contract checks over
 #                  the audited untrusted-byte parsers (no compiler needed)
+#   check-lock-io  tools/check_lock_io.py interprocedural lock/blocking-I/O
+#                  analyzer + its --self-test (needs python3; skips without)
 #   gcc            g++ RelWithDebInfo, -Werror, full ctest
 #   clang-tsa      clang++ with -Wthread-safety -Werror + the seeded
 #                  compile-fail check (tools/check_thread_safety.sh)
@@ -44,8 +48,22 @@ leg_lint() {
   ./tools/lint.sh
 }
 
+leg_lint_self_test() {
+  ./tools/lint.sh --self-test
+}
+
 leg_check_parsers() {
   ./tools/check_parsers.sh
+}
+
+leg_check_lock_io() {
+  local py="${PYTHON:-python3}"
+  if ! have "$py"; then
+    echo "ci[check-lock-io]: SKIP ($py not found)"
+    return 0
+  fi
+  "$py" tools/check_lock_io.py --self-test
+  "$py" tools/check_lock_io.py
 }
 
 leg_gcc() {
@@ -131,7 +149,9 @@ run_leg() {
   echo "=== ci leg: $1 ==="
   case "$1" in
     lint)          leg_lint ;;
+    lint-self-test) leg_lint_self_test ;;
     check-parsers) leg_check_parsers ;;
+    check-lock-io) leg_check_lock_io ;;
     gcc)           leg_gcc ;;
     clang-tsa)     leg_clang_tsa ;;
     clang-tidy)    leg_clang_tidy ;;
@@ -140,7 +160,7 @@ run_leg() {
     asan-ubsan)    leg_asan_ubsan ;;
     fuzz-smoke)    leg_fuzz_smoke ;;
     *)
-      echo "unknown leg '$1' (legs: lint check-parsers gcc clang-tsa clang-tidy tsan tsan-obs asan-ubsan fuzz-smoke)" >&2
+      echo "unknown leg '$1' (legs: lint lint-self-test check-parsers check-lock-io gcc clang-tsa clang-tidy tsan tsan-obs asan-ubsan fuzz-smoke)" >&2
       return 2
       ;;
   esac
@@ -149,7 +169,7 @@ run_leg() {
 if [ "$#" -ge 1 ]; then
   run_leg "$1"
 else
-  for leg in lint check-parsers gcc clang-tsa clang-tidy tsan asan-ubsan fuzz-smoke; do
+  for leg in lint lint-self-test check-parsers check-lock-io gcc clang-tsa clang-tidy tsan asan-ubsan fuzz-smoke; do
     run_leg "$leg"
   done
   echo "=== ci: all legs done ==="
