@@ -10,6 +10,7 @@
 #include "core/db_iter.h"
 #include "core/filename.h"
 #include "core/merging_iterator.h"
+#include "core/sharded_db.h"
 #include "format/sstable_builder.h"
 #include "format/two_level_iterator.h"
 #include "obs/perf_context.h"
@@ -20,7 +21,8 @@
 
 namespace lsmlab {
 
-DBImpl::DBImpl(const Options& options, std::string dbname)
+DBImpl::DBImpl(const Options& options, std::string dbname,
+               ThreadPool* shared_bg_pool)
     : options_(options),
       dbname_(std::move(dbname)),
       icmp_(options.comparator) {
@@ -41,10 +43,18 @@ DBImpl::DBImpl(const Options& options, std::string dbname)
                                        options_.max_vlog_file_bytes);
   }
   if (options_.background_compaction) {
-    // One worker: flushes and compactions are serialized on it, which is
-    // the mutual-exclusion backbone of the pipeline (no two merges can
-    // pick overlapping inputs).
-    bg_pool_ = std::make_unique<ThreadPool>(1);
+    if (shared_bg_pool != nullptr) {
+      // Sharded mode: background work runs on the caller's pool, shared
+      // with the other shards so their flushes/compactions overlap.
+      bg_pool_ = shared_bg_pool;
+    } else {
+      // One private worker: flushes and compactions are serialized on it,
+      // which is the mutual-exclusion backbone of the pipeline (no two
+      // merges can pick overlapping inputs). The same exclusion holds in
+      // sharded mode because bg_scheduled_ admits one task per instance.
+      owned_bg_pool_ = std::make_unique<ThreadPool>(1);
+      bg_pool_ = owned_bg_pool_.get();
+    }
   }
   // Version cleanup hooks fire wherever the last reference to an obsolete
   // file drops — often under mu_ — so the observer only records the event;
@@ -68,7 +78,19 @@ DBImpl::~DBImpl() {
       bg_cv_.Wait();
     }
   }
-  bg_pool_.reset();  // joins the worker thread
+  if (owned_bg_pool_ != nullptr) {
+    owned_bg_pool_.reset();  // joins the worker thread
+    bg_pool_ = nullptr;
+  } else if (bg_pool_ != nullptr) {
+    // Shared pool (sharded mode): we must not join other shards' workers,
+    // but our BackgroundCall may still be in its tail — it clears
+    // bg_scheduled_ under mu_, then touches stats_/listeners after
+    // releasing it. WaitIdle returns only once every running task has
+    // fully exited its closure, so no use-after-free. By the time a
+    // ShardedDB destroys its shards no client issues writes, so the pool
+    // quiesces and this wait terminates.
+    bg_pool_->WaitIdle();
+  }
   // stats_ and deletions_mu_ are declared after versions_, so they die
   // first; detach the observer before member destruction can race it.
   versions_->SetFileDeletionObserver(nullptr);
@@ -182,8 +204,27 @@ Status DB::Open(const Options& options, const std::string& name,
   if (options.env == nullptr) {
     return Status::InvalidArgument("Options::env must be set");
   }
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("Options::num_shards must be >= 1");
+  }
+  // Refuses to open a database whose on-disk shard count disagrees with
+  // options.num_shards (including opening a sharded directory as a plain
+  // single-instance DB — that would silently read an empty root).
+  Status s = CheckShardMarker(options, name);
+  if (!s.ok()) {
+    return s;
+  }
+  if (options.num_shards > 1) {
+    auto sharded = std::make_unique<ShardedDB>(options, name);
+    s = sharded->Init();
+    if (!s.ok()) {
+      return s;
+    }
+    *dbptr = std::move(sharded);
+    return Status::OK();
+  }
   auto impl = std::make_unique<DBImpl>(options, name);
-  Status s = impl->Init();
+  s = impl->Init();
   if (!s.ok()) {
     return s;
   }
@@ -195,13 +236,32 @@ Status DestroyDB(const Options& options, const std::string& name) {
   if (options.env == nullptr) {
     return Status::InvalidArgument("Options::env must be set");
   }
+  // A sharded database keeps each shard in its own subdirectory; read the
+  // marker (before the sweep below deletes it) and clear each shard.
+  std::string marker;
+  if (ReadFileToString(options.env, name + "/" + kShardMarkerFile, &marker)
+          .ok()) {
+    int recorded = 0;
+    for (char c : marker) {
+      if (c < '0' || c > '9') {
+        break;
+      }
+      recorded = recorded * 10 + (c - '0');
+    }
+    for (int k = 0; k < recorded; k++) {
+      Options shard_options = options;
+      shard_options.num_shards = 1;  // shard dirs are flat; no recursion
+      DestroyDB(shard_options, ShardPath(name, k)).IgnoreError();
+    }
+  }
   std::vector<std::string> children;
   Status s = options.env->GetChildren(name, &children);
   if (!s.ok()) {
     return Status::OK();  // nothing to destroy
   }
   for (const std::string& child : children) {
-    // Best-effort teardown; deleting a vanished file is not an error here.
+    // Best-effort teardown; deleting a vanished file is not an error here
+    // (nor is a shard subdirectory, which RemoveFile cannot unlink).
     options.env->RemoveFile(name + "/" + child).IgnoreError();
   }
   return Status::OK();

@@ -34,7 +34,13 @@ inline constexpr char kVlogPointerTag = 0x01;
 
 class DBImpl : public DB {
  public:
-  DBImpl(const Options& options, std::string dbname);
+  /// `shared_bg_pool` (optional) is a caller-owned ThreadPool to run this
+  /// instance's background flushes/compactions on, instead of a private
+  /// single worker. ShardedDB passes one pool to all its shards so their
+  /// background jobs overlap; the pool must outlive this DBImpl. Ignored
+  /// unless options.background_compaction is set.
+  DBImpl(const Options& options, std::string dbname,
+         ThreadPool* shared_bg_pool = nullptr);
   ~DBImpl() override;
 
   /// Recovers manifest + WAL; called once by DB::Open.
@@ -281,8 +287,15 @@ class DBImpl : public DB {
   /// Non-null iff separation enabled; internally synchronized.
   std::unique_ptr<ValueLog> vlog_;
 
-  // Background pipeline (non-null pool iff options_.background_compaction).
-  std::unique_ptr<ThreadPool> bg_pool_;
+  // Background pipeline. bg_pool_ is non-null iff
+  // options_.background_compaction: it points at owned_bg_pool_ (the
+  // standalone case — one private worker, which serializes this
+  // instance's flushes and compactions) or at a caller-owned pool shared
+  // across shards (ShardedDB). Either way bg_scheduled_ admits at most
+  // one queued-or-running task per DBImpl, so per-instance background
+  // work stays serialized even on a wide shared pool.
+  std::unique_ptr<ThreadPool> owned_bg_pool_;
+  ThreadPool* bg_pool_ = nullptr;
   /// Signalled on background progress (flush/compaction install, task
   /// completion); stalled writers and waiters sleep on it.
   CondVar bg_cv_{&mu_};

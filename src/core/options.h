@@ -119,6 +119,19 @@ struct Options {
   /// level0_compaction_trigger so the stall can always be relieved.
   int l0_stop_trigger = 12;
 
+  // --- Sharding -----------------------------------------------------------
+  /// Hash-partition the keyspace into this many independent shard
+  /// instances behind one DB facade (see DESIGN.md "Sharding"). Each shard
+  /// is a full engine — its own memtable, WAL, manifest, value log, and
+  /// write controller — living under `<name>/shard-<k>`, so flushes and
+  /// compactions from different shards proceed in parallel on a shared
+  /// background pool. The shard count is fixed at creation (recorded in a
+  /// SHARDS marker file); reopening with a different count fails rather
+  /// than silently misrouting keys. 1 = the plain single-instance engine.
+  /// Note: every other option applies per shard (each shard gets its own
+  /// write_buffer_size, L0 triggers, etc.).
+  int num_shards = 1;
+
   // --- Memtable (I-2, II-4) ----------------------------------------------
   MemTable::Rep memtable_rep = MemTable::Rep::kSkipList;
   bool memtable_hash_index = false;

@@ -1,0 +1,637 @@
+#include "core/sharded_db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "core/merging_iterator.h"
+#include "storage/env.h"
+#include "util/hash.h"
+
+namespace lsmlab {
+
+// ------------------------------------------------------------- Routing --
+
+uint32_t ShardOfKey(const Slice& key, uint32_t num_shards) {
+  assert(num_shards > 0);
+  return static_cast<uint32_t>(Hash64(key, kShardRouteSeed) % num_shards);
+}
+
+std::string ShardPath(const std::string& dbname, int shard) {
+  return dbname + "/shard-" + std::to_string(shard);
+}
+
+Status CheckShardMarker(const Options& options, const std::string& name) {
+  Env* env = options.env;
+  const std::string marker = name + "/" + kShardMarkerFile;
+  if (env->FileExists(marker)) {
+    std::string contents;
+    Status s = ReadFileToString(env, marker, &contents);
+    if (!s.ok()) {
+      return s;
+    }
+    int recorded = 0;
+    for (char c : contents) {
+      if (c < '0' || c > '9') {
+        break;  // tolerate a trailing newline
+      }
+      recorded = recorded * 10 + (c - '0');
+    }
+    if (recorded < 1) {
+      return Status::Corruption(marker, "unparseable shard count");
+    }
+    if (recorded != options.num_shards) {
+      return Status::InvalidArgument(
+          name, "created with " + std::to_string(recorded) +
+                    " shards; reopen with Options::num_shards = " +
+                    std::to_string(recorded));
+    }
+    return Status::OK();
+  }
+  if (options.num_shards <= 1) {
+    return Status::OK();  // plain single-instance layout; no marker
+  }
+  // First sharded open: record the count before any shard writes data, so
+  // a crash mid-create cannot leave shard directories with no marker.
+  Status s = env->CreateDir(name);
+  if (!s.ok()) {
+    return s;
+  }
+  return WriteStringToFile(env, std::to_string(options.num_shards) + "\n",
+                           marker);
+}
+
+// ------------------------------------------------------------ Snapshots --
+
+/// One Snapshot handle per shard, all taken at the same GetSnapshot call.
+/// There is no global sequence across shards; consistency is the vector
+/// itself (each reader of the snapshot sees each shard at its member
+/// snapshot). sequence() reports the max member sequence, for display.
+class ShardedDB::ShardedSnapshot : public Snapshot {
+ public:
+  explicit ShardedSnapshot(std::vector<const Snapshot*> members)
+      : members_(std::move(members)) {}
+
+  SequenceNumber sequence() const override {
+    SequenceNumber max_seq = 0;
+    for (const Snapshot* s : members_) {
+      max_seq = std::max(max_seq, s->sequence());
+    }
+    return max_seq;
+  }
+
+  const Snapshot* member(int shard) const { return members_[shard]; }
+  const std::vector<const Snapshot*>& members() const { return members_; }
+
+ private:
+  std::vector<const Snapshot*> members_;
+};
+
+const Snapshot* ShardedDB::GetSnapshot() {
+  std::vector<const Snapshot*> members;
+  members.reserve(num_shards_);
+  for (const auto& shard : shards_) {
+    members.push_back(shard->GetSnapshot());
+  }
+  return new ShardedSnapshot(std::move(members));
+}
+
+void ShardedDB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) {
+    return;
+  }
+  const auto* sharded = static_cast<const ShardedSnapshot*>(snapshot);
+  for (int k = 0; k < num_shards_; k++) {
+    shards_[k]->ReleaseSnapshot(sharded->member(k));
+  }
+  delete sharded;
+}
+
+ReadOptions ShardedDB::ShardReadOptions(const ReadOptions& options,
+                                        int shard) const {
+  ReadOptions ro = options;
+  if (options.snapshot != nullptr) {
+    ro.snapshot =
+        static_cast<const ShardedSnapshot*>(options.snapshot)->member(shard);
+  }
+  return ro;
+}
+
+// ------------------------------------------------------------ Lifecycle --
+
+ShardedDB::ShardedDB(const Options& options, std::string dbname)
+    : options_(options),
+      dbname_(std::move(dbname)),
+      num_shards_(options.num_shards) {
+  assert(num_shards_ > 1);
+  if (options_.background_compaction) {
+    bg_pool_ = std::make_unique<ThreadPool>(num_shards_);
+  }
+  dispatch_pool_ = std::make_unique<ThreadPool>(num_shards_);
+  shards_.reserve(num_shards_);
+  for (int k = 0; k < num_shards_; k++) {
+    shards_.push_back(std::make_unique<DBImpl>(
+        options_, ShardPath(dbname_, k), bg_pool_.get()));
+  }
+}
+
+ShardedDB::~ShardedDB() {
+  // Stop the shared pools before the shards. Shutdown drains: background
+  // work already queued (e.g. a flush of a frozen memtable) still runs,
+  // while any MaybeScheduleBackgroundWork racing with the drain takes the
+  // Schedule()==false path and resets its flag — the kDraining contract.
+  // Unflushed memtables the drain leaves behind are recovered from each
+  // shard's WAL on the next open.
+  if (bg_pool_ != nullptr) {
+    bg_pool_->Shutdown();
+  }
+  dispatch_pool_->Shutdown();
+  shards_.clear();
+}
+
+Status ShardedDB::Init() {
+  // The root must exist before each shard creates its subdirectory (the
+  // marker write normally creates it, but be safe on handmade layouts).
+  Status s = options_.env->CreateDir(dbname_);
+  if (!s.ok()) {
+    return s;
+  }
+  for (const auto& shard : shards_) {
+    s = shard->Init();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- Fan-out --
+
+void ShardedDB::FanOut(const std::vector<int>& targets,
+                       const std::function<void(int)>& fn) {
+  if (targets.empty()) {
+    return;
+  }
+  if (targets.size() == 1) {
+    fn(targets[0]);
+    return;
+  }
+  // Dispatch all but the first target; this thread works too instead of
+  // just blocking. `remaining` lives on this frame — safe because we do
+  // not return until it reaches zero.
+  int remaining = 0;
+  {
+    MutexLock lock(&mu_);
+    remaining = static_cast<int>(targets.size()) - 1;
+  }
+  std::vector<int> inline_targets;
+  inline_targets.push_back(targets[0]);
+  for (size_t i = 1; i < targets.size(); i++) {
+    const int target = targets[i];
+    const bool queued = dispatch_pool_->Schedule([this, target, &fn,
+                                                  &remaining] {
+      fn(target);
+      MutexLock lock(&mu_);
+      remaining--;
+      fanout_cv_.SignalAll();
+    });
+    if (!queued) {
+      // Pool draining (teardown); honor the rejection by running inline.
+      inline_targets.push_back(target);
+      MutexLock lock(&mu_);
+      remaining--;
+    }
+  }
+  for (int target : inline_targets) {
+    fn(target);
+  }
+  MutexLock lock(&mu_);
+  while (remaining > 0) {
+    fanout_cv_.Wait();
+  }
+}
+
+// ------------------------------------------------------------ Write path --
+
+Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
+                      const Slice& value) {
+  return shards_[ShardOf(key)]->Put(options, key, value);
+}
+
+Status ShardedDB::Delete(const WriteOptions& options, const Slice& key) {
+  return shards_[ShardOf(key)]->Delete(options, key);
+}
+
+namespace {
+
+/// Routes a batch's entries into one sub-batch per shard.
+class ShardSplitter : public WriteBatch::Handler {
+ public:
+  explicit ShardSplitter(int num_shards) : subs_(num_shards) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    subs_[ShardOfKey(key, static_cast<uint32_t>(subs_.size()))].Put(key,
+                                                                    value);
+  }
+  void Delete(const Slice& key) override {
+    subs_[ShardOfKey(key, static_cast<uint32_t>(subs_.size()))].Delete(key);
+  }
+
+  std::vector<WriteBatch>& subs() { return subs_; }
+
+ private:
+  std::vector<WriteBatch> subs_;
+};
+
+void MergeStatus(Status* dst, const Status& src) {
+  if (dst->ok() && !src.ok()) {
+    *dst = src;
+  }
+}
+
+}  // namespace
+
+Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (updates == nullptr || updates->Count() == 0) {
+    return shards_[0]->Write(options, updates);
+  }
+  ShardSplitter splitter(num_shards_);
+  Status s = updates->Iterate(&splitter);
+  if (!s.ok()) {
+    return s;
+  }
+  std::vector<int> targets;
+  for (int k = 0; k < num_shards_; k++) {
+    if (splitter.subs()[k].Count() > 0) {
+      targets.push_back(k);
+    }
+  }
+  if (targets.size() == 1) {
+    // Single-shard batch: full batch atomicity on that shard.
+    return shards_[targets[0]]->Write(options, &splitter.subs()[targets[0]]);
+  }
+  // Cross-shard batch: each sub-batch commits atomically on its shard
+  // (in parallel), but there is no cross-shard commit point — a reader
+  // may observe shard A's sub-batch before shard B's lands.
+  std::vector<Status> statuses(num_shards_);
+  FanOut(targets, [&](int k) {
+    statuses[k] = shards_[k]->Write(options, &splitter.subs()[k]);
+  });
+  for (int k : targets) {
+    MergeStatus(&s, statuses[k]);
+  }
+  return s;
+}
+
+// ------------------------------------------------------------- Read path --
+
+Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
+                      std::string* value) {
+  const int k = static_cast<int>(ShardOf(key));
+  return shards_[k]->Get(ShardReadOptions(options, k), key, value);
+}
+
+void ShardedDB::MultiGet(const ReadOptions& options,
+                         std::span<const Slice> keys,
+                         std::vector<std::string>* values,
+                         std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  if (keys.empty()) {
+    return;
+  }
+  // Partition the key list by shard, remembering original slots so the
+  // scattered answers land back in caller order.
+  std::vector<std::vector<size_t>> slots(num_shards_);
+  for (size_t i = 0; i < keys.size(); i++) {
+    slots[ShardOf(keys[i])].push_back(i);
+  }
+  std::vector<int> targets;
+  for (int k = 0; k < num_shards_; k++) {
+    if (!slots[k].empty()) {
+      targets.push_back(k);
+    }
+  }
+  FanOut(targets, [&](int k) {
+    std::vector<Slice> sub_keys;
+    sub_keys.reserve(slots[k].size());
+    for (size_t slot : slots[k]) {
+      sub_keys.push_back(keys[slot]);
+    }
+    std::vector<std::string> sub_values;
+    std::vector<Status> sub_statuses;
+    shards_[k]->MultiGet(ShardReadOptions(options, k), sub_keys, &sub_values,
+                         &sub_statuses);
+    for (size_t j = 0; j < slots[k].size(); j++) {
+      (*values)[slots[k][j]] = std::move(sub_values[j]);
+      (*statuses)[slots[k][j]] = sub_statuses[j];
+    }
+  });
+}
+
+namespace {
+
+/// Owns the per-shard snapshot vector backing a merged iterator created
+/// without an explicit snapshot, releasing it when the iterator dies.
+class SnapshotOwningIterator : public Iterator {
+ public:
+  SnapshotOwningIterator(Iterator* base, DB* db, const Snapshot* snapshot)
+      : base_(base), db_(db), snapshot_(snapshot) {}
+  ~SnapshotOwningIterator() override { db_->ReleaseSnapshot(snapshot_); }
+
+  bool Valid() const override { return base_->Valid(); }
+  void SeekToFirst() override { base_->SeekToFirst(); }
+  void SeekToLast() override { base_->SeekToLast(); }
+  void Seek(const Slice& target) override { base_->Seek(target); }
+  void Next() override { base_->Next(); }
+  void Prev() override { base_->Prev(); }
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  DB* db_;
+  const Snapshot* snapshot_;
+};
+
+}  // namespace
+
+Iterator* ShardedDB::NewIterator(const ReadOptions& options) {
+  // Consistent per-shard snapshot vector: every shard is read at one
+  // point in its own history, fixed here. User keys are disjoint across
+  // shards (a key hashes to exactly one), so the merge needs no
+  // cross-shard dedup, and per-shard iterators already resolve values.
+  const Snapshot* owned = nullptr;
+  ReadOptions ro = options;
+  if (ro.snapshot == nullptr) {
+    owned = GetSnapshot();
+    ro.snapshot = owned;
+  }
+  std::vector<Iterator*> children(num_shards_);
+  for (int k = 0; k < num_shards_; k++) {
+    children[k] = shards_[k]->NewIterator(ShardReadOptions(ro, k));
+  }
+  Iterator* merged = NewMergingIterator(options_.comparator, children.data(),
+                                        num_shards_);
+  if (owned == nullptr) {
+    return merged;
+  }
+  return new SnapshotOwningIterator(merged, this, owned);
+}
+
+Status ShardedDB::Scan(
+    const ReadOptions& options, const Slice& start, const Slice& end,
+    size_t limit,
+    std::vector<std::pair<std::string, std::string>>* results) {
+  results->clear();
+  // Every shard may hold keys in [start, end]; scan them all in parallel,
+  // each up to `limit` (the global cut cannot be known per shard), then
+  // merge the ordered partials and truncate.
+  std::vector<std::vector<std::pair<std::string, std::string>>> partials(
+      num_shards_);
+  std::vector<Status> statuses(num_shards_);
+  std::vector<int> targets;
+  for (int k = 0; k < num_shards_; k++) {
+    targets.push_back(k);
+  }
+  FanOut(targets, [&](int k) {
+    statuses[k] = shards_[k]->Scan(ShardReadOptions(options, k), start, end,
+                                   limit, &partials[k]);
+  });
+  Status s;
+  for (int k = 0; k < num_shards_; k++) {
+    MergeStatus(&s, statuses[k]);
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  const Comparator* cmp = options_.comparator;
+  using Cursor = std::pair<int, size_t>;  // (shard, next index)
+  auto greater = [&](const Cursor& a, const Cursor& b) {
+    return cmp->Compare(Slice(partials[a.first][a.second].first),
+                        Slice(partials[b.first][b.second].first)) > 0;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  for (int k = 0; k < num_shards_; k++) {
+    if (!partials[k].empty()) {
+      heap.emplace(k, 0);
+    }
+  }
+  while (!heap.empty() && results->size() < limit) {
+    auto [k, i] = heap.top();
+    heap.pop();
+    results->push_back(std::move(partials[k][i]));
+    if (i + 1 < partials[k].size()) {
+      heap.emplace(k, i + 1);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- Maintenance --
+
+Status ShardedDB::CompactAll() {
+  std::vector<Status> statuses(num_shards_);
+  std::vector<int> targets;
+  for (int k = 0; k < num_shards_; k++) {
+    targets.push_back(k);
+  }
+  FanOut(targets, [&](int k) { statuses[k] = shards_[k]->CompactAll(); });
+  Status s;
+  for (const Status& st : statuses) {
+    MergeStatus(&s, st);
+  }
+  return s;
+}
+
+Status ShardedDB::Flush() {
+  std::vector<Status> statuses(num_shards_);
+  std::vector<int> targets;
+  for (int k = 0; k < num_shards_; k++) {
+    targets.push_back(k);
+  }
+  FanOut(targets, [&](int k) { statuses[k] = shards_[k]->Flush(); });
+  Status s;
+  for (const Status& st : statuses) {
+    MergeStatus(&s, st);
+  }
+  return s;
+}
+
+Status ShardedDB::GarbageCollectValues() {
+  // Sequential: vlog GC is rare, heavy, and per-shard independent.
+  Status s;
+  for (const auto& shard : shards_) {
+    MergeStatus(&s, shard->GarbageCollectValues());
+  }
+  return s;
+}
+
+// -------------------------------------------------------- Observability --
+
+DBStats ShardedDB::GetStats() {
+  DBStats total;
+  for (const auto& shard : shards_) {
+    const DBStats stats = shard->GetStats();
+    total.num_levels = std::max(total.num_levels, stats.num_levels);
+    total.total_runs += stats.total_runs;
+    total.total_files += stats.total_files;
+    total.total_bytes += stats.total_bytes;
+    if (total.runs_per_level.size() < stats.runs_per_level.size()) {
+      total.runs_per_level.resize(stats.runs_per_level.size(), 0);
+      total.bytes_per_level.resize(stats.bytes_per_level.size(), 0);
+    }
+    for (size_t i = 0; i < stats.runs_per_level.size(); i++) {
+      total.runs_per_level[i] += stats.runs_per_level[i];
+      total.bytes_per_level[i] += stats.bytes_per_level[i];
+    }
+    total.bytes_flushed += stats.bytes_flushed;
+    total.bytes_compacted += stats.bytes_compacted;
+    total.compactions += stats.compactions;
+    total.flushes += stats.flushes;
+    total.writes += stats.writes;
+    total.group_commits += stats.group_commits;
+    total.group_followers += stats.group_followers;
+    total.wal_syncs += stats.wal_syncs;
+    total.wal_sync_skipped += stats.wal_sync_skipped;
+    total.vlog_syncs += stats.vlog_syncs;
+    total.write_slowdowns += stats.write_slowdowns;
+    total.write_stalls += stats.write_stalls;
+    total.write_slowdown_micros += stats.write_slowdown_micros;
+    total.write_stall_micros += stats.write_stall_micros;
+    total.gets += stats.gets;
+    total.gets_found += stats.gets_found;
+    total.memtable_hits += stats.memtable_hits;
+    total.runs_probed += stats.runs_probed;
+    total.filter_skips += stats.filter_skips;
+    total.range_filter_skips += stats.range_filter_skips;
+    total.hash_index_hits += stats.hash_index_hits;
+    total.hash_index_absent += stats.hash_index_absent;
+    total.learned_index_seeks += stats.learned_index_seeks;
+    total.index_filter_memory += stats.index_filter_memory;
+    total.multigets += stats.multigets;
+    total.multiget_keys += stats.multiget_keys;
+    total.multiget_filter_pruned += stats.multiget_filter_pruned;
+    total.multiget_coalesced_block_hits += stats.multiget_coalesced_block_hits;
+    total.value_log_bytes += stats.value_log_bytes;
+    total.value_log_files += stats.value_log_files;
+    total.separated_reads += stats.separated_reads;
+  }
+  return total;
+}
+
+namespace {
+
+/// Sums "ticker.<name>=<value>" lines across per-shard dumps (order and
+/// set of tickers is identical in every dump), and collects non-ticker
+/// lines (histograms) per shard under a "shard.<k>." prefix.
+std::string AggregateStatsDumps(const std::vector<std::string>& dumps) {
+  std::vector<std::string> ticker_names;   // first-seen order
+  std::vector<uint64_t> ticker_totals;
+  std::string histograms;
+  for (size_t k = 0; k < dumps.size(); k++) {
+    size_t ticker_index = 0;
+    size_t pos = 0;
+    const std::string& dump = dumps[k];
+    while (pos < dump.size()) {
+      size_t eol = dump.find('\n', pos);
+      if (eol == std::string::npos) {
+        eol = dump.size();
+      }
+      const std::string line = dump.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.rfind("ticker.", 0) == 0) {
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+          continue;
+        }
+        const std::string name = line.substr(0, eq);
+        uint64_t v = 0;
+        for (size_t i = eq + 1; i < line.size(); i++) {
+          if (line[i] < '0' || line[i] > '9') {
+            break;
+          }
+          v = v * 10 + static_cast<uint64_t>(line[i] - '0');
+        }
+        if (ticker_index == ticker_names.size()) {
+          ticker_names.push_back(name);
+          ticker_totals.push_back(0);
+        }
+        ticker_totals[ticker_index] += v;
+        ticker_index++;
+      } else if (!line.empty()) {
+        histograms += "shard." + std::to_string(k) + "." + line + "\n";
+      }
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < ticker_names.size(); i++) {
+    out += ticker_names[i] + "=" + std::to_string(ticker_totals[i]) + "\n";
+  }
+  out += histograms;
+  return out;
+}
+
+}  // namespace
+
+bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  if (property == Slice("lsmlab.num-shards")) {
+    *value = std::to_string(num_shards_);
+    return true;
+  }
+  if (property == Slice("lsmlab.bg-jobs-high-water")) {
+    *value = std::to_string(TEST_BgJobsHighWater());
+    return true;
+  }
+  const std::string prop = property.ToString();
+  const std::string shard_prefix = "lsmlab.shard.";
+  if (prop.rfind(shard_prefix, 0) == 0) {
+    const size_t dot = prop.find('.', shard_prefix.size());
+    if (dot == std::string::npos || dot == shard_prefix.size()) {
+      return false;
+    }
+    int shard = 0;
+    for (size_t i = shard_prefix.size(); i < dot; i++) {
+      if (prop[i] < '0' || prop[i] > '9') {
+        return false;
+      }
+      shard = shard * 10 + (prop[i] - '0');
+    }
+    if (shard >= num_shards_) {
+      return false;
+    }
+    return shards_[shard]->GetProperty(
+        Slice("lsmlab." + prop.substr(dot + 1)), value);
+  }
+  if (property == Slice("lsmlab.stats")) {
+    std::vector<std::string> dumps(num_shards_);
+    for (int k = 0; k < num_shards_; k++) {
+      if (!shards_[k]->GetProperty(property, &dumps[k])) {
+        return false;
+      }
+    }
+    *value = AggregateStatsDumps(dumps);
+    return true;
+  }
+  // Thread-local (perf-context) and Env-global (io-stats) properties are
+  // shard-independent; any shard reports the same numbers.
+  if (property == Slice("lsmlab.perf-context") ||
+      property == Slice("lsmlab.io-stats")) {
+    return shards_[0]->GetProperty(property, value);
+  }
+  return false;
+}
+
+std::string ShardedDB::DebugShape() {
+  std::string shape;
+  for (int k = 0; k < num_shards_; k++) {
+    shape += "--- shard " + std::to_string(k) + " ---\n";
+    shape += shards_[k]->DebugShape();
+  }
+  return shape;
+}
+
+}  // namespace lsmlab

@@ -22,6 +22,7 @@
 ///
 /// X-macro row format: X(enumerator, rank, "Qualified::name", allows_io)
 #define LSMLAB_LOCK_RANKS(X)                                   \
+  X(kShardedDbMu, 5, "ShardedDB::mu_", false)                  \
   X(kDbMu, 10, "DBImpl::mu_", false)                           \
   X(kThreadPoolMu, 20, "ThreadPool::mu_", false)               \
   X(kValueLogMu, 30, "ValueLog::mu_", true)                    \

@@ -26,6 +26,11 @@ bool ThreadPool::Schedule(std::function<void()> work) {
   return true;
 }
 
+int ThreadPool::concurrency_high_water() {
+  MutexLock lock(&mu_);
+  return high_water_;
+}
+
 void ThreadPool::WaitIdle() {
   MutexLock lock(&mu_);
   while (!queue_.empty() || running_ != 0) {
@@ -69,6 +74,9 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> work = std::move(queue_.front());
     queue_.pop_front();
     running_++;
+    if (running_ > high_water_) {
+      high_water_ = running_;
+    }
     mu_.Unlock();
     work();
     mu_.Lock();

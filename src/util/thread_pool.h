@@ -45,6 +45,11 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  /// High-water mark of tasks that were ever executing at the same moment.
+  /// Monotonic; lets tests assert that work from independent producers
+  /// (e.g. different DB shards) genuinely overlapped, without timing.
+  int concurrency_high_water();
+
  private:
   enum class State { kRunning, kDraining, kStopped };
 
@@ -55,6 +60,7 @@ class ThreadPool {
   CondVar idle_cv_{&mu_};  // a task finished or the pool stopped
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   int running_ GUARDED_BY(mu_) = 0;
+  int high_water_ GUARDED_BY(mu_) = 0;
   State state_ GUARDED_BY(mu_) = State::kRunning;
   std::vector<std::thread> threads_;  // immutable after construction
 };

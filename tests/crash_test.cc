@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/db.h"
+#include "core/sharded_db.h"
 #include "storage/fault_env.h"
 #include "util/random.h"
 #include "workload/keygen.h"
@@ -541,6 +542,151 @@ TEST_F(CrashTest, GroupCommitKillPointsArePrefixConsistent) {
       EXPECT_LE(prefix, acked[t] + 1)
           << "kill point " << k << ": thread " << t
           << " resurrected a write it never submitted";
+    }
+    db_.reset();
+  }
+}
+
+TEST_F(CrashTest, ShardedKillPointsArePerShardPrefixConsistent) {
+  // The sharded analogue of the group-commit sweep above: four writer
+  // threads spray a 4-shard DB while a kill point lands after k write
+  // ops — inside some shard's WAL append, mid-sync, or mid-flush (the
+  // values are big enough that shards flush during the run). Each shard
+  // has its own WAL and group-commit queue, so after crash + recovery the
+  // PR 6 window applies *per (thread, shard)*: the recovered subsequence
+  // of a thread's ops restricted to one shard is a hole-free prefix of
+  // what the thread submitted to that shard, covering at least its last
+  // acknowledged synced op there and never exceeding acks+1. A shard that
+  // loses its unsynced tail must not punch holes in another shard's
+  // recovered prefix (shards recover independently).
+  constexpr int kThreads = 4;
+  constexpr int kShards = 4;
+  constexpr int kOps = 20;
+  const std::string pad(500, 's');
+  options_.num_shards = kShards;
+  auto key_of = [](int t, int j) {
+    return "t" + std::to_string(t) + "-" + std::to_string(100 + j);
+  };
+  auto value_of = [&](int t, int j) {
+    return "v" + std::to_string(t) + "." + std::to_string(j) + pad;
+  };
+  auto shard_of = [&](int t, int j) {
+    return static_cast<int>(ShardOfKey(Slice(key_of(t, j)), kShards));
+  };
+  // Op indices of thread t that route to shard s, in submission order.
+  std::array<std::array<std::vector<int>, kShards>, kThreads> ops_on;
+  for (int t = 0; t < kThreads; t++) {
+    for (int j = 0; j < kOps; j++) {
+      ops_on[t][shard_of(t, j)].push_back(j);
+    }
+  }
+
+  std::array<int, kThreads> acked;
+  std::array<std::array<int, kShards>, kThreads> durable;
+  uint64_t total_ops = 0;
+  auto run = [&](int64_t kill_at) {
+    db_.reset();
+    base_env_.reset(NewMemEnv());
+    env_ = std::make_unique<FaultInjectionEnv>(base_env_.get());
+    options_.env = env_.get();
+    if (kill_at >= 0) {
+      env_->ArmKillPoint(static_cast<uint64_t>(kill_at));
+    }
+    acked.fill(0);
+    for (auto& d : durable) {
+      d.fill(-1);
+    }
+    std::unique_ptr<DB> db;
+    if (DB::Open(options_, "/db", &db).ok()) {
+      db_ = std::move(db);
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&, t] {
+          WriteOptions wo;
+          for (int j = 0; j < kOps; j++) {
+            wo.sync = (j % 5 == 0);
+            if (!db_->Put(wo, key_of(t, j), value_of(t, j)).ok()) {
+              return;  // env is dead; every later op would fail too
+            }
+            acked[t] = j + 1;
+            if (wo.sync) {
+              // This sync covered shard_of(t,j)'s WAL only; the thread's
+              // earlier ops there are durable with it.
+              durable[t][shard_of(t, j)] = j;
+            }
+          }
+        });
+      }
+      for (auto& th : threads) {
+        th.join();
+      }
+    }
+    total_ops = env_->write_ops();
+  };
+
+  run(-1);
+  for (int t = 0; t < kThreads; t++) {
+    ASSERT_EQ(acked[t], kOps);
+  }
+  // Big values on small buffers: every shard must have flushed at least
+  // once, or the sweep would never kill anyone mid-flush.
+  {
+    auto* sharded = static_cast<ShardedDB*>(db_.get());
+    for (int s = 0; s < kShards; s++) {
+      ASSERT_GT(sharded->TEST_Shard(s)->GetStats().flushes, 0u)
+          << "shard " << s << " never flushed; grow the values";
+    }
+  }
+  ASSERT_GT(total_ops, 100u);
+
+  const int sweep_end = std::min<int>(static_cast<int>(total_ops), 240);
+  for (int k = 0; k < sweep_end; k += 2) {
+    run(k);
+    db_.reset();
+    ASSERT_TRUE(env_->Crash().ok());
+    Open();
+
+    for (int t = 0; t < kThreads; t++) {
+      for (int s = 0; s < kShards; s++) {
+        const std::vector<int>& ops = ops_on[t][s];
+        // Recovered prefix of this thread's ops on this shard.
+        size_t prefix = 0;
+        std::string value;
+        while (prefix < ops.size()) {
+          Status st = db_->Get({}, key_of(t, ops[prefix]), &value);
+          ASSERT_TRUE(st.ok() || st.IsNotFound())
+              << "k=" << k << " " << st.ToString();
+          if (!st.ok()) {
+            break;
+          }
+          ASSERT_EQ(value, value_of(t, ops[prefix])) << "k=" << k;
+          prefix++;
+        }
+        // No holes within the shard: an op never surfaces without its
+        // same-shard predecessors.
+        for (size_t i = prefix + 1; i < ops.size(); i++) {
+          ASSERT_TRUE(db_->Get({}, key_of(t, ops[i]), &value).IsNotFound())
+              << "kill point " << k << ": thread " << t << " shard " << s
+              << " lost op " << ops[prefix] << " but kept op " << ops[i];
+        }
+        // Window lower bound: acked synced ops on this shard survive,
+        // independent of what other shards lost.
+        size_t durable_count = 0;
+        while (durable_count < ops.size() &&
+               ops[durable_count] <= durable[t][s]) {
+          durable_count++;
+        }
+        EXPECT_GE(prefix, durable_count)
+            << "kill point " << k << ": thread " << t << " shard " << s
+            << " lost an acknowledged synced write";
+        // Window upper bound: ops the thread never submitted (index >
+        // acked; the in-flight op at index acked may survive) stay gone.
+        for (size_t i = 0; i < prefix; i++) {
+          EXPECT_LE(ops[i], acked[t])
+              << "kill point " << k << ": thread " << t << " shard " << s
+              << " resurrected a write it never submitted";
+        }
+      }
     }
     db_.reset();
   }
