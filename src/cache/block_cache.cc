@@ -14,9 +14,12 @@ std::string BlockCache::MakeKey(uint64_t file_number, uint64_t offset) {
 }
 
 BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset,
-                                   uint64_t access_weight) {
+                                   uint64_t access_weight,
+                                   std::source_location loc) {
   const std::string key = MakeKey(file_number, offset);
-  LruCache::Handle* handle = cache_.Lookup(key);
+  // Forward the caller's site so debug pin-leak reports name the reader
+  // that took the ref, not this wrapper.
+  LruCache::Handle* handle = cache_.Lookup(key, loc);
   if (handle == nullptr) {
     GetPerfContext()->block_cache_miss_count++;
     return Ref();
@@ -31,14 +34,16 @@ BlockCache::Ref BlockCache::Lookup(uint64_t file_number, uint64_t offset,
 }
 
 BlockCache::Ref BlockCache::Insert(uint64_t file_number, uint64_t offset,
-                                   std::unique_ptr<const Block> block) {
+                                   std::unique_ptr<const Block> block,
+                                   std::source_location loc) {
   const std::string key = MakeKey(file_number, offset);
   const Block* raw = block.release();
   LruCache::Handle* handle = cache_.Insert(
       key, const_cast<Block*>(raw), raw->size(),
       [](const Slice&, void* value) {
         delete static_cast<const Block*>(value);
-      });
+      },
+      loc);
   return Ref(&cache_, handle, raw);
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <source_location>
 #include <unordered_map>
 
 #include "cache/lru_cache.h"
@@ -70,11 +71,13 @@ class BlockCache {
   /// hotness counter with N, keeping the prefetcher's signal comparable to
   /// N looped Gets.
   Ref Lookup(uint64_t file_number, uint64_t offset,
-             uint64_t access_weight = 1);
+             uint64_t access_weight = 1,
+             std::source_location loc = std::source_location::current());
 
   /// Inserts `block` (ownership transferred) and returns a pinned ref.
   Ref Insert(uint64_t file_number, uint64_t offset,
-             std::unique_ptr<const Block> block);
+             std::unique_ptr<const Block> block,
+             std::source_location loc = std::source_location::current());
 
   LruCache::Stats GetStats() const { return cache_.GetStats(); }
   /// Resets hit/miss counters and the per-file hotness counters.

@@ -94,6 +94,11 @@ LruCache::LruCache(size_t capacity, int num_shards)
 }
 
 LruCache::~LruCache() {
+  // Before tearing down the shards, fail loudly (debug builds) if any
+  // caller still holds a handle — including handles whose entry was
+  // Erase()d while pinned, which are detached from the LRU list and thus
+  // invisible to the per-entry assert below.
+  pin_tracker_.CheckNoLivePins();
   for (int i = 0; i < num_shards_; i++) {
     Shard& shard = shards_[i];
     // No other thread may touch the cache during destruction; the lock is
@@ -113,7 +118,8 @@ LruCache::Shard* LruCache::GetShard(const Slice& key) {
 }
 
 LruCache::Handle* LruCache::Insert(const Slice& key, void* value,
-                                   size_t charge, Deleter deleter) {
+                                   size_t charge, Deleter deleter,
+                                   std::source_location loc) {
   Shard* shard = GetShard(key);
   MutexLock lock(&shard->mu);
 
@@ -137,10 +143,11 @@ LruCache::Handle* LruCache::Insert(const Slice& key, void* value,
   shard->usage += charge;
   shard->stats.inserts++;
   shard->EvictLocked();
+  pin_tracker_.Acquire(h, loc);
   return h;
 }
 
-LruCache::Handle* LruCache::Lookup(const Slice& key) {
+LruCache::Handle* LruCache::Lookup(const Slice& key, std::source_location loc) {
   Shard* shard = GetShard(key);
   MutexLock lock(&shard->mu);
   auto it = shard->table.find(std::string(key.data(), key.size()));
@@ -154,10 +161,13 @@ LruCache::Handle* LruCache::Lookup(const Slice& key) {
   shard->lru.push_front(h);
   h->lru_pos = shard->lru.begin();
   shard->stats.hits++;
+  pin_tracker_.Acquire(h, loc);
   return h;
 }
 
 void LruCache::Release(Handle* handle) {
+  // Unpin in the tracker before Unref: the handle may be freed below.
+  pin_tracker_.Release(handle);
   Shard* shard = GetShard(Slice(handle->key));
   MutexLock lock(&shard->mu);
   shard->Unref(handle);

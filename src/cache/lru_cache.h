@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <source_location>
 #include <string>
 #include <unordered_map>
 
 #include "util/mutex.h"
+#include "util/pin_tracker.h"
 #include "util/slice.h"
 
 namespace lsmlab {
@@ -18,6 +20,11 @@ namespace lsmlab {
 /// caching"). Entries are pinned while a Handle is outstanding; Release()
 /// unpins. Evicted-but-pinned entries are freed when their last handle is
 /// released. The deleter runs exactly once per entry.
+///
+/// Debug builds track every outstanding handle with the acquisition site
+/// captured from the caller (util/pin_tracker.h); destroying the cache
+/// with unreleased handles aborts with a per-site leak report instead of
+/// tripping a bare assert.
 class LruCache {
  public:
   struct Handle;
@@ -33,10 +40,12 @@ class LruCache {
   /// Inserts key->value with the given byte charge, returning a pinned
   /// handle. An existing entry under the same key is displaced.
   Handle* Insert(const Slice& key, void* value, size_t charge,
-                 Deleter deleter);
+                 Deleter deleter,
+                 std::source_location loc = std::source_location::current());
 
   /// Returns a pinned handle or nullptr. Counts toward hit/miss stats.
-  Handle* Lookup(const Slice& key);
+  Handle* Lookup(const Slice& key,
+                 std::source_location loc = std::source_location::current());
 
   void Release(Handle* handle);
   void* Value(Handle* handle);
@@ -68,6 +77,7 @@ class LruCache {
   const size_t capacity_;
   const int num_shards_;
   Shard* shards_;
+  PinTracker pin_tracker_{"LruCache handle"};
 };
 
 }  // namespace lsmlab

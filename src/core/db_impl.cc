@@ -251,6 +251,8 @@ Status DestroyDB(const Options& options, const std::string& name) {
     for (int k = 0; k < recorded; k++) {
       Options shard_options = options;
       shard_options.num_shards = 1;  // shard dirs are flat; no recursion
+      // status-ok: best-effort per-shard destroy; leftovers surface in
+      // the directory sweep below.
       DestroyDB(shard_options, ShardPath(name, k)).IgnoreError();
     }
   }
@@ -260,7 +262,8 @@ Status DestroyDB(const Options& options, const std::string& name) {
     return Status::OK();  // nothing to destroy
   }
   for (const std::string& child : children) {
-    // Best-effort teardown; deleting a vanished file is not an error here
+    // status-ok: best-effort teardown; deleting a vanished file is not an
+    // error here
     // (nor is a shard subdirectory, which RemoveFile cannot unlink).
     options.env->RemoveFile(name + "/" + child).IgnoreError();
   }
@@ -607,7 +610,8 @@ void DBImpl::BackgroundCall() {
 bool DBImpl::BackgroundStep(PendingEvents* events) {
   if (imm_ != nullptr) {
     // Flush has priority: a pending imm_ is what stalls writers.
-    // Failures are sticky in bg_error_, which the caller's loop checks.
+    // status-ok: failures are sticky in bg_error_, which the caller's
+    // loop checks.
     FlushImmMemTable(events).IgnoreError();
     return true;
   }
@@ -713,7 +717,8 @@ Status DBImpl::FlushImmMemTable(PendingEvents* events) {
   imm_->Unref();
   imm_ = nullptr;
   if (options_.enable_wal && wal_to_delete != 0) {
-    // Best-effort: a leftover WAL is re-deleted on the next recovery.
+    // status-ok: best-effort; a leftover WAL is re-deleted on the next
+    // recovery.
     // io-under-lock-ok: WAL unlink is a metadata op tied to the install.
     options_.env->RemoveFile(WalFileName(dbname_, wal_to_delete))
         .IgnoreError();
@@ -954,7 +959,8 @@ Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
                       options_.memtable_hash_index);
   mem_->Ref();
   if (options_.enable_wal && old_wal != 0) {
-    // Best-effort: a leftover WAL is re-deleted on the next recovery.
+    // status-ok: best-effort; a leftover WAL is re-deleted on the next
+    // recovery.
     // io-under-lock-ok: inline-mode WAL unlink tied to the install.
     options_.env->RemoveFile(WalFileName(dbname_, old_wal)).IgnoreError();
   }
@@ -982,8 +988,9 @@ Status DBImpl::BuildTables(Iterator* iter, int output_level,
         builder->Abandon();
         builder.reset();
         file.reset();
+        // status-ok: empty output; the orphan sweep catches leftovers.
         options_.env->RemoveFile(TableFileName(dbname_, meta.number))
-            .IgnoreError();  // empty output; orphan sweep catches leftovers
+            .IgnoreError();
       }
       return Status::OK();
     }
@@ -1070,8 +1077,9 @@ Status DBImpl::BuildTables(Iterator* iter, int output_level,
     builder->Abandon();
     builder.reset();
     file.reset();
+    // status-ok: already failing; the orphan sweep catches leftovers.
     options_.env->RemoveFile(TableFileName(dbname_, meta.number))
-        .IgnoreError();  // already failing; orphan sweep catches leftovers
+        .IgnoreError();
   }
   return s;
 }

@@ -170,8 +170,8 @@ void DBImpl::MultiGetImpl(const ReadOptions& options,
         work[it->second].second.push_back(&ks->ctx);
       }
       for (auto& [file, ctxs] : work) {
-        // A table-level failure is already mirrored into every member's
-        // ctx->status, which the loop below consumes per key.
+        // status-ok: a table-level failure is already mirrored into every
+        // member's ctx->status, which the loop below consumes per key.
         table_cache_
             ->GetBatch(**file, std::span<BatchGetContext* const>(ctxs),
                        options.use_filter)

@@ -18,7 +18,31 @@ TableCache::TableCache(std::string dbname, const Options* options,
   ConfigureFilterBits(uniform);
 }
 
-TableCache::~TableCache() = default;
+TableCache::~TableCache() {
+  // Debug builds: any reader pin handed out by FindTable that is still
+  // alive here would dangle once tables_ is torn down — abort with the
+  // acquisition sites instead.
+  pin_tracker_.CheckNoLivePins();
+}
+
+std::shared_ptr<SSTable> TableCache::TrackPin(
+    const std::shared_ptr<SSTable>& table, const std::source_location& loc) {
+#ifndef NDEBUG
+  pin_tracker_.Acquire(table.get(), loc);
+  PinTracker* tracker = &pin_tracker_;
+  // Aliasing wrapper: copies share one pin record; the deleter (which
+  // runs when the last copy derived from this FindTable call dies)
+  // unregisters the pin and only then lets go of the reader itself.
+  return std::shared_ptr<SSTable>(table.get(),
+                                  [tracker, inner = table](SSTable* p) mutable {
+                                    tracker->Release(p);
+                                    inner.reset();
+                                  });
+#else
+  (void)loc;
+  return table;
+#endif
+}
 
 void TableCache::ConfigureFilterBits(
     const std::vector<double>& bits_per_level) {
@@ -72,7 +96,8 @@ const TableOptions& TableCache::TableOptionsForLevel(int level) const {
 }
 
 Status TableCache::FindTable(const FileMetaData& meta,
-                             std::shared_ptr<SSTable>* table) {
+                             std::shared_ptr<SSTable>* table,
+                             std::source_location loc) {
   // Error paths must not leave a previously-resolved reader pinned in the
   // out-param: callers that reuse one shared_ptr across a loop (the batch
   // read path does) would otherwise keep the last table's handle — and its
@@ -82,7 +107,7 @@ Status TableCache::FindTable(const FileMetaData& meta,
     MutexLock lock(&mu_);
     auto it = tables_.find(meta.number);
     if (it != tables_.end()) {
-      *table = it->second;
+      *table = TrackPin(it->second, loc);
       return Status::OK();
     }
   }
@@ -102,7 +127,7 @@ Status TableCache::FindTable(const FileMetaData& meta,
   }
   MutexLock lock(&mu_);
   auto [it, inserted] = tables_.emplace(meta.number, std::move(t));
-  *table = it->second;
+  *table = TrackPin(it->second, loc);
   return Status::OK();
 }
 

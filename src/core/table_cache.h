@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <source_location>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include "format/sstable_reader.h"
 #include "util/iterator.h"
 #include "util/mutex.h"
+#include "util/pin_tracker.h"
 
 namespace lsmlab {
 
@@ -38,8 +40,12 @@ class TableCache {
 
   const TableOptions& TableOptionsForLevel(int level) const;
 
-  /// Opens (or returns the cached) reader for `meta`.
-  Status FindTable(const FileMetaData& meta, std::shared_ptr<SSTable>* table);
+  /// Opens (or returns the cached) reader for `meta`. The out-param pins
+  /// the reader; in debug builds the pin is tracked with the caller's
+  /// source location, and destroying the TableCache while reader pins are
+  /// still outstanding aborts with a per-site leak report.
+  Status FindTable(const FileMetaData& meta, std::shared_ptr<SSTable>* table,
+                   std::source_location loc = std::source_location::current());
 
   /// Iterator over the whole table; pins the file and reader.
   Iterator* NewIterator(const FileMetaPtr& file);
@@ -74,6 +80,12 @@ class TableCache {
   size_t IndexMemoryUsage() const;
 
  private:
+  /// Debug builds: wraps the cached reader in a shared_ptr whose deleter
+  /// unregisters the pin when the last copy handed to this caller dies.
+  /// Release builds return `table` unchanged.
+  std::shared_ptr<SSTable> TrackPin(const std::shared_ptr<SSTable>& table,
+                                    const std::source_location& loc);
+
   const std::string dbname_;
   const Options* const options_;
   const InternalKeyComparator* const icmp_;
@@ -84,6 +96,7 @@ class TableCache {
   mutable Mutex mu_{LockRank::kTableCacheMu};
   std::unordered_map<uint64_t, std::shared_ptr<SSTable>> tables_
       GUARDED_BY(mu_);
+  PinTracker pin_tracker_{"TableCache reader pin"};
 };
 
 }  // namespace lsmlab

@@ -236,7 +236,8 @@ FileMetaPtr VersionSet::WrapFile(const FileMetaData& meta) {
   // every cleanup because ~VersionSet drops the last Version itself.
   file->cleanup = [this, env, cache, dbname](FileMetaData* f) {
     cache->Evict(f->number);
-    // Best-effort: an undeleted table is swept as an orphan on reopen.
+    // status-ok: best-effort; an undeleted table is swept as an orphan
+    // on reopen.
     env->RemoveFile(TableFileName(dbname, f->number)).IgnoreError();
     if (deletion_observer_) {
       deletion_observer_(f->number);
@@ -393,7 +394,8 @@ class LogReporter : public wal::Reader::Reporter {
 }  // namespace
 
 Status VersionSet::Recover() {
-  // May already exist; a real failure surfaces when CURRENT is read.
+  // status-ok: dir may already exist; a real failure surfaces when
+  // CURRENT is read.
   env_->CreateDir(dbname_).IgnoreError();
   const std::string current_name = CurrentFileName(dbname_);
 
@@ -512,7 +514,8 @@ Status VersionSet::Recover() {
       env_, Slice(new_manifest.substr(dbname_.size() + 1) + "\n"),
       current_name);
   if (s.ok()) {
-    // Best-effort: a stale manifest is ignored once CURRENT moved on.
+    // status-ok: best-effort; a stale manifest is ignored once CURRENT
+    // moved on.
     env_->RemoveFile(manifest_name).IgnoreError();
   }
   return s;
@@ -553,7 +556,8 @@ void VersionSet::RemoveOrphanedFiles() {
     }
     if (!keep) {
       table_cache_->Evict(number);
-      // Best-effort: an unremovable orphan is retried on the next reopen.
+      // status-ok: best-effort; an unremovable orphan is retried on the
+      // next reopen.
       env_->RemoveFile(dbname_ + "/" + child).IgnoreError();
     }
   }

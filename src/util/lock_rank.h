@@ -33,7 +33,8 @@
   X(kDeletionsMu, 80, "DBImpl::deletions_mu_", false)          \
   X(kStatsHistMu, 90, "StatsRegistry::hist_mu_", false)        \
   X(kFaultStateMu, 95, "FaultInjectionEnv::State::mu", true)   \
-  X(kMemEnvMu, 100, "MemEnv::mu_", true)
+  X(kMemEnvMu, 100, "MemEnv::mu_", true)                       \
+  X(kPinTrackerMu, 110, "PinTracker::mu_", false)
 
 namespace lsmlab {
 

@@ -21,6 +21,11 @@ The tool:
      (tools/lock_ranks.tsv vs the X-macro in src/util/lock_rank.h vs the
      actual `Mutex member{LockRank::k...}` declarations).
 
+The C++ parsing itself (scope-stack scanner, call-graph builder, receiver
+resolution) lives in the shared frontend tools/cpp_frontend.py, which
+tools/check_resource_flow.py builds on too; this file adds only the
+lock/blocking-I/O semantics.
+
 Frontends: `--frontend text` (default; pure stdlib, always available) or
 `clang` (libclang refinement; this container ships no python libclang, so
 `auto` degrades to text with a note). `--self-test` runs the analyzer over an
@@ -30,11 +35,14 @@ Exit status: 0 clean, 1 violations or consistency errors.
 """
 
 import argparse
-import json
 import os
 import re
 import sys
 import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpp_frontend  # noqa: E402
+from cpp_frontend import Frontend, collect_files, load_audit_list  # noqa: E402
 
 ANNOTATION = "io-under-lock-ok"
 
@@ -52,166 +60,14 @@ RAW_BLOCKING = {
     "fflush", "fopen", "fclose", "stat", "unlink", "mkdir",
     "sleep_for", "sleep_until",
 }
-KEYWORDS = {
-    "if", "while", "for", "switch", "return", "sizeof", "catch", "new",
-    "delete", "assert", "defined", "alignof", "decltype", "static_cast",
-    "reinterpret_cast", "const_cast", "dynamic_cast", "static_assert",
-    "throw", "noexcept", "alignas", "typeid", "co_await", "co_return",
-}
-ATTR_MACROS = ("GUARDED_BY", "ACQUIRED_AFTER", "ACQUIRED_BEFORE", "REQUIRES",
-               "EXCLUDES", "RETURN_CAPABILITY", "CAPABILITY",
-               "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
-               "ASSERT_CAPABILITY", "ACQUIRE", "RELEASE", "TRY_ACQUIRE")
-PTR_WRAPPERS = ("std::unique_ptr", "std::shared_ptr", "unique_ptr",
-                "shared_ptr")
 
 
-def preprocess(text):
-    """Blank comments, strings, and preprocessor lines (same length; newlines
-    kept). Returns (code, annotated_lines, comment_only_lines)."""
-    out = list(text)
-    n = len(text)
-    i = 0
-    annotated = set()
-    line = 1
-    line_has_code = {}
-    line_has_comment = {}
+class Analyzer(Frontend):
+    """Lock/blocking-I/O semantics on top of the shared frontend."""
 
-    def blank(j):
-        if out[j] != "\n":
-            out[j] = " "
-
-    # Pass 1: preprocessor lines (incl. backslash continuations).
-    at_line_start = True
-    in_pp = False
-    while i < n:
-        c = text[i]
-        if at_line_start and not in_pp and text[i:].lstrip(" \t")[:1] == "#":
-            in_pp = True
-        if in_pp:
-            if c == "\n":
-                in_pp = text[i - 1] == "\\" if i > 0 else False
-            else:
-                blank(i)
-        at_line_start = c == "\n"
-        i += 1
-    text2 = "".join(out)
-
-    # Pass 2: comments and string/char literals.
-    i = 0
-    while i < n:
-        c = text2[i]
-        if c == "\n":
-            line += 1
-            i += 1
-            continue
-        if text2.startswith("//", i):
-            end = text2.find("\n", i)
-            end = n if end < 0 else end
-            if ANNOTATION in text2[i:end]:
-                annotated.add(line)
-            line_has_comment[line] = True
-            for j in range(i, end):
-                blank(j)
-            i = end
-            continue
-        if text2.startswith("/*", i):
-            end = text2.find("*/", i + 2)
-            end = n - 2 if end < 0 else end
-            seg = text2[i:end + 2]
-            for k, part in enumerate(seg.split("\n")):
-                if ANNOTATION in part:
-                    annotated.add(line + k)
-                line_has_comment[line + k] = True
-            for j in range(i, end + 2):
-                blank(j)
-            line += seg.count("\n")
-            i = end + 2
-            continue
-        if c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text2[j] != quote:
-                if text2[j] == "\\":
-                    j += 1
-                j += 1
-            for k in range(i + 1, min(j, n)):
-                blank(k)
-            i = min(j, n - 1) + 1
-            continue
-        if not c.isspace():
-            line_has_code[line] = True
-        i += 1
-    code = "".join(out)
-    comment_only = {ln for ln in line_has_comment if ln not in line_has_code}
-    return code, annotated, comment_only
-
-
-class Site:
-    __slots__ = ("file", "line", "func", "callee", "method", "locks",
-                 "annotated", "leaf", "targets")
-
-    def __init__(self, file, line, func, callee, method, locks, annotated,
-                 leaf, targets):
-        self.file = file            # repo-relative path
-        self.line = line
-        self.func = func            # Function owning the site
-        self.callee = callee        # normalized callee expression
-        self.method = method        # last component
-        self.locks = locks          # frozenset of held no-io lock names
-        self.annotated = annotated
-        self.leaf = leaf            # None or leaf-kind string
-        self.targets = targets      # list of resolved Function keys
-
-
-class Function:
-    def __init__(self, key, file, line, cls, requires):
-        self.key = key              # e.g. "DBImpl::FlushImmMemTable"
-        self.file = file
-        self.line = line
-        self.cls = cls              # owning class key or None
-        self.requires = requires    # qualified entry-lock names
-        self.sites = []
-        self.locals = {}            # name -> normalized type
-        self.io_reach = None        # witness Site once known to reach I/O
-
-
-class Scope:
-    __slots__ = ("kind", "name", "acquired")
-
-    def __init__(self, kind, name=""):
-        self.kind = kind  # namespace|class|function|block|lambda|inline
-        self.name = name
-        self.acquired = []  # lock names acquired in this scope (MutexLock)
-
-
-def strip_type(t):
-    """Normalize a declared type to a bare class key."""
-    t = t.strip()
-    t = re.sub(r"\b(const|constexpr|static|mutable|volatile|inline)\b", "", t)
-    t = t.strip()
-    for w in PTR_WRAPPERS:
-        if t.startswith(w + "<") and t.endswith(">"):
-            t = t[len(w) + 1:-1]
-            return strip_type(t)
-    t = t.replace("*", "").replace("&", "").strip()
-    if t.startswith("lsmlab::"):
-        t = t[len("lsmlab::"):]
-    return t
-
-
-class Analyzer:
     def __init__(self, root, verbose=False):
-        self.root = root
-        self.verbose = verbose
-        self.functions = {}       # key -> Function (first definition wins)
-        self.class_members = {}   # class key -> {member: type}
-        self.decl_requires = {}   # (class key, method) -> [lock exprs]
-        self.mutex_members = []   # (class key, member, enum-or-None, file, ln)
-        self.annotated_sites = [] # every Site carrying the annotation
-        self.unresolved = []      # (file, line, callee) skipped calls
-        self.rank_names = {}      # lock name -> (rank, io_ok) from tsv
-        self.errors = []
+        super().__init__(root, annotations=(ANNOTATION,), verbose=verbose)
+        self.enum_to_name = {}
 
     # -- rank tables ------------------------------------------------------
     def load_rank_tsv(self, path):
@@ -236,7 +92,8 @@ class Analyzer:
         if not os.path.exists(path):
             self.errors.append(f"missing rank header: {path}")
             return {}
-        text = open(path).read()
+        with open(path) as f:
+            text = f.read()
         rows = {}
         for m in re.finditer(
                 r'X\(\s*(k\w+)\s*,\s*(\d+)\s*,\s*"([^"]+)"\s*,\s*'
@@ -284,77 +141,29 @@ class Analyzer:
                     f"{file}:{line}: {qual!r} declared with LockRank::{enum} "
                     f"whose registered name is {name!r}")
 
-    # -- scanning ---------------------------------------------------------
-    def scan_file(self, path):
-        rel = os.path.relpath(path, self.root)
-        text = open(path).read()
-        code, annotated, comment_only = preprocess(text)
-        scanner = _FileScanner(self, rel, code, annotated, comment_only)
-        scanner.run()
-
-    def qualify_lock(self, expr, func, cls):
-        """Map a lock expression (`mu_`, `shard->mu`, `state_->mu`) to its
-        registered name, or None if it is not a ranked lock."""
-        expr = expr.replace(" ", "")
-        parts = re.split(r"\.|->", expr)
-        if len(parts) == 1:
-            owner = cls
-        else:
-            owner = self.resolve_chain(parts[:-1], func, cls)
-        member = parts[-1]
-        if owner:
-            qual = f"{owner}::{member}"
-            if qual in self.rank_names:
-                return qual
-        # Fallback: unique suffix match against registered names. Tries the
-        # partially-qualified form first (`Shard::mu` -> LruCache::Shard::mu)
-        # and the bare member last (`readers_mu_` is unique; `mu_` is not).
-        for needle in ([f"{owner}::{member}"] if owner else []) + [member]:
-            hits = [n for n in self.rank_names
-                    if n == needle or n.endswith("::" + needle)]
-            if len(hits) == 1:
-                return hits[0]
-        return None
-
-    def resolve_chain(self, parts, func, cls):
-        """Resolve a receiver chain like ['options_', 'env'] to a class key."""
-        if not parts:
-            return None
-        first = parts[0]
-        t = None
-        if func is not None and first in func.locals:
-            t = func.locals[first]
-        elif cls and first in self.class_members.get(cls, {}):
-            t = self.class_members[cls][first]
-        elif first == "this":
-            t = cls
-        else:
-            # Unique match across all known class members (helps for
-            # nested-class receivers like `state_` used from inner classes).
-            hits = {m[first] for m in self.class_members.values()
-                    if first in m}
-            if len(hits) == 1:
-                t = hits.pop()
-        if t is None:
-            return None
-        for comp in parts[1:]:
-            members = self.class_members.get(t)
-            if members is None or comp not in members:
-                return None
-            t = members[comp]
-        return t
+    # -- call classification ----------------------------------------------
+    def classify_call(self, scanner, func, cls, expr, parts, method):
+        if method in ("sleep_for", "sleep_until"):
+            return "sleep", []
+        if method in RAW_BLOCKING and expr in (
+                method, "::" + method, "std::" + method):
+            return "raw", []
+        if len(parts) > 1 and "::" not in parts[-1]:
+            recv = self.resolve_chain(parts[:-1], func, cls)
+            if recv in FILE_TYPES and method in FILE_BLOCKING:
+                return "file", []
+            if recv == "Env" and method in ENV_BLOCKING:
+                return "env", []
+            if recv is not None:
+                return None, [f"{recv}::{method}"]
+            return None, []
+        if "::" in expr:
+            return None, [expr[2:] if expr.startswith("::") else expr]
+        if cls is not None:
+            return None, [f"{cls}::{method}", method]
+        return None, [method]
 
     # -- fixpoint + reporting ---------------------------------------------
-    def lookup(self, key):
-        """Function lookup with a unique-suffix fallback so `Shard::Unref`
-        finds `LruCache::Shard::Unref`."""
-        f = self.functions.get(key)
-        if f is not None:
-            return f
-        hits = [g for k, g in self.functions.items()
-                if k.endswith("::" + key)]
-        return hits[0] if len(hits) == 1 else None
-
     def requires_noio(self, f):
         return [q for q in f.requires
                 if q in self.rank_names and not self.rank_names[q][1]]
@@ -420,433 +229,11 @@ class Analyzer:
         return violations
 
 
-CALL_RE = re.compile(
-    r"((?:::)?[A-Za-z_]\w*(?:\s*(?:\.|->|::)\s*~?[A-Za-z_]\w*)*)\s*\(")
-MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*&\s*([^()]+?)\s*\)")
-LOCK_CALL_RE = re.compile(r"([\w.>\-]+?)\s*(?:\.|->)\s*(Lock|Unlock)\s*\(")
-DECL_RE = re.compile(
-    r"^\s*([A-Za-z_][\w:]*(?:<[^;={}]*?>)?)\s*[*&]*\s+(\w+)\s*"
-    r"(?:=|\(|\{|;|\s*$)")
-CV_RE = re.compile(r"\b(const|constexpr|volatile|mutable|static|inline)\b")
-SIG_NAME_RE = re.compile(r"([\w:~]+)\s*$")
-
-
-def match_decl(s):
-    """DECL_RE with cv/storage qualifiers stripped (handles `Env* const x;`
-    as well as `const Env* x;`)."""
-    return DECL_RE.match(CV_RE.sub(" ", s).strip())
-
-
-class _Lock:
-    __slots__ = ("name", "scope_idx", "suspended")
-
-    def __init__(self, name, scope_idx):
-        self.name = name          # qualified registered lock name
-        self.scope_idx = scope_idx  # scope stack index owning the acquire
-        self.suspended = None     # scope idx where a deeper Unlock happened
-
-
-class _FileScanner:
-    """Character-level scanner: scope stack + per-function lock tracking."""
-
-    def __init__(self, an, rel, code, annotated_lines, comment_only):
-        self.an = an
-        self.rel = rel
-        self.code = code
-        self.annotated_lines = annotated_lines
-        self.comment_only = comment_only
-        self.scopes = [Scope("global")]
-        self.ns = []              # inner namespaces beyond lsmlab
-        self.func = None          # current Function (innermost)
-        self.locks = []           # list of _Lock, in acquisition order
-        self.pending = ""
-        self.pending_line = 1
-
-    # class key from current scope stack (inner namespaces + class names)
-    def class_key(self):
-        names = [s.name for s in self.scopes if s.kind == "class" and s.name]
-        if not names:
-            return None
-        return "::".join(self.ns + names)
-
-    def run(self):
-        line = 1
-        paren = 0
-        i = 0
-        code = self.code
-        n = len(code)
-        while i < n:
-            c = code[i]
-            if c == "\n":
-                line += 1
-                i += 1
-                continue
-            if self.scopes[-1].kind == "lambda":
-                if c == "{":
-                    self.scopes.append(Scope("lambda"))
-                elif c == "}":
-                    self.scopes.pop()
-                i += 1
-                continue
-            if c == "(":
-                paren += 1
-            elif c == ")":
-                paren = max(0, paren - 1)
-            elif c == "{":
-                self.open_brace(line, paren)
-                i += 1
-                continue
-            elif c == "}":
-                self.close_brace()
-                i += 1
-                continue
-            elif c == ";" and paren == 0:
-                self.statement(self.pending, self.pending_line)
-                self.reset_pending(line)
-                i += 1
-                continue
-            if not self.pending.strip():
-                self.pending_line = line
-            self.pending += c
-            i += 1
-
-    def reset_pending(self, line):
-        self.pending = ""
-        self.pending_line = line
-
-    LAMBDA_TAIL_RE = re.compile(
-        r"\[[^\[\]]*\]\s*(\([^()]*\))?\s*(mutable\b\s*)?(noexcept\b\s*)?"
-        r"(->\s*[\w:<>,&*\s]+)?$")
-    BLOCK_HEAD_RE = re.compile(r"^\s*(if|for|while|switch|do|else|try|catch)\b")
-    CLASS_RE = re.compile(
-        r"\b(?:class|struct)\s+([A-Za-z_][\w:]*)\s*(?:final\s*)?(?::[^{]*)?$")
-    NS_RE = re.compile(r"\bnamespace\s+([A-Za-z_]\w*)?\s*$")
-
-    def strip_attrs(self, text):
-        out = text
-        for mac in ATTR_MACROS:
-            out = re.sub(r"\b" + mac + r"\s*\([^()]*\)", " ", out)
-        return out
-
-    def open_brace(self, line, paren):
-        pending = self.pending.strip()
-        if self.LAMBDA_TAIL_RE.search(pending):
-            self.scopes.append(Scope("lambda"))
-            return
-        if paren > 0:
-            self.scopes.append(Scope("inline"))
-            return
-        m = self.NS_RE.search(pending)
-        if m:
-            name = m.group(1) or ""
-            if name and name != "lsmlab":
-                self.ns.append(name)
-                self.scopes.append(Scope("namespace", name))
-            else:
-                self.scopes.append(Scope("namespace", ""))
-            self.reset_pending(line)
-            return
-        m = self.CLASS_RE.search(pending)
-        if m and "enum" not in pending:
-            self.scopes.append(Scope("class", m.group(1)))
-            self.reset_pending(line)
-            return
-        in_function = self.func is not None
-        stripped = self.strip_attrs(pending).strip()
-        if not in_function:
-            # function definition?  needs '(' ... ')' tail (after attrs).
-            if ("(" in stripped and
-                    re.search(r"\)\s*(const\s*)?(noexcept\s*)?(override\s*)?"
-                              r"(final\s*)?(:[^;{]*)?$", stripped) and
-                    "enum" not in stripped and "=" not in
-                    re.sub(r":[^;{]*$", "", stripped)):
-                self.begin_function(pending, line)
-                self.reset_pending(line)
-                return
-            self.scopes.append(Scope("inline"))
-            return
-        # Inside a function: block vs brace-init.
-        if self.BLOCK_HEAD_RE.match(pending) or not pending:
-            self.statement(self.pending, self.pending_line)  # block header
-            self.scopes.append(Scope("block"))
-            self.reset_pending(line)
-            return
-        if stripped.endswith(")"):
-            self.statement(self.pending, self.pending_line)
-            self.scopes.append(Scope("block"))
-            self.reset_pending(line)
-            return
-        self.scopes.append(Scope("inline"))
-
-    def begin_function(self, pending, line):
-        head = re.sub(r":\s*[^;{]*$", "", pending) \
-            if re.search(r"\)\s*:\s*\w", pending) else pending
-        lp = head.find("(")
-        name_m = SIG_NAME_RE.search(head[:lp]) if lp > 0 else None
-        cls = self.class_key()
-        if name_m is None:
-            key = f"<anon@{self.rel}:{line}>"
-            name = key
-        else:
-            name = name_m.group(1)
-            if "::" in name and cls is None:
-                # Out-of-class definition: Class::Method
-                cls = "::".join((self.ns + name.split("::")[:-1]))
-                key = "::".join(self.ns + name.split("::"))
-                name = name.split("::")[-1]
-            elif cls is not None:
-                key = f"{cls}::{name}"
-            else:
-                key = "::".join(self.ns + [name])
-        req_exprs = re.findall(r"\bREQUIRES\s*\(([^()]*)\)", pending)
-        req_exprs = [e.strip() for grp in req_exprs for e in grp.split(",")]
-        if not req_exprs and cls is not None:
-            req_exprs = self.an.decl_requires.get((cls, name), [])
-        f = Function(key, self.rel, line, cls, [])
-        # Parameters -> local types.
-        if lp > 0:
-            params = head[lp + 1:head.rfind(")")]
-            for p in params.split(","):
-                dm = match_decl(p.strip() + ";")
-                if dm:
-                    f.locals[dm.group(2)] = strip_type(dm.group(1))
-        for e in req_exprs:
-            q = self.an.qualify_lock(e, f, cls)
-            if q is not None:
-                f.requires.append(q)
-        self.an.functions[key] = f
-        self.func = f
-        self.scopes.append(Scope("function", name))
-        self.locks = [
-            _Lock(q, len(self.scopes) - 1) for q in f.requires]
-
-    def close_brace(self):
-        if len(self.scopes) <= 1:
-            return
-        scope = self.scopes.pop()
-        idx = len(self.scopes)  # index the popped scope had
-        if scope.kind in ("namespace",) and scope.name:
-            if self.ns and self.ns[-1] == scope.name:
-                self.ns.pop()
-        if self.func is not None:
-            # Release MutexLocks acquired in this scope; restore suspended
-            # manual locks whose deeper Unlock scope just closed (the unlock
-            # sat on an early-exit path or was re-Locked before the close).
-            self.locks = [lk for lk in self.locks
-                          if not (lk.scope_idx == idx and lk.suspended is None
-                                  and lk.name in scope.acquired)]
-            for lk in self.locks:
-                if lk.suspended is not None and lk.suspended >= idx:
-                    lk.suspended = None
-        if scope.kind == "function":
-            self.func = None
-            self.locks = []
-        self.reset_pending(self.pending_line)
-
-    # -- statement analysis ------------------------------------------------
-    def held_locks(self):
-        held = set()
-        for lk in self.locks:
-            if lk.suspended is not None:
-                continue
-            info = self.an.rank_names.get(lk.name)
-            if info is not None and not info[1]:  # no-io only
-                held.add(lk.name)
-        return frozenset(held)
-
-    def statement(self, stmt, line):
-        if self.func is None:
-            self.class_member_decl(stmt, line)
-            return
-        f = self.func
-        cls = f.cls
-        # Local declarations feed receiver-type resolution.
-        dm = match_decl(stmt.strip())
-        if dm and dm.group(1) not in ("return", "delete", "new"):
-            f.locals.setdefault(dm.group(2), strip_type(dm.group(1)))
-        # Lock events first: a MutexLock on this statement guards later text.
-        ml = MUTEXLOCK_RE.search(stmt)
-        if ml:
-            q = self.an.qualify_lock(ml.group(1), f, cls)
-            if q is not None:
-                idx = len(self.scopes) - 1
-                self.locks.append(_Lock(q, idx))
-                self.scopes[-1].acquired.append(q)
-        for m in LOCK_CALL_RE.finditer(stmt):
-            expr, op = m.group(1), m.group(2)
-            q = self.an.qualify_lock(expr, f, cls)
-            if q is None:
-                continue
-            if op == "Lock":
-                existing = [lk for lk in self.locks if lk.name == q]
-                resumed = False
-                for lk in existing:
-                    if lk.suspended is not None:
-                        lk.suspended = None
-                        resumed = True
-                        break
-                if not resumed:
-                    self.locks.append(_Lock(q, len(self.scopes) - 1))
-            else:  # Unlock
-                for lk in reversed(self.locks):
-                    if lk.name == q and lk.suspended is None:
-                        here = len(self.scopes) - 1
-                        if here > lk.scope_idx:
-                            lk.suspended = here  # maybe early-exit path
-                        else:
-                            self.locks.remove(lk)
-                        break
-        self.extract_calls(stmt, line)
-
-    def class_member_decl(self, stmt, line):
-        cls = self.class_key()
-        if cls is None:
-            return
-        s = stmt.strip()
-        # REQUIRES on method declarations.
-        if "(" in s and "REQUIRES" in s:
-            lp = s.find("(")
-            nm = SIG_NAME_RE.search(s[:lp])
-            reqs = re.findall(r"\bREQUIRES\s*\(([^()]*)\)", s)
-            reqs = [e.strip() for grp in reqs for e in grp.split(",")]
-            if nm and reqs:
-                self.an.decl_requires[(cls, nm.group(1).split("::")[-1])] = \
-                    reqs
-        # Mutex members (ranked or not).
-        mm = re.match(
-            r"^(?:mutable\s+)?Mutex\s+(\w+)\s*"
-            r"(?:ACQUIRED_AFTER\([^()]*\)\s*)?"
-            r"(?:\{\s*LockRank::(\w+)\s*\})?$", self.strip_guarded(s))
-        if mm:
-            self.an.mutex_members.append(
-                (cls, mm.group(1), mm.group(2), self.rel, line))
-        # Plain member declarations feed the type maps.
-        dm = match_decl(self.strip_attrs(s))
-        if dm and "(" not in s.split(dm.group(2))[0]:
-            self.an.class_members.setdefault(cls, {})[dm.group(2)] = \
-                strip_type(dm.group(1))
-
-    @staticmethod
-    def strip_guarded(s):
-        s = re.sub(r"\bGUARDED_BY\s*\([^()]*\)", " ", s)
-        s = re.sub(r"=\s*[^;{]*$", "", s)
-        return " ".join(s.split())
-
-    def is_annotated(self, line):
-        if line in self.annotated_lines:
-            return True
-        ln = line - 1
-        while ln > 0 and ln in self.comment_only:
-            if ln in self.annotated_lines:
-                return True
-            ln -= 1
-        return False
-
-    def extract_calls(self, stmt, line):
-        f = self.func
-        cls = f.cls
-        stmt = re.sub(r"\.get\(\)\s*->", "->", stmt)
-        stmt = re.sub(r"\.get\(\)\s*\.", ".", stmt)
-        held = self.held_locks()
-        annotated = self.is_annotated(line)
-        for m in CALL_RE.finditer(stmt):
-            expr = re.sub(r"\s+", "", m.group(1))
-            parts = re.split(r"\.|->", expr)
-            method = parts[-1].split("::")[-1]
-            if method in KEYWORDS or method.startswith("~"):
-                continue
-            if method in ("Lock", "Unlock", "TryLock", "Wait", "TimedWait",
-                          "MutexLock", "ScopedBlockingIoAllowed"):
-                continue
-            leaf = None
-            targets = []
-            if method in ("sleep_for", "sleep_until"):
-                leaf = "sleep"
-            elif method in RAW_BLOCKING and expr in (
-                    method, "::" + method, "std::" + method):
-                leaf = "raw"
-            elif len(parts) > 1 and "::" not in parts[-1]:
-                recv = self.an.resolve_chain(parts[:-1], f, cls)
-                if recv in FILE_TYPES and method in FILE_BLOCKING:
-                    leaf = "file"
-                elif recv == "Env" and method in ENV_BLOCKING:
-                    leaf = "env"
-                elif recv is not None:
-                    targets = [f"{recv}::{method}"]
-            elif "::" in expr:
-                targets = [expr[2:] if expr.startswith("::") else expr]
-            elif cls is not None:
-                targets = [f"{cls}::{method}", method]
-            else:
-                targets = [method]
-            site = Site(self.rel, line, f, expr, method, held, annotated,
-                        leaf, targets)
-            if annotated:
-                self.an.annotated_sites.append(site)
-            if leaf is not None or targets:
-                f.sites.append(site)
-            elif held and self.an.verbose:
-                self.an.unresolved.append((self.rel, line, expr))
-
-
-# ---------------------------------------------------------------- driver --
-def collect_files(root):
-    files = set()
-    cc = os.path.join(root, "build", "compile_commands.json")
-    if os.path.exists(cc):
-        try:
-            for entry in json.load(open(cc)):
-                f = entry.get("file", "")
-                if f.endswith((".cc", ".h")) and os.path.exists(f):
-                    if os.path.realpath(f).startswith(
-                            os.path.realpath(os.path.join(root, "src"))):
-                        files.add(os.path.realpath(f))
-        except (ValueError, OSError):
-            pass
-    src = os.path.join(root, "src")
-    for dirpath, _, names in os.walk(src):
-        for nm in names:
-            if nm.endswith((".h", ".cc")):
-                files.add(os.path.realpath(os.path.join(dirpath, nm)))
-    # Headers first so declarations (REQUIRES, members) precede definitions.
-    return sorted(files, key=lambda p: (not p.endswith(".h"), p))
-
-
-def load_audit_list(path, errors):
-    entries = []
-    if not os.path.exists(path):
-        errors.append(f"missing audit list: {path}")
-        return entries
-    with open(path) as f:
-        for ln, raw in enumerate(f, 1):
-            s = raw.rstrip("\n")
-            if not s.strip() or s.lstrip().startswith("#"):
-                continue
-            parts = s.split("\t")
-            if len(parts) != 4:
-                errors.append(f"{path}:{ln}: expected 4 tab-separated "
-                              f"fields (file, function, callee, reason)")
-                continue
-            entries.append((ln, parts[0], parts[1], parts[2], parts[3]))
-    return entries
-
-
 def run_analysis(root, verbose=False):
     an = Analyzer(root, verbose=verbose)
     an.check_rank_tables(os.path.join(root, "tools", "lock_ranks.tsv"),
                          os.path.join(root, "src", "util", "lock_rank.h"))
-    files = collect_files(root)
-    # Two passes: the first builds type maps / REQUIRES declarations /
-    # mutex-member facts, the second resolves receivers and lock names with
-    # the complete maps. Cheap (the tree is small) and order-independent.
-    for phase in (1, 2):
-        if phase == 2:
-            an.functions = {}
-            an.annotated_sites = []
-            an.mutex_members = []
-            an.unresolved = []
-        for path in files:
-            an.scan_file(path)
+    an.run(collect_files(root))
     an.check_mutex_members()
     an.compute_io_reach()
     return an

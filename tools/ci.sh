@@ -13,6 +13,15 @@
 #                  the audited untrusted-byte parsers (no compiler needed)
 #   check-lock-io  tools/check_lock_io.py interprocedural lock/blocking-I/O
 #                  analyzer + its --self-test (needs python3; skips without)
+#   check-resource-flow
+#                  tools/check_resource_flow.py interprocedural
+#                  resource-leak / status-drop analyzer over src/, plus the
+#                  shared-frontend unit tests (tools/test_cpp_frontend.py).
+#                  Needs python3; skips without.
+#   resource-flow-self-test
+#                  tools/check_resource_flow.py --self-test: every analyzer
+#                  rule must fire on a deliberately leaky seeded tree
+#                  (needs python3; skips without)
 #   gcc            g++ RelWithDebInfo, -Werror, full ctest
 #   clang-tsa      clang++ with -Wthread-safety -Werror + the seeded
 #                  compile-fail check (tools/check_thread_safety.sh)
@@ -64,6 +73,25 @@ leg_check_lock_io() {
   fi
   "$py" tools/check_lock_io.py --self-test
   "$py" tools/check_lock_io.py
+}
+
+leg_check_resource_flow() {
+  local py="${PYTHON:-python3}"
+  if ! have "$py"; then
+    echo "ci[check-resource-flow]: SKIP ($py not found)"
+    return 0
+  fi
+  "$py" tools/test_cpp_frontend.py
+  "$py" tools/check_resource_flow.py
+}
+
+leg_resource_flow_self_test() {
+  local py="${PYTHON:-python3}"
+  if ! have "$py"; then
+    echo "ci[resource-flow-self-test]: SKIP ($py not found)"
+    return 0
+  fi
+  "$py" tools/check_resource_flow.py --self-test
 }
 
 leg_gcc() {
@@ -153,6 +181,8 @@ run_leg() {
     lint-self-test) leg_lint_self_test ;;
     check-parsers) leg_check_parsers ;;
     check-lock-io) leg_check_lock_io ;;
+    check-resource-flow) leg_check_resource_flow ;;
+    resource-flow-self-test) leg_resource_flow_self_test ;;
     gcc)           leg_gcc ;;
     clang-tsa)     leg_clang_tsa ;;
     clang-tidy)    leg_clang_tidy ;;
@@ -161,7 +191,7 @@ run_leg() {
     asan-ubsan)    leg_asan_ubsan ;;
     fuzz-smoke)    leg_fuzz_smoke ;;
     *)
-      echo "unknown leg '$1' (legs: lint lint-self-test check-parsers check-lock-io gcc clang-tsa clang-tidy tsan tsan-obs asan-ubsan fuzz-smoke)" >&2
+      echo "unknown leg '$1' (legs: lint lint-self-test check-parsers check-lock-io check-resource-flow resource-flow-self-test gcc clang-tsa clang-tidy tsan tsan-obs asan-ubsan fuzz-smoke)" >&2
       return 2
       ;;
   esac
@@ -170,7 +200,9 @@ run_leg() {
 if [ "$#" -ge 1 ]; then
   run_leg "$1"
 else
-  for leg in lint lint-self-test check-parsers check-lock-io gcc clang-tsa clang-tidy tsan asan-ubsan fuzz-smoke; do
+  for leg in lint lint-self-test check-parsers check-lock-io \
+             check-resource-flow resource-flow-self-test \
+             gcc clang-tsa clang-tidy tsan asan-ubsan fuzz-smoke; do
     run_leg "$leg"
   done
   echo "=== ci: all legs done ==="

@@ -1,0 +1,816 @@
+#!/usr/bin/env python3
+"""Shared textual C++ frontend for lsmlab's interprocedural analyzers.
+
+Factored out of tools/check_lock_io.py (PR 7) so that the lock/blocking-I/O
+analyzer and the resource-flow/status-drop analyzer
+(tools/check_resource_flow.py) parse the tree exactly once each with the
+same machinery:
+
+  * preprocess()   -- blanks comments / string literals / preprocessor
+                      lines in place (same text length, newlines kept) and
+                      records which lines carry which audit annotations,
+  * FileScanner    -- a character-level scope-stack scanner that recognizes
+                      namespaces, classes, functions (in-class and
+                      out-of-class definitions), lambdas (skipped), blocks
+                      and brace-initializers, splits statements, tracks
+                      MutexLock scopes and raw Lock()/Unlock() spans with
+                      suspend/auto-restore for early-exit unlock patterns,
+                      and extracts call sites,
+  * Frontend       -- the per-tree fact base: the project call graph
+                      (Function/Site), class member -> type maps, method
+                      declaration metadata (REQUIRES entry locks, return
+                      types), receiver-chain resolution, and the
+                      unique-suffix function lookup.
+
+Analyzers subclass FileScanner (hook methods `on_*`) and/or Frontend
+(`classify_call`) to attach their own semantics; the parsing itself is
+identical for every tool, so a scanner fix benefits all of them at once.
+Unit tests: tools/test_cpp_frontend.py.
+
+Pure stdlib, python3 only.
+"""
+
+import json
+import os
+import re
+
+KEYWORDS = {
+    "if", "while", "for", "switch", "return", "sizeof", "catch", "new",
+    "delete", "assert", "defined", "alignof", "decltype", "static_cast",
+    "reinterpret_cast", "const_cast", "dynamic_cast", "static_assert",
+    "throw", "noexcept", "alignas", "typeid", "co_await", "co_return",
+}
+ATTR_MACROS = ("GUARDED_BY", "ACQUIRED_AFTER", "ACQUIRED_BEFORE", "REQUIRES",
+               "EXCLUDES", "RETURN_CAPABILITY", "CAPABILITY",
+               "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+               "ASSERT_CAPABILITY", "ACQUIRE", "RELEASE", "TRY_ACQUIRE")
+PTR_WRAPPERS = ("std::unique_ptr", "std::shared_ptr", "unique_ptr",
+                "shared_ptr")
+
+CALL_RE = re.compile(
+    r"((?:::)?[A-Za-z_]\w*(?:\s*(?:\.|->|::)\s*~?[A-Za-z_]\w*)*)\s*\(")
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*&\s*([^()]+?)\s*\)")
+LOCK_CALL_RE = re.compile(r"([\w.>\-]+?)\s*(?:\.|->)\s*(Lock|Unlock)\s*\(")
+DECL_RE = re.compile(
+    r"^\s*([A-Za-z_][\w:]*(?:<[^;={}]*?>)?)\s*[*&]*\s+(\w+)\s*"
+    r"(?:=|\(|\{|;|\s*$)")
+CV_RE = re.compile(r"\b(const|constexpr|volatile|mutable|static|inline)\b")
+SIG_NAME_RE = re.compile(r"([\w:~]+)\s*$")
+RET_QUAL_RE = re.compile(
+    r"\b(virtual|static|explicit|inline|constexpr|friend|const|mutable)\b")
+
+
+def preprocess(text, annotations=()):
+    """Blank comments, strings, and preprocessor lines (same length;
+    newlines kept). Returns (code, annotated, comment_only_lines) where
+    `annotated` maps each keyword in `annotations` to the set of line
+    numbers whose comments contain it."""
+    out = list(text)
+    n = len(text)
+    i = 0
+    annotated = {kw: set() for kw in annotations}
+    line = 1
+    line_has_code = {}
+    line_has_comment = {}
+
+    def blank(j):
+        if out[j] != "\n":
+            out[j] = " "
+
+    def note(seg, ln):
+        for kw in annotations:
+            if kw in seg:
+                annotated[kw].add(ln)
+
+    # Pass 1: preprocessor lines (incl. backslash continuations).
+    at_line_start = True
+    in_pp = False
+    while i < n:
+        c = text[i]
+        if at_line_start and not in_pp and text[i:].lstrip(" \t")[:1] == "#":
+            in_pp = True
+        if in_pp:
+            if c == "\n":
+                in_pp = text[i - 1] == "\\" if i > 0 else False
+            else:
+                blank(i)
+        at_line_start = c == "\n"
+        i += 1
+    text2 = "".join(out)
+
+    # Pass 2: comments and string/char literals.
+    i = 0
+    while i < n:
+        c = text2[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if text2.startswith("//", i):
+            end = text2.find("\n", i)
+            end = n if end < 0 else end
+            note(text2[i:end], line)
+            line_has_comment[line] = True
+            for j in range(i, end):
+                blank(j)
+            i = end
+            continue
+        if text2.startswith("/*", i):
+            end = text2.find("*/", i + 2)
+            end = n - 2 if end < 0 else end
+            seg = text2[i:end + 2]
+            for k, part in enumerate(seg.split("\n")):
+                note(part, line + k)
+                line_has_comment[line + k] = True
+            for j in range(i, end + 2):
+                blank(j)
+            line += seg.count("\n")
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text2[j] != quote:
+                if text2[j] == "\\":
+                    j += 1
+                j += 1
+            for k in range(i + 1, min(j, n)):
+                blank(k)
+            i = min(j, n - 1) + 1
+            continue
+        if not c.isspace():
+            line_has_code[line] = True
+        i += 1
+    code = "".join(out)
+    comment_only = {ln for ln in line_has_comment if ln not in line_has_code}
+    return code, annotated, comment_only
+
+
+class Site:
+    """One call site inside a function body."""
+    __slots__ = ("file", "line", "func", "callee", "method", "locks",
+                 "annotated", "notes", "leaf", "targets")
+
+    def __init__(self, file, line, func, callee, method, locks, annotated,
+                 leaf, targets, notes=frozenset()):
+        self.file = file            # repo-relative path
+        self.line = line
+        self.func = func            # Function owning the site
+        self.callee = callee        # normalized callee expression
+        self.method = method        # last component
+        self.locks = locks          # frozenset of held no-io lock names
+        self.annotated = annotated  # primary annotation applies here
+        self.notes = notes          # frozenset of all annotation keywords
+        self.leaf = leaf            # None or tool-defined leaf-kind string
+        self.targets = targets      # list of resolved Function keys
+
+
+class Function:
+    def __init__(self, key, file, line, cls, requires, returns=None):
+        self.key = key              # e.g. "DBImpl::FlushImmMemTable"
+        self.file = file
+        self.line = line
+        self.cls = cls              # owning class key or None
+        self.requires = requires    # qualified entry-lock names
+        self.returns = returns      # raw declared return type text or None
+        self.sites = []
+        self.locals = {}            # name -> normalized type
+        self.io_reach = None        # witness Site once known to reach a leaf
+
+
+class Scope:
+    __slots__ = ("kind", "name", "acquired")
+
+    def __init__(self, kind, name=""):
+        self.kind = kind  # namespace|class|function|block|lambda|inline
+        self.name = name
+        self.acquired = []  # lock names acquired in this scope (MutexLock)
+
+
+class Lock:
+    """A lock-held span inside the current function."""
+    __slots__ = ("name", "scope_idx", "suspended")
+
+    def __init__(self, name, scope_idx):
+        self.name = name          # qualified registered lock name
+        self.scope_idx = scope_idx  # scope stack index owning the acquire
+        self.suspended = None     # scope idx where a deeper Unlock happened
+
+
+def strip_type(t):
+    """Normalize a declared type to a bare class key."""
+    t = t.strip()
+    t = re.sub(r"\b(const|constexpr|static|mutable|volatile|inline)\b", "", t)
+    t = t.strip().rstrip("*& ")
+    for w in PTR_WRAPPERS:
+        if t.startswith(w + "<") and t.endswith(">"):
+            t = t[len(w) + 1:-1]
+            return strip_type(t)
+    t = t.replace("*", "").replace("&", "").strip()
+    if t.startswith("lsmlab::"):
+        t = t[len("lsmlab::"):]
+    return t
+
+
+def match_decl(s):
+    """DECL_RE with cv/storage qualifiers stripped (handles `Env* const x;`
+    as well as `const Env* x;`)."""
+    return DECL_RE.match(CV_RE.sub(" ", s).strip())
+
+
+class Frontend:
+    """Per-tree fact base shared by the analyzers.
+
+    `annotations` lists every audit-comment keyword the tool cares about;
+    the first entry is the *primary* one reflected in Site.annotated (the
+    others are available via Site.notes). `rank_names` maps qualified lock
+    names to (rank, io_ok) — tools that do not track locks leave it empty,
+    which makes every held-lock set empty.
+    """
+
+    scanner_class = None  # set below (FileScanner); overridable by tools
+
+    def __init__(self, root, annotations=(), verbose=False):
+        self.root = root
+        self.verbose = verbose
+        self.annotations = tuple(annotations)
+        self.functions = {}       # key -> Function (first definition wins)
+        self.class_members = {}   # class key -> {member: type}
+        self.decl_requires = {}   # (class key, method) -> [lock exprs]
+        self.decl_returns = {}    # (class key, method) -> raw return type
+        self.mutex_members = []   # (class key, member, enum-or-None, file, ln)
+        self.annotated_sites = [] # every Site carrying the primary annotation
+        self.unresolved = []      # (file, line, callee) skipped calls
+        self.rank_names = {}      # lock name -> (rank, io_ok)
+        self.errors = []
+
+    # -- scanning ---------------------------------------------------------
+    def scan_file(self, path):
+        rel = os.path.relpath(path, self.root)
+        with open(path) as f:
+            text = f.read()
+        code, annotated, comment_only = preprocess(text, self.annotations)
+        scanner = (self.scanner_class or FileScanner)(
+            self, rel, code, annotated, comment_only)
+        scanner.run()
+
+    def run(self, files):
+        """Two passes: the first builds type maps / declaration metadata /
+        mutex-member facts, the second resolves receivers and lock names
+        with the complete maps. Cheap (the tree is small) and
+        order-independent."""
+        for phase in (1, 2):
+            if phase == 2:
+                self.reset_pass()
+            for path in files:
+                self.scan_file(path)
+
+    def reset_pass(self):
+        """Drop pass-1 facts that pass 2 rebuilds with complete type maps.
+        Subclasses extend this to clear their own per-pass collections."""
+        self.functions = {}
+        self.annotated_sites = []
+        self.mutex_members = []
+        self.unresolved = []
+
+    # -- resolution -------------------------------------------------------
+    def qualify_lock(self, expr, func, cls):
+        """Map a lock expression (`mu_`, `shard->mu`, `state_->mu`) to its
+        registered name, or None if it is not a ranked lock."""
+        expr = expr.replace(" ", "")
+        parts = re.split(r"\.|->", expr)
+        if len(parts) == 1:
+            owner = cls
+        else:
+            owner = self.resolve_chain(parts[:-1], func, cls)
+        member = parts[-1]
+        if owner:
+            qual = f"{owner}::{member}"
+            if qual in self.rank_names:
+                return qual
+        # Fallback: unique suffix match against registered names. Tries the
+        # partially-qualified form first (`Shard::mu` -> LruCache::Shard::mu)
+        # and the bare member last (`readers_mu_` is unique; `mu_` is not).
+        for needle in ([f"{owner}::{member}"] if owner else []) + [member]:
+            hits = [n for n in self.rank_names
+                    if n == needle or n.endswith("::" + needle)]
+            if len(hits) == 1:
+                return hits[0]
+        return None
+
+    def resolve_chain(self, parts, func, cls):
+        """Resolve a receiver chain like ['options_', 'env'] to a class key."""
+        if not parts:
+            return None
+        first = parts[0]
+        t = None
+        if func is not None and first in func.locals:
+            t = func.locals[first]
+        elif cls and first in self.class_members.get(cls, {}):
+            t = self.class_members[cls][first]
+        elif first == "this":
+            t = cls
+        else:
+            # Unique match across all known class members (helps for
+            # nested-class receivers like `state_` used from inner classes).
+            hits = {m[first] for m in self.class_members.values()
+                    if first in m}
+            if len(hits) == 1:
+                t = hits.pop()
+        if t is None:
+            return None
+        for comp in parts[1:]:
+            members = self.class_members.get(t)
+            if members is None or comp not in members:
+                return None
+            t = members[comp]
+        return t
+
+    def lookup(self, key):
+        """Function lookup with a unique-suffix fallback so `Shard::Unref`
+        finds `LruCache::Shard::Unref`."""
+        f = self.functions.get(key)
+        if f is not None:
+            return f
+        hits = [g for k, g in self.functions.items()
+                if k.endswith("::" + key)]
+        return hits[0] if len(hits) == 1 else None
+
+    def return_type_of(self, key):
+        """Raw declared return type for a function key, preferring the
+        definition's signature and falling back to the in-class
+        declaration. None when unknown (constructors, unseen functions)."""
+        f = self.lookup(key)
+        if f is not None and f.returns:
+            return f.returns
+        if "::" in key:
+            cls, _, name = key.rpartition("::")
+            ret = self.decl_returns.get((cls, name))
+            if ret:
+                return ret
+        return None
+
+    # -- tool hook --------------------------------------------------------
+    def classify_call(self, scanner, func, cls, expr, parts, method):
+        """Return (leaf, targets): `leaf` is a tool-defined kind string for
+        calls that terminate analysis at this site (None otherwise) and
+        `targets` the candidate project-function keys. The default performs
+        receiver resolution only; tools override to add leaf tables."""
+        leaf = None
+        targets = []
+        if len(parts) > 1 and "::" not in parts[-1]:
+            recv = self.resolve_chain(parts[:-1], func, cls)
+            if recv is not None:
+                targets = [f"{recv}::{method}"]
+        elif "::" in expr:
+            targets = [expr[2:] if expr.startswith("::") else expr]
+        elif cls is not None:
+            targets = [f"{cls}::{method}", method]
+        else:
+            targets = [method]
+        return leaf, targets
+
+
+class FileScanner:
+    """Character-level scanner: scope stack + per-function lock tracking.
+
+    Subclass hook methods (all default no-ops):
+      on_function_begin(func)            -- after a definition opens
+      on_function_end(func)              -- when its scope closes
+      on_block_open(scope_idx, header)   -- block scope pushed inside a
+                                            function; `header` is the
+                                            if/for/while text (or "")
+      on_scope_close(scope, idx)         -- any scope inside a function
+                                            closed (before lock cleanup)
+      on_statement(stmt, line)           -- every statement inside a
+                                            function, after lock events and
+                                            call extraction
+    """
+
+    LAMBDA_TAIL_RE = re.compile(
+        r"\[[^\[\]]*\]\s*(\([^()]*\))?\s*(mutable\b\s*)?(noexcept\b\s*)?"
+        r"(->\s*[\w:<>,&*\s]+)?$")
+    BLOCK_HEAD_RE = re.compile(r"^\s*(if|for|while|switch|do|else|try|catch)\b")
+    CLASS_RE = re.compile(
+        r"\b(?:class|struct)\s+([A-Za-z_][\w:]*)\s*(?:final\s*)?(?::[^{]*)?$")
+    NS_RE = re.compile(r"\bnamespace\s+([A-Za-z_]\w*)?\s*$")
+
+    # Methods never treated as analyzable calls (lock/CV plumbing).
+    SKIP_METHODS = ("Lock", "Unlock", "TryLock", "Wait", "TimedWait",
+                    "MutexLock", "ScopedBlockingIoAllowed")
+
+    def __init__(self, an, rel, code, annotated_lines, comment_only):
+        self.an = an
+        self.rel = rel
+        self.code = code
+        # {keyword: set(lines)}; primary = first configured annotation.
+        self.annotated_lines = annotated_lines
+        self.comment_only = comment_only
+        self.scopes = [Scope("global")]
+        self.ns = []              # inner namespaces beyond lsmlab
+        self.func = None          # current Function (innermost)
+        self.locks = []           # list of Lock, in acquisition order
+        self.pending = ""
+        self.pending_line = 1
+
+    # -- subclass hooks ----------------------------------------------------
+    def on_function_begin(self, func):
+        pass
+
+    def on_function_end(self, func):
+        pass
+
+    def on_block_open(self, scope_idx, header):
+        pass
+
+    def on_scope_close(self, scope, idx):
+        pass
+
+    def on_statement(self, stmt, line):
+        pass
+
+    # class key from current scope stack (inner namespaces + class names)
+    def class_key(self):
+        names = [s.name for s in self.scopes if s.kind == "class" and s.name]
+        if not names:
+            return None
+        return "::".join(self.ns + names)
+
+    def run(self):
+        line = 1
+        paren = 0
+        i = 0
+        code = self.code
+        n = len(code)
+        while i < n:
+            c = code[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                continue
+            if self.scopes[-1].kind == "lambda":
+                if c == "{":
+                    self.scopes.append(Scope("lambda"))
+                elif c == "}":
+                    self.scopes.pop()
+                i += 1
+                continue
+            if c == "(":
+                paren += 1
+            elif c == ")":
+                paren = max(0, paren - 1)
+            elif c == "{":
+                self.open_brace(line, paren)
+                i += 1
+                continue
+            elif c == "}":
+                self.close_brace()
+                i += 1
+                continue
+            elif c == ";" and paren == 0:
+                self.statement(self.pending, self.pending_line)
+                self.reset_pending(line)
+                i += 1
+                continue
+            if not self.pending.strip():
+                self.pending_line = line
+            self.pending += c
+            i += 1
+
+    def reset_pending(self, line):
+        self.pending = ""
+        self.pending_line = line
+
+    def strip_attrs(self, text):
+        out = text
+        for mac in ATTR_MACROS:
+            out = re.sub(r"\b" + mac + r"\s*\([^()]*\)", " ", out)
+        return out
+
+    def open_brace(self, line, paren):
+        pending = self.pending.strip()
+        if self.LAMBDA_TAIL_RE.search(pending):
+            self.scopes.append(Scope("lambda"))
+            return
+        if paren > 0:
+            self.scopes.append(Scope("inline"))
+            return
+        m = self.NS_RE.search(pending)
+        if m:
+            name = m.group(1) or ""
+            if name and name != "lsmlab":
+                self.ns.append(name)
+                self.scopes.append(Scope("namespace", name))
+            else:
+                self.scopes.append(Scope("namespace", ""))
+            self.reset_pending(line)
+            return
+        m = self.CLASS_RE.search(pending)
+        if m and "enum" not in pending:
+            self.scopes.append(Scope("class", m.group(1)))
+            self.reset_pending(line)
+            return
+        in_function = self.func is not None
+        stripped = self.strip_attrs(pending).strip()
+        if not in_function:
+            # function definition?  needs '(' ... ')' tail (after attrs).
+            if ("(" in stripped and
+                    re.search(r"\)\s*(const\s*)?(noexcept\s*)?(override\s*)?"
+                              r"(final\s*)?(:[^;{]*)?$", stripped) and
+                    "enum" not in stripped and "=" not in
+                    re.sub(r":[^;{]*$", "", stripped)):
+                self.begin_function(pending, line)
+                self.reset_pending(line)
+                return
+            self.scopes.append(Scope("inline"))
+            return
+        # Inside a function: block vs brace-init.
+        if self.BLOCK_HEAD_RE.match(pending) or not pending:
+            self.statement(self.pending, self.pending_line)  # block header
+            self.scopes.append(Scope("block"))
+            self.on_block_open(len(self.scopes) - 1, pending)
+            self.reset_pending(line)
+            return
+        if stripped.endswith(")"):
+            self.statement(self.pending, self.pending_line)
+            self.scopes.append(Scope("block"))
+            self.on_block_open(len(self.scopes) - 1, pending)
+            self.reset_pending(line)
+            return
+        self.scopes.append(Scope("inline"))
+
+    def begin_function(self, pending, line):
+        head = re.sub(r":\s*[^;{]*$", "", pending) \
+            if re.search(r"\)\s*:\s*\w", pending) else pending
+        lp = head.find("(")
+        name_m = SIG_NAME_RE.search(head[:lp]) if lp > 0 else None
+        cls = self.class_key()
+        if name_m is None:
+            key = f"<anon@{self.rel}:{line}>"
+            name = key
+            returns = None
+        else:
+            name = name_m.group(1)
+            returns = self.signature_return_type(head[:lp], name_m)
+            if "::" in name and cls is None:
+                # Out-of-class definition: Class::Method
+                cls = "::".join((self.ns + name.split("::")[:-1]))
+                key = "::".join(self.ns + name.split("::"))
+                name = name.split("::")[-1]
+            elif cls is not None:
+                key = f"{cls}::{name}"
+            else:
+                key = "::".join(self.ns + [name])
+        req_exprs = re.findall(r"\bREQUIRES\s*\(([^()]*)\)", pending)
+        req_exprs = [e.strip() for grp in req_exprs for e in grp.split(",")]
+        if not req_exprs and cls is not None:
+            req_exprs = self.an.decl_requires.get((cls, name), [])
+        f = Function(key, self.rel, line, cls, [], returns)
+        # Parameters -> local types.
+        if lp > 0:
+            params = head[lp + 1:head.rfind(")")]
+            for p in params.split(","):
+                dm = match_decl(p.strip() + ";")
+                if dm:
+                    f.locals[dm.group(2)] = strip_type(dm.group(1))
+        for e in req_exprs:
+            q = self.an.qualify_lock(e, f, cls)
+            if q is not None:
+                f.requires.append(q)
+        self.an.functions[key] = f
+        self.func = f
+        self.scopes.append(Scope("function", name))
+        self.locks = [
+            Lock(q, len(self.scopes) - 1) for q in f.requires]
+        self.on_function_begin(f)
+
+    def signature_return_type(self, before_name, name_m):
+        """Raw return-type text preceding the function name in a signature
+        head, or None (constructors/destructors, conversion operators)."""
+        ret = self.strip_attrs(before_name[:name_m.start()])
+        ret = re.sub(r"\b(public|protected|private)\s*:", " ", ret)
+        ret = RET_QUAL_RE.sub(" ", ret)
+        ret = RET_QUAL_RE.sub(" ", ret).strip()
+        return " ".join(ret.split()) or None
+
+    def close_brace(self):
+        if len(self.scopes) <= 1:
+            return
+        scope = self.scopes.pop()
+        idx = len(self.scopes)  # index the popped scope had
+        if scope.kind in ("namespace",) and scope.name:
+            if self.ns and self.ns[-1] == scope.name:
+                self.ns.pop()
+        if self.func is not None:
+            self.on_scope_close(scope, idx)
+            # Release MutexLocks acquired in this scope; restore suspended
+            # manual locks whose deeper Unlock scope just closed (the unlock
+            # sat on an early-exit path or was re-Locked before the close).
+            self.locks = [lk for lk in self.locks
+                          if not (lk.scope_idx == idx and lk.suspended is None
+                                  and lk.name in scope.acquired)]
+            for lk in self.locks:
+                if lk.suspended is not None and lk.suspended >= idx:
+                    lk.suspended = None
+        if scope.kind == "function":
+            self.on_function_end(self.func)
+            self.func = None
+            self.locks = []
+        self.reset_pending(self.pending_line)
+
+    # -- statement analysis ------------------------------------------------
+    def held_locks(self):
+        held = set()
+        for lk in self.locks:
+            if lk.suspended is not None:
+                continue
+            info = self.an.rank_names.get(lk.name)
+            if info is not None and not info[1]:  # no-io only
+                held.add(lk.name)
+        return frozenset(held)
+
+    def statement(self, stmt, line):
+        if self.func is None:
+            self.class_member_decl(stmt, line)
+            return
+        f = self.func
+        cls = f.cls
+        # Local declarations feed receiver-type resolution.
+        dm = match_decl(stmt.strip())
+        if dm and dm.group(1) not in ("return", "delete", "new"):
+            f.locals.setdefault(dm.group(2), strip_type(dm.group(1)))
+        # Lock events first: a MutexLock on this statement guards later text.
+        ml = MUTEXLOCK_RE.search(stmt)
+        if ml:
+            q = self.an.qualify_lock(ml.group(1), f, cls)
+            if q is not None:
+                idx = len(self.scopes) - 1
+                self.locks.append(Lock(q, idx))
+                self.scopes[-1].acquired.append(q)
+        for m in LOCK_CALL_RE.finditer(stmt):
+            expr, op = m.group(1), m.group(2)
+            q = self.an.qualify_lock(expr, f, cls)
+            if q is None:
+                continue
+            if op == "Lock":
+                existing = [lk for lk in self.locks if lk.name == q]
+                resumed = False
+                for lk in existing:
+                    if lk.suspended is not None:
+                        lk.suspended = None
+                        resumed = True
+                        break
+                if not resumed:
+                    self.locks.append(Lock(q, len(self.scopes) - 1))
+            else:  # Unlock
+                for lk in reversed(self.locks):
+                    if lk.name == q and lk.suspended is None:
+                        here = len(self.scopes) - 1
+                        if here > lk.scope_idx:
+                            lk.suspended = here  # maybe early-exit path
+                        else:
+                            self.locks.remove(lk)
+                        break
+        self.extract_calls(stmt, line)
+        self.on_statement(stmt, line)
+
+    def class_member_decl(self, stmt, line):
+        cls = self.class_key()
+        if cls is None:
+            return
+        s = stmt.strip()
+        # Method declarations: REQUIRES entry locks and return types.
+        if "(" in s:
+            lp = s.find("(")
+            nm = SIG_NAME_RE.search(s[:lp])
+            if nm:
+                mname = nm.group(1).split("::")[-1]
+                reqs = re.findall(r"\bREQUIRES\s*\(([^()]*)\)", s)
+                reqs = [e.strip() for grp in reqs for e in grp.split(",")]
+                if reqs:
+                    self.an.decl_requires[(cls, mname)] = reqs
+                ret = self.signature_return_type(s[:lp], nm)
+                if ret:
+                    self.an.decl_returns.setdefault((cls, mname), ret)
+        # Mutex members (ranked or not).
+        mm = re.match(
+            r"^(?:mutable\s+)?Mutex\s+(\w+)\s*"
+            r"(?:ACQUIRED_AFTER\([^()]*\)\s*)?"
+            r"(?:\{\s*LockRank::(\w+)\s*\})?$", self.strip_guarded(s))
+        if mm:
+            self.an.mutex_members.append(
+                (cls, mm.group(1), mm.group(2), self.rel, line))
+        # Plain member declarations feed the type maps.
+        dm = match_decl(self.strip_attrs(s))
+        if dm and "(" not in s.split(dm.group(2))[0]:
+            self.an.class_members.setdefault(cls, {})[dm.group(2)] = \
+                strip_type(dm.group(1))
+
+    @staticmethod
+    def strip_guarded(s):
+        s = re.sub(r"\bGUARDED_BY\s*\([^()]*\)", " ", s)
+        s = re.sub(r"=\s*[^;{]*$", "", s)
+        return " ".join(s.split())
+
+    def primary_lines(self):
+        if not self.an.annotations:
+            return set()
+        return self.annotated_lines[self.an.annotations[0]]
+
+    def is_annotated(self, line, lines=None):
+        """True when `line` (or the run of comment-only lines immediately
+        above it) carries the annotation; `lines` defaults to the primary
+        keyword's line set."""
+        if lines is None:
+            lines = self.primary_lines()
+        if line in lines:
+            return True
+        ln = line - 1
+        while ln > 0 and ln in self.comment_only:
+            if ln in lines:
+                return True
+            ln -= 1
+        return False
+
+    def annotation_notes(self, line):
+        return frozenset(kw for kw in self.an.annotations
+                         if self.is_annotated(line, self.annotated_lines[kw]))
+
+    def extract_calls(self, stmt, line):
+        f = self.func
+        cls = f.cls
+        stmt = re.sub(r"\.get\(\)\s*->", "->", stmt)
+        stmt = re.sub(r"\.get\(\)\s*\.", ".", stmt)
+        held = self.held_locks()
+        annotated = self.is_annotated(line)
+        notes = self.annotation_notes(line)
+        for m in CALL_RE.finditer(stmt):
+            expr = re.sub(r"\s+", "", m.group(1))
+            parts = re.split(r"\.|->", expr)
+            method = parts[-1].split("::")[-1]
+            if method in KEYWORDS or method.startswith("~"):
+                continue
+            if method in self.SKIP_METHODS:
+                continue
+            leaf, targets = self.an.classify_call(self, f, cls, expr, parts,
+                                                  method)
+            site = Site(self.rel, line, f, expr, method, held, annotated,
+                        leaf, targets, notes)
+            if annotated:
+                self.an.annotated_sites.append(site)
+            if leaf is not None or targets:
+                f.sites.append(site)
+            elif held and self.an.verbose:
+                self.an.unresolved.append((self.rel, line, expr))
+
+
+Frontend.scanner_class = FileScanner
+
+
+# ---------------------------------------------------------------- helpers --
+def collect_files(root):
+    """Every .h/.cc under src/ (union of compile_commands.json when present
+    and a directory walk), headers first so declarations precede
+    definitions."""
+    files = set()
+    cc = os.path.join(root, "build", "compile_commands.json")
+    if os.path.exists(cc):
+        try:
+            with open(cc) as f:
+                entries = json.load(f)
+            for entry in entries:
+                p = entry.get("file", "")
+                if p.endswith((".cc", ".h")) and os.path.exists(p):
+                    if os.path.realpath(p).startswith(
+                            os.path.realpath(os.path.join(root, "src"))):
+                        files.add(os.path.realpath(p))
+        except (ValueError, OSError):
+            pass
+    src = os.path.join(root, "src")
+    for dirpath, _, names in os.walk(src):
+        for nm in names:
+            if nm.endswith((".h", ".cc")):
+                files.add(os.path.realpath(os.path.join(dirpath, nm)))
+    # Headers first so declarations (REQUIRES, members) precede definitions.
+    return sorted(files, key=lambda p: (not p.endswith(".h"), p))
+
+
+def load_audit_list(path, errors):
+    """Tab-separated audit rows: file, function, callee, reason. Returns
+    [(line_no, file, function, callee, reason)]."""
+    entries = []
+    if not os.path.exists(path):
+        errors.append(f"missing audit list: {path}")
+        return entries
+    with open(path) as f:
+        for ln, raw in enumerate(f, 1):
+            s = raw.rstrip("\n")
+            if not s.strip() or s.lstrip().startswith("#"):
+                continue
+            parts = s.split("\t")
+            if len(parts) != 4:
+                errors.append(f"{path}:{ln}: expected 4 tab-separated "
+                              f"fields (file, function, callee, reason)")
+                continue
+            entries.append((ln, parts[0], parts[1], parts[2], parts[3]))
+    return entries

@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/cpp_frontend.py (pure stdlib, python3 -m unittest).
+
+Covers the scanner/call-graph corner cases the analyzers rely on:
+preprocessing (comments, strings, preprocessor lines, annotation lines),
+scope tracking (namespaces, in-class and out-of-class definitions, nested
+blocks, lambdas), lock spans (MutexLock scopes, early-exit Unlock
+suspend/restore), receiver-chain resolution, declared-return-type capture,
+and the unique-suffix function lookup.
+
+Run: python3 tools/test_cpp_frontend.py
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpp_frontend  # noqa: E402
+from cpp_frontend import Frontend, preprocess, strip_type  # noqa: E402
+
+
+def build(files, annotations=(), rank_names=None):
+    """Write `files` ({relpath: text}) to a temp tree, scan them with a
+    fresh Frontend (headers first, two phases), return the frontend."""
+    with tempfile.TemporaryDirectory(prefix="cpp_frontend_test_") as tmp:
+        paths = []
+        for rel, text in files.items():
+            p = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(p), exist_ok=True)
+            with open(p, "w") as f:
+                f.write(text)
+            paths.append(p)
+        paths.sort(key=lambda p: (not p.endswith(".h"), p))
+        fe = Frontend(tmp, annotations=annotations)
+        if rank_names:
+            fe.rank_names = dict(rank_names)
+        fe.run(paths)
+        return fe
+
+
+class PreprocessTest(unittest.TestCase):
+    def test_blanks_comments_strings_and_pp_lines(self):
+        text = ('#include "x.h"\n'
+                'int a = 1; // trailing note\n'
+                '/* block\n spans */ int b = 2;\n'
+                'const char* s = "quoted // not a comment";\n')
+        code, annotated, comment_only = preprocess(text)
+        self.assertEqual(len(code), len(text))
+        self.assertNotIn("include", code)
+        self.assertNotIn("trailing", code)
+        self.assertNotIn("spans", code)
+        self.assertNotIn("quoted", code)
+        self.assertIn("int a = 1;", code)
+        self.assertIn("int b = 2;", code)
+
+    def test_annotation_lines_and_comment_only_runs(self):
+        text = ("int f() {\n"
+                "  // first-kw: reason spans\n"
+                "  // a second comment-only line\n"
+                "  g();\n"
+                "  h();  // second-kw: inline\n"
+                "}\n")
+        _, annotated, comment_only = preprocess(
+            text, annotations=("first-kw", "second-kw"))
+        self.assertEqual(annotated["first-kw"], {2})
+        self.assertEqual(annotated["second-kw"], {5})
+        self.assertEqual(comment_only, {2, 3})
+
+    def test_backslash_continued_pp_line(self):
+        text = ("#define M(x) \\\n  call(x)\n"
+                "int real() { return 0; }\n")
+        code, _, _ = preprocess(text)
+        self.assertNotIn("call(x)", code)
+        self.assertIn("int real()", code)
+
+
+class StripTypeTest(unittest.TestCase):
+    def test_wrappers_and_qualifiers(self):
+        self.assertEqual(strip_type("const std::unique_ptr<Env>&"), "Env")
+        self.assertEqual(strip_type("std::shared_ptr<SSTable>"), "SSTable")
+        self.assertEqual(strip_type("lsmlab::Iterator*"), "Iterator")
+        self.assertEqual(strip_type("WritableFile *"), "WritableFile")
+
+
+HEADER = """\
+#pragma once
+namespace lsmlab {
+class Env {
+ public:
+  Status RemoveFile(const std::string& f);
+};
+class Table {
+ public:
+  Iterator* NewIterator() const;
+  Status Sync() REQUIRES(mu_);
+ private:
+  Mutex mu_{LockRank::kTableMu};
+  Env* env_;
+};
+}  // namespace lsmlab
+"""
+
+
+class ScannerTest(unittest.TestCase):
+    def test_in_class_and_out_of_class_definitions(self):
+        fe = build({
+            "t.h": HEADER,
+            "t.cc": ("#include \"t.h\"\n"
+                     "namespace lsmlab {\n"
+                     "Iterator* Table::NewIterator() const {\n"
+                     "  return nullptr;\n"
+                     "}\n"
+                     "Status Table::Sync() { return Status::OK(); }\n"
+                     "}\n"),
+        })
+        self.assertIn("Table::NewIterator", fe.functions)
+        self.assertIn("Table::Sync", fe.functions)
+        self.assertEqual(fe.functions["Table::NewIterator"].cls, "Table")
+
+    def test_return_type_from_definition_and_declaration(self):
+        fe = build({"t.h": HEADER})
+        # In-class declaration only: return_type_of falls back to decl map.
+        self.assertEqual(fe.return_type_of("Table::NewIterator"),
+                         "Iterator*")
+        self.assertEqual(fe.return_type_of("Env::RemoveFile"), "Status")
+        self.assertIsNone(fe.return_type_of("Table::NoSuchMethod"))
+
+    def test_requires_from_declaration_applies_to_definition(self):
+        fe = build({
+            "t.h": HEADER,
+            "t.cc": ("namespace lsmlab {\n"
+                     "Status Table::Sync() { return Status::OK(); }\n"
+                     "}\n"),
+        }, rank_names={"Table::mu_": (10, False)})
+        self.assertEqual(fe.functions["Table::Sync"].requires, ["Table::mu_"])
+
+    def test_lambda_bodies_are_skipped(self):
+        fe = build({
+            "t.cc": ("namespace lsmlab {\n"
+                     "void Run() {\n"
+                     "  auto fn = [&](int x) {\n"
+                     "    Helper();\n"
+                     "    if (x) { Inner(); }\n"
+                     "  };\n"
+                     "  Outer();\n"
+                     "}\n"
+                     "}\n"),
+        })
+        f = fe.functions["Run"]
+        callees = {s.method for s in f.sites}
+        self.assertIn("Outer", callees)
+        self.assertNotIn("Helper", callees)
+        self.assertNotIn("Inner", callees)
+
+    def test_nested_scopes_and_member_receiver_resolution(self):
+        fe = build({
+            "t.h": HEADER,
+            "t.cc": ("namespace lsmlab {\n"
+                     "void Table::Go(Env* e) {\n"
+                     "  if (true) {\n"
+                     "    for (int i = 0; i < 2; i++) {\n"
+                     "      env_->RemoveFile(\"a\");\n"
+                     "      e->RemoveFile(\"b\");\n"
+                     "    }\n"
+                     "  }\n"
+                     "}\n"
+                     "}\n"),
+        })
+        f = fe.functions["Table::Go"]
+        targets = [t for s in f.sites for t in s.targets]
+        # Both the member (env_) and the parameter (e) resolve to Env.
+        self.assertEqual(targets.count("Env::RemoveFile"), 2)
+
+    def test_unique_suffix_lookup(self):
+        fe = build({
+            "t.cc": ("namespace lsmlab {\n"
+                     "void LruCache::Shard::Unref() {}\n"
+                     "}\n"),
+        })
+        self.assertIsNotNone(fe.lookup("Shard::Unref"))
+        self.assertIsNotNone(fe.lookup("LruCache::Shard::Unref"))
+        self.assertIsNone(fe.lookup("NoSuch::Unref"))
+
+
+LOCK_HDR = """\
+#pragma once
+namespace lsmlab {
+class W {
+ public:
+  void Scoped();
+  void Early(bool fail);
+  void Resume();
+ private:
+  Mutex mu_{LockRank::kWMu};
+};
+}
+"""
+RANKS = {"W::mu_": (10, False)}
+
+
+def held_at(fe, key, method):
+    f = fe.functions[key]
+    for s in f.sites:
+        if s.method == method:
+            return s.locks
+    raise AssertionError(f"no call to {method} in {key}")
+
+
+class LockSpanTest(unittest.TestCase):
+    def test_mutexlock_scope_release(self):
+        fe = build({
+            "w.h": LOCK_HDR,
+            "w.cc": ("namespace lsmlab {\n"
+                     "void W::Scoped() {\n"
+                     "  {\n"
+                     "    MutexLock l(&mu_);\n"
+                     "    Inside();\n"
+                     "  }\n"
+                     "  Outside();\n"
+                     "}\n"
+                     "}\n"),
+        }, rank_names=RANKS)
+        self.assertEqual(held_at(fe, "W::Scoped", "Inside"), {"W::mu_"})
+        self.assertEqual(held_at(fe, "W::Scoped", "Outside"), frozenset())
+
+    def test_early_exit_unlock_span_restored(self):
+        # Unlock inside an early-return branch must not clear the lock for
+        # the code after the branch (the span is suspended, then restored
+        # when the branch scope closes).
+        fe = build({
+            "w.h": LOCK_HDR,
+            "w.cc": ("namespace lsmlab {\n"
+                     "void W::Early(bool fail) {\n"
+                     "  mu_.Lock();\n"
+                     "  if (fail) {\n"
+                     "    mu_.Unlock();\n"
+                     "    Bail();\n"
+                     "    return;\n"
+                     "  }\n"
+                     "  StillHeld();\n"
+                     "  mu_.Unlock();\n"
+                     "  After();\n"
+                     "}\n"
+                     "}\n"),
+        }, rank_names=RANKS)
+        self.assertEqual(held_at(fe, "W::Early", "Bail"), frozenset())
+        self.assertEqual(held_at(fe, "W::Early", "StillHeld"), {"W::mu_"})
+        self.assertEqual(held_at(fe, "W::Early", "After"), frozenset())
+
+    def test_same_scope_unlock_then_relock(self):
+        fe = build({
+            "w.h": LOCK_HDR,
+            "w.cc": ("namespace lsmlab {\n"
+                     "void W::Resume() {\n"
+                     "  mu_.Lock();\n"
+                     "  A();\n"
+                     "  mu_.Unlock();\n"
+                     "  B();\n"
+                     "  mu_.Lock();\n"
+                     "  C();\n"
+                     "  mu_.Unlock();\n"
+                     "}\n"
+                     "}\n"),
+        }, rank_names=RANKS)
+        self.assertEqual(held_at(fe, "W::Resume", "A"), {"W::mu_"})
+        self.assertEqual(held_at(fe, "W::Resume", "B"), frozenset())
+        self.assertEqual(held_at(fe, "W::Resume", "C"), {"W::mu_"})
+
+
+class AnnotationTest(unittest.TestCase):
+    def test_annotation_applies_to_line_and_run_above(self):
+        fe = build({
+            "a.cc": ("namespace lsmlab {\n"
+                     "void F() {\n"
+                     "  // my-kw: reason on the run above\n"
+                     "  Above();\n"
+                     "  Inline();  // my-kw: same line\n"
+                     "  Bare();\n"
+                     "}\n"
+                     "}\n"),
+        }, annotations=("my-kw",))
+        f = fe.functions["F"]
+        by_name = {s.method: s for s in f.sites}
+        self.assertTrue(by_name["Above"].annotated)
+        self.assertTrue(by_name["Inline"].annotated)
+        self.assertFalse(by_name["Bare"].annotated)
+
+    def test_multi_keyword_notes(self):
+        fe = build({
+            "a.cc": ("namespace lsmlab {\n"
+                     "void F() {\n"
+                     "  X();  // kw-one: p  kw-two: q\n"
+                     "  Y();  // kw-two: only\n"
+                     "}\n"
+                     "}\n"),
+        }, annotations=("kw-one", "kw-two"))
+        f = fe.functions["F"]
+        by_name = {s.method: s for s in f.sites}
+        self.assertEqual(by_name["X"].notes, {"kw-one", "kw-two"})
+        self.assertEqual(by_name["Y"].notes, {"kw-two"})
+        self.assertFalse(by_name["Y"].annotated)  # primary is kw-one
+
+
+if __name__ == "__main__":
+    unittest.main()
