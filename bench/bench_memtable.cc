@@ -5,6 +5,19 @@
 // searches faster (cache locality) but pays O(n) inserts; an auxiliary
 // hash index gives O(1) latest-version gets on either representation for
 // extra memory.
+//
+// E23 (--threads=1,2,4,8) — Concurrent memtable inserts.
+//
+// Claims: `InsertConcurrently`'s per-level CAS splice lets N writers
+// insert into one skiplist memtable with near-linear scaling (the list is
+// insert-only, so a failed CAS only re-walks one splice level), while the
+// serial `Add` path caps throughput at one writer no matter how many
+// threads the write path runs. CAS retries stay rare relative to inserts
+// — contention is per-splice-neighborhood, not global.
+
+#include <atomic>
+#include <cstring>
+#include <thread>
 
 #include "bench_common.h"
 #include "memtable/memtable.h"
@@ -64,8 +77,112 @@ void Run() {
       "# index makes get_ns flat and small on both, for extra memory.\n");
 }
 
+void RunE23Threads(const std::vector<int>& thread_counts) {
+  PrintHeader("E23a concurrent memtable inserts vs writer threads",
+              "mode,threads,entries,kinserts_per_s,speedup,cas_retries");
+  InternalKeyComparator icmp(BytewiseComparator());
+  constexpr size_t kN = 400'000;  // fixed total keys across every row
+
+  auto gen = NewUniformGenerator(kKeyDomain, 42);
+  std::vector<std::string> keys;
+  keys.reserve(kN);
+  for (size_t i = 0; i < kN; i++) {
+    keys.push_back(EncodeKey(gen->Next()));
+  }
+
+  // Serial baseline: the pre-change single-writer Add path.
+  double serial_wps = 0;
+  {
+    MemTable* mem = new MemTable(icmp, MemTable::Rep::kSkipList, false);
+    mem->Ref();
+    const double ms = TimeMs([&] {
+      for (size_t i = 0; i < kN; i++) {
+        mem->Add(i + 1, ValueType::kTypeValue, keys[i], "value");
+      }
+    });
+    serial_wps = kN / (ms / 1000.0);
+    std::printf("serial_add,1,%zu,%.1f,1.00x,0\n", kN, serial_wps / 1000.0);
+    mem->Unref();
+  }
+
+  for (int threads : thread_counts) {
+    MemTable* mem = new MemTable(icmp, MemTable::Rep::kSkipList, false);
+    mem->Ref();
+    const size_t per_thread = kN / threads;
+    std::atomic<uint64_t> cas_retries{0};
+    std::vector<std::thread> workers;
+    const double ms = TimeMs([&] {
+      for (int t = 0; t < threads; t++) {
+        workers.emplace_back([&, t] {
+          // Pre-assigned disjoint sequence ranges, exactly as the parallel
+          // group apply hands them out to followers.
+          const size_t begin = static_cast<size_t>(t) * per_thread;
+          uint64_t retries = 0;
+          for (size_t i = begin; i < begin + per_thread; i++) {
+            retries += mem->AddConcurrent(i + 1, ValueType::kTypeValue,
+                                          keys[i], "value");
+          }
+          cas_retries.fetch_add(retries, std::memory_order_relaxed);
+        });
+      }
+      for (auto& w : workers) {
+        w.join();
+      }
+    });
+    const double wps = per_thread * threads / (ms / 1000.0);
+    std::printf("concurrent,%d,%zu,%.1f,%.2fx,%llu\n", threads,
+                per_thread * static_cast<size_t>(threads), wps / 1000.0,
+                wps / serial_wps,
+                static_cast<unsigned long long>(cas_retries.load()));
+    mem->Unref();
+  }
+  std::printf(
+      "# expect: concurrent@1 lands within ~10%% of serial_add (the CAS\n"
+      "# splice costs one uncontended compare_exchange per level). On a\n"
+      "# multi-core host 4-8 writers scale to several times the serial\n"
+      "# rate, bounded by memory bandwidth rather than the list; on a\n"
+      "# 1-core testbed the rows stay flat at the serial rate — the\n"
+      "# signal there is the flat overhead plus cas_retries staying a\n"
+      "# tiny fraction of entries even with 8 interleaved writers (the\n"
+      "# end-to-end parallel win is measured by E23b, which charges\n"
+      "# insert cost in overlappable wall clock). \n");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace lsmlab
 
-int main() { lsmlab::bench::Run(); }
+int main(int argc, char** argv) {
+  // `--threads=1,2,4,8` runs the E23a concurrent-insert sweep with the
+  // given writer counts; with no arguments the E13 representation
+  // comparison runs.
+  std::vector<int> thread_counts;
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      int value = 0;
+      for (const char* p = arg + 10; *p != '\0'; p++) {
+        if (*p >= '0' && *p <= '9') {
+          value = value * 10 + (*p - '0');
+        } else if (*p == ',' && value > 0) {
+          thread_counts.push_back(value);
+          value = 0;
+        } else {
+          std::fprintf(stderr, "bad --threads list: %s\n", arg);
+          return 1;
+        }
+      }
+      if (value > 0) {
+        thread_counts.push_back(value);
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=1,2,4,8]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (!thread_counts.empty()) {
+    lsmlab::bench::RunE23Threads(thread_counts);
+    return 0;
+  }
+  lsmlab::bench::Run();
+}

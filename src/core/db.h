@@ -56,6 +56,12 @@ struct DBStats {
   uint64_t wal_syncs = 0;          ///< group commits that synced the WAL
   uint64_t wal_sync_skipped = 0;   ///< group commits the policy left unsynced
   uint64_t vlog_syncs = 0;         ///< write-path value-log syncs
+  // Memtable apply phase: parallel_applies + serial_applies ==
+  // group_commits (each group takes exactly one apply path; see
+  // Options::allow_concurrent_memtable_write).
+  uint64_t parallel_applies = 0;    ///< groups applied by members concurrently
+  uint64_t serial_applies = 0;      ///< groups applied by the leader serially
+  uint64_t insert_cas_retries = 0;  ///< lost skiplist splice CASes
   /// Mean writers per commit group.
   double MeanWriteGroupSize() const {
     return group_commits == 0

@@ -449,10 +449,13 @@ Status DBImpl::NewWal() {
 Status DBImpl::FreezeMemTableLocked() {
   assert(imm_ == nullptr);
   // Rotation destroys the current WAL writer; the group-commit leader must
-  // not be appending to it with mu_ released. Callers that can race a
-  // leader (Flush paths) wait for log_busy_ to clear before getting here;
-  // MakeRoomForWrite runs on the leader itself, where the log is idle.
+  // not be appending to it with mu_ released. Likewise the memtable being
+  // swapped out must not be receiving parallel-apply inserts. Callers
+  // that can race a leader (Flush paths) wait for log_busy_ and
+  // apply_busy_ to clear before getting here; MakeRoomForWrite runs on
+  // the leader itself, where both are idle.
   assert(!log_busy_);
+  assert(!apply_busy_);
   // Rotation I/O (one vlog fsync + one WAL create) is intentionally done
   // under mu_: it must be atomic with the mem_/imm_ swap.
   ScopedBlockingIoAllowed allow_io("memtable freeze + WAL rotation");
@@ -757,7 +760,7 @@ Status DBImpl::FlushLocked(PendingEvents* events) {
   // Background mode: freeze (waiting for a previous freeze to drain and
   // for any in-flight group commit to leave the WAL idle — freezing
   // rotates it), then wait until the background thread installs the flush.
-  while ((imm_ != nullptr || log_busy_) && bg_error_.ok()) {
+  while ((imm_ != nullptr || log_busy_ || apply_busy_) && bg_error_.ok()) {
     bg_cv_.Wait();
   }
   if (!bg_error_.ok()) {
@@ -862,9 +865,10 @@ void DBImpl::ReconfigureMonkeyLocked(int output_level) {
 
 Status DBImpl::FlushMemTableLocked(PendingEvents* events) {
   // This flush rotates the WAL below; wait out any group-commit leader
-  // that is appending with mu_ released. (No bg_error_ check needed: the
-  // leader clears log_busy_ on every path, success or failure.)
-  while (log_busy_) {
+  // that is appending — or parallel-applying — with mu_ released. (No
+  // bg_error_ check needed: the leader clears log_busy_ and apply_busy_
+  // on every path, success or failure.)
+  while (log_busy_ || apply_busy_) {
     bg_cv_.Wait();
   }
   stats_.Add(Ticker::kFlushes);
@@ -1716,6 +1720,9 @@ DBStats DBImpl::GetStats() {
   stats.wal_syncs = stats_.Get(Ticker::kWalSyncs);
   stats.wal_sync_skipped = stats_.Get(Ticker::kWalSyncSkipped);
   stats.vlog_syncs = stats_.Get(Ticker::kVlogSyncs);
+  stats.parallel_applies = stats_.Get(Ticker::kMemtableParallelApplies);
+  stats.serial_applies = stats_.Get(Ticker::kMemtableSerialApplies);
+  stats.insert_cas_retries = stats_.Get(Ticker::kMemtableInsertCasRetries);
   const SSTable::Counters counters = table_cache_->AggregateCounters();
   stats.hash_index_hits = counters.hash_index_hits;
   stats.hash_index_absent = counters.hash_index_absent;

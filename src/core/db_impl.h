@@ -141,6 +141,19 @@ class DBImpl : public DB {
   /// any member requested sync, and the member count.
   WriteBatch* BuildWriteGroupLocked(Writer** last_writer, bool* group_sync,
                                     uint64_t* writer_count) REQUIRES(mu_);
+  /// Applies the committed group to the memtable. Serial path: the leader
+  /// inserts the concatenated group under mu_ (unchanged from PR 6).
+  /// Parallel path (Options::allow_concurrent_memtable_write, skiplist
+  /// rep, no kv-separation, group of >1): the leader pre-assigns every
+  /// member its sequence offset within the group, wakes the followers to
+  /// insert their own batches outside mu_ (apply_busy_ keeps freeze out),
+  /// inserts its own batch likewise, and waits for the last finisher on
+  /// apply_cv_. Releases and reacquires mu_ on the parallel path. The
+  /// caller publishes last_sequence afterwards, so readers never observe
+  /// a partial group either way.
+  Status ApplyWriteGroupLocked(Writer* leader, Writer* last_writer,
+                               WriteBatch* group, SequenceNumber base,
+                               uint64_t writer_count) REQUIRES(mu_);
   /// Durability policy (Options::wal_sync_mode): whether the commit whose
   /// WAL record is `record_bytes` long syncs the log. A group containing a
   /// sync writer syncs in every mode; the interval/bytes policies only add
@@ -268,6 +281,18 @@ class DBImpl : public DB {
   /// rotation (FreezeMemTableLocked / FlushMemTableLocked) must wait for
   /// the log to go idle, or it would destroy the file mid-append.
   bool log_busy_ GUARDED_BY(mu_) = false;
+  /// True while a parallel group apply runs outside mu_ (leader and
+  /// followers inserting into mem_ concurrently). Freeze must wait for it
+  /// exactly as for log_busy_: the memtable about to be swapped out is
+  /// still receiving inserts.
+  bool apply_busy_ GUARDED_BY(mu_) = false;
+  /// Members (leader included) still applying their sub-batches; the last
+  /// finisher signals apply_cv_, where the leader waits.
+  uint64_t parallel_pending_ GUARDED_BY(mu_) = 0;
+  /// First member insert failure of the in-flight parallel apply; the
+  /// leader folds it into the group status (and thus bg_error_).
+  Status parallel_status_ GUARDED_BY(mu_);
+  CondVar apply_cv_{&mu_};
   /// Leader-owned scratch and durability-policy state. Not GUARDED_BY:
   /// only the current leader touches these, between setting and clearing
   /// log_busy_, and the mu_ handoff at those edges orders the accesses

@@ -14,10 +14,20 @@
 //      the durability mode calls for. Readers and the background thread
 //      proceed under mu_ meanwhile; only WAL rotation (memtable freeze)
 //      must wait for log_busy_ to clear.
-//   3. The leader re-acquires mu_, applies the group to the memtable,
-//      publishes last_sequence (so no reader observes the group before it
-//      is applied), pops the group — completing each follower with the
-//      group status — and signals the next queued writer to lead.
+//   3. The leader re-acquires mu_ and applies the group to the memtable.
+//      Serial path: one InsertInto of the concatenated group under mu_.
+//      Parallel path (Options::allow_concurrent_memtable_write + skiplist
+//      rep, no kv-separation): the leader pre-assigns each member its
+//      sequence offset within the group, sets apply_busy_, and wakes the
+//      followers; every member — leader included — inserts its own batch
+//      outside mu_ through the memtable's concurrent path, and the last
+//      finisher signals the leader (ApplyWriteGroupLocked).
+//   4. The leader publishes last_sequence once, after the whole group is
+//      in (so no reader observes a partial group on either path), pops
+//      the group — completing each follower with the group status — and
+//      signals the next queued writer to lead. Member insert failures
+//      funnel into the group status and poison bg_error_ exactly like a
+//      serial apply failure.
 //
 // Mixed-group sync semantics: one group containing any sync writer syncs
 // once for all members. The interval/bytes modes additionally bound the
@@ -39,6 +49,12 @@ struct DBImpl::Writer {
   WriteBatch* batch = nullptr;
   bool sync = false;
   bool done = false;
+  // Parallel group apply: the leader sets parallel_base/parallel_apply
+  // under mu_ and signals the member, which applies its own batch outside
+  // mu_ starting at parallel_base, clears the flag, and parks again until
+  // done. Both fields are only touched under mu_.
+  SequenceNumber parallel_base = 0;
+  bool parallel_apply = false;
   Status status;
   CondVar cv;
 };
@@ -83,13 +99,37 @@ Status DBImpl::WriteImpl(const WriteOptions& options, WriteBatch* updates,
   writers_.push_back(&w);
   if (&w != writers_.front()) {
     const auto park_start = std::chrono::steady_clock::now();
-    while (!w.done && &w != writers_.front()) {
+    while (!w.done && !w.parallel_apply && &w != writers_.front()) {
       w.cv.Wait();
     }
     GetPerfContext()->write_queue_wait_micros += static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - park_start)
             .count());
+    if (w.parallel_apply) {
+      // Woken mid-group to apply our own sub-batch at the sequence offset
+      // the leader assigned (see ApplyWriteGroupLocked). The leader still
+      // owns the group: apply outside mu_, report in, and park again for
+      // the commit status.
+      MemTable* mem = mem_;
+      mu_.Unlock();
+      uint64_t cas_retries = 0;
+      const Status as =
+          w.batch->InsertIntoConcurrent(mem, w.parallel_base, &cas_retries);
+      GetPerfContext()->memtable_insert_cas_retries += cas_retries;
+      mu_.Lock();
+      w.parallel_apply = false;
+      if (!as.ok() && parallel_status_.ok()) {
+        parallel_status_ = as;
+      }
+      assert(parallel_pending_ > 0);
+      if (--parallel_pending_ == 0) {
+        apply_cv_.Signal();
+      }
+      while (!w.done) {
+        w.cv.Wait();
+      }
+    }
     if (w.done) {
       // A leader committed (or failed) this batch on our behalf.
       const Status s = w.status;
@@ -189,7 +229,7 @@ Status DBImpl::WriteImpl(const WriteOptions& options, WriteBatch* updates,
     bg_cv_.SignalAll();
 
     if (s.ok()) {
-      s = group->InsertInto(mem_);
+      s = ApplyWriteGroupLocked(&w, last_writer, group, base, writer_count);
     }
     if (s.ok()) {
       versions_->SetLastSequence(base + group->Count() - 1);
@@ -287,6 +327,73 @@ WriteBatch* DBImpl::BuildWriteGroupLocked(Writer** last_writer,
     ++(*writer_count);
   }
   return group;
+}
+
+Status DBImpl::ApplyWriteGroupLocked(Writer* leader, Writer* last_writer,
+                                     WriteBatch* group, SequenceNumber base,
+                                     uint64_t writer_count) {
+  const auto apply_start = std::chrono::steady_clock::now();
+  Status s;
+  // Parallel apply needs a real group (followers to hand work to), the
+  // option on, a memtable rep that takes concurrent inserts, and no
+  // kv-separation: MaybeSeparateBatch rewrote only the concatenated group
+  // (tagging values inline/pointer), so the members' raw batches no
+  // longer match what the WAL recorded — separation keeps the serial
+  // leader-apply of the rewritten group.
+  const bool parallel = writer_count > 1 &&
+                        options_.allow_concurrent_memtable_write &&
+                        vlog_ == nullptr && mem_->SupportsConcurrentInsert();
+  if (!parallel) {
+    stats_.Add(Ticker::kMemtableSerialApplies);
+    s = group->InsertInto(mem_);
+  } else {
+    stats_.Add(Ticker::kMemtableParallelApplies);
+    apply_busy_ = true;
+    parallel_status_ = Status::OK();
+    parallel_pending_ = writer_count;
+    // Hand every follower its precomputed sequence offset — the leader's
+    // entries come first, then each member in queue order, mirroring the
+    // concatenation order of BuildWriteGroupLocked — and wake it.
+    SequenceNumber running = base + leader->batch->Count();
+    for (auto it = writers_.begin() + 1;; ++it) {
+      assert(it != writers_.end());
+      Writer* member = *it;
+      member->parallel_base = running;
+      running += member->batch->Count();
+      member->parallel_apply = true;
+      member->cv.Signal();
+      if (member == last_writer) {
+        break;
+      }
+    }
+    assert(running == base + group->Count());
+
+    MemTable* mem = mem_;
+    mu_.Unlock();
+    uint64_t cas_retries = 0;
+    const Status ls =
+        leader->batch->InsertIntoConcurrent(mem, base, &cas_retries);
+    GetPerfContext()->memtable_insert_cas_retries += cas_retries;
+    mu_.Lock();
+    if (!ls.ok() && parallel_status_.ok()) {
+      parallel_status_ = ls;
+    }
+    assert(parallel_pending_ > 0);
+    --parallel_pending_;
+    while (parallel_pending_ > 0) {
+      apply_cv_.Wait();
+    }
+    s = parallel_status_;
+    apply_busy_ = false;
+    // Freeze/flush waiters gate on apply_busy_ exactly like log_busy_.
+    bg_cv_.SignalAll();
+  }
+  stats_.Record(PhaseHistogram::kMemtableApplyMicros,
+                static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - apply_start)
+                        .count()));
+  return s;
 }
 
 bool DBImpl::ShouldSyncWal(bool group_sync, uint64_t record_bytes) const {

@@ -135,6 +135,16 @@ struct Options {
   // --- Memtable (I-2, II-4) ----------------------------------------------
   MemTable::Rep memtable_rep = MemTable::Rep::kSkipList;
   bool memtable_hash_index = false;
+  /// Parallel group apply: group-commit followers insert their own
+  /// sub-batches into the memtable concurrently (lock-free skiplist CAS
+  /// splice) instead of waiting for the leader to apply the whole group
+  /// under the DB mutex. Takes effect only for the kSkipList rep without
+  /// the hash index and without key-value separation; other
+  /// configurations keep the serial leader apply (the memtable.
+  /// parallel_applies / memtable.serial_applies tickers show which path
+  /// ran). Readers are unaffected: last_sequence still publishes once per
+  /// group, after every member's inserts land.
+  bool allow_concurrent_memtable_write = false;
 
   // --- Point filters (II-2, II-5) ----------------------------------------
   FilterAllocation filter_allocation = FilterAllocation::kUniform;

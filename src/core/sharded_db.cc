@@ -497,6 +497,9 @@ DBStats ShardedDB::GetStats() {
     total.wal_syncs += stats.wal_syncs;
     total.wal_sync_skipped += stats.wal_sync_skipped;
     total.vlog_syncs += stats.vlog_syncs;
+    total.parallel_applies += stats.parallel_applies;
+    total.serial_applies += stats.serial_applies;
+    total.insert_cas_retries += stats.insert_cas_retries;
     total.write_slowdowns += stats.write_slowdowns;
     total.write_stalls += stats.write_stalls;
     total.write_slowdown_micros += stats.write_slowdown_micros;

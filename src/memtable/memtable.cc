@@ -54,12 +54,14 @@ size_t MemTable::ApproximateMemoryUsage() const {
 }
 
 const char* MemTable::EncodeEntry(SequenceNumber seq, ValueType type,
-                                  const Slice& user_key, const Slice& value) {
+                                  const Slice& user_key, const Slice& value,
+                                  bool concurrent) {
   const size_t internal_key_size = user_key.size() + 8;
   const size_t encoded_len = VarintLength(internal_key_size) +
                              internal_key_size +
                              VarintLength(value.size()) + value.size();
-  char* buf = arena_.Allocate(encoded_len);
+  char* buf = concurrent ? arena_.AllocateConcurrent(encoded_len)
+                         : arena_.Allocate(encoded_len);
   std::string scratch;
   scratch.reserve(encoded_len);
   PutVarint32(&scratch, static_cast<uint32_t>(internal_key_size));
@@ -86,10 +88,20 @@ size_t MemTable::VectorLowerBound(const Slice& target) const {
   return lo;
 }
 
+uint64_t MemTable::AddConcurrent(SequenceNumber seq, ValueType type,
+                                 const Slice& user_key, const Slice& value) {
+  assert(SupportsConcurrentInsert());
+  const char* entry = EncodeEntry(seq, type, user_key, value,
+                                  /*concurrent=*/true);
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+  return skiplist_->InsertConcurrently(entry);
+}
+
 void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
                    const Slice& value) {
-  const char* entry = EncodeEntry(seq, type, user_key, value);
-  num_entries_++;
+  const char* entry = EncodeEntry(seq, type, user_key, value,
+                                  /*concurrent=*/false);
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
   if (rep_ == Rep::kSkipList) {
     skiplist_->Insert(entry);
   } else {

@@ -58,15 +58,33 @@ class MemTable {
   Iterator* NewIterator();
 
   /// Adds an entry. A deletion is an entry of type kTypeDeletion.
+  /// Single-writer: callers serialize Adds (the classic contract).
   void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
            const Slice& value);
+
+  /// Thread-safe Add for the parallel group apply: any number of
+  /// AddConcurrent calls may run simultaneously, alongside lock-free
+  /// readers. REQUIRES: SupportsConcurrentInsert(). Returns the number
+  /// of skiplist CAS retries (memtable.insert_cas_retries ticker).
+  uint64_t AddConcurrent(SequenceNumber seq, ValueType type,
+                         const Slice& user_key, const Slice& value);
+
+  /// True when this memtable accepts AddConcurrent: the skiplist rep
+  /// without the auxiliary hash index. The sorted vector shifts a dense
+  /// array on insert and the hash index is an unsynchronized
+  /// unordered_map — both stay on the serial leader-apply path.
+  bool SupportsConcurrentInsert() const {
+    return rep_ == Rep::kSkipList && !use_hash_index_;
+  }
 
   /// If a version visible at `lkey`'s snapshot exists, returns true and
   /// sets *value (found) or *s = NotFound (tombstone). Returns false when
   /// this memtable holds nothing visible for the key.
   bool Get(const LookupKey& lkey, std::string* value, Status* s);
 
-  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
   /// Orders entry pointers by their encoded internal keys (public so the
   /// iterator implementation can name the skiplist type).
@@ -79,7 +97,8 @@ class MemTable {
   ~MemTable() = default;  // only via Unref()
 
   const char* EncodeEntry(SequenceNumber seq, ValueType type,
-                          const Slice& user_key, const Slice& value);
+                          const Slice& user_key, const Slice& value,
+                          bool concurrent);
 
   /// Positions the ordered rep at the first entry >= `target` internal
   /// key; returns nullptr if none. (Vector rep only; skiplist uses its own
@@ -90,7 +109,8 @@ class MemTable {
   KeyComparator key_comparator_;
   Rep rep_;
   std::atomic<int> refs_{0};
-  uint64_t num_entries_ = 0;
+  // Relaxed atomic: bumped by concurrent appliers, read by flush sizing.
+  std::atomic<uint64_t> num_entries_{0};
   Arena arena_;
   std::unique_ptr<SkipList<const char*, KeyComparator>> skiplist_;
   std::vector<const char*> vector_;  // sorted by internal key

@@ -10,10 +10,31 @@
 
 namespace lsmlab {
 
+namespace skiplist_internal {
+
+/// Per-thread tower-height generator. The height stream only shapes the
+/// skiplist's expected search cost, never its contents, so giving every
+/// thread an independent deterministically-seeded stream keeps
+/// single-threaded runs reproducible while letting concurrent inserters
+/// draw heights without sharing (racing on) one generator — and without
+/// the correlated towers a shared fixed seed would hand to every thread.
+inline Random& ThreadLocalHeightRng() {
+  static std::atomic<uint64_t> counter{0};
+  thread_local Random rng(0xdeadbeefull +
+                          counter.fetch_add(1, std::memory_order_relaxed));
+  return rng;
+}
+
+}  // namespace skiplist_internal
+
 /// Arena-backed skiplist: the classic LSM write-buffer structure
-/// (tutorial I-1). One writer inserts at a time; readers may traverse
-/// concurrently with inserts without locking (next pointers are released
-/// atomically, nodes are never removed until the whole list is dropped).
+/// (tutorial I-1). Readers may traverse concurrently with inserts without
+/// locking (next pointers are released atomically, nodes are never
+/// removed until the whole list is dropped). Writers come in two flavors:
+/// Insert() assumes external serialization (one writer at a time), while
+/// InsertConcurrently() lets any number of writers splice simultaneously
+/// via per-level CAS — both uphold the same acquire/release contract
+/// toward readers, so iterators never care which insert path ran.
 ///
 /// Key is a trivially copyable handle (the memtable uses const char*).
 /// Comparator is a functor: int operator()(const Key&, const Key&).
@@ -27,8 +48,7 @@ class SkipList {
       : compare_(cmp),
         arena_(arena),
         head_(NewNode(Key{}, kMaxHeight)),
-        max_height_(1),
-        rnd_(0xdeadbeef) {
+        max_height_(1) {
     for (int i = 0; i < kMaxHeight; i++) {
       head_->SetNext(i, nullptr);
     }
@@ -37,7 +57,8 @@ class SkipList {
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
-  /// Inserts key. REQUIRES: no equal key is already in the list.
+  /// Inserts key. REQUIRES: no equal key is already in the list, and no
+  /// other insert (of either flavor) is running concurrently.
   void Insert(const Key& key) {
     Node* prev[kMaxHeight];
     Node* x = FindGreaterOrEqual(key, prev);
@@ -56,6 +77,59 @@ class SkipList {
       x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
       prev[i]->SetNext(i, x);
     }
+  }
+
+  /// Thread-safe insert: any number of InsertConcurrently() calls may run
+  /// at once, alongside lock-free readers. Each level is spliced with a
+  /// CAS on prev->next; when the CAS loses (another writer spliced there
+  /// first) the level's splice is recomputed by walking forward from the
+  /// stale prev — valid because nodes are never removed, so a stale prev
+  /// is still an ancestor of the right position. Levels link bottom-up:
+  /// once level 0 succeeds the node is reachable, and the release CAS
+  /// publishes the node's own next pointers to readers.
+  ///
+  /// REQUIRES: no equal key is in the list or being inserted, and the
+  /// backing Arena must tolerate concurrent allocation (the memtable
+  /// routes NewNode through Arena::AllocateAlignedConcurrent).
+  /// Returns the number of CAS retries (for memtable.insert_cas_retries).
+  uint64_t InsertConcurrently(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* next[kMaxHeight];
+    const int height = RandomHeight();
+
+    // Raise max_height_ with a CAS so racing tall inserts converge on the
+    // tallest request. A reader that observes the new height before the
+    // node is linked just walks head_'s null pointers at the top, as in
+    // the serial path.
+    int max_h = max_height_.load(std::memory_order_relaxed);
+    while (height > max_h &&
+           !max_height_.compare_exchange_weak(max_h, height,
+                                              std::memory_order_relaxed)) {
+    }
+
+    Node* x = NewNodeConcurrently(key, height);
+    FindSplice(key, prev, next);
+    assert(next[0] == nullptr || !Equal(key, next[0]->key));
+
+    uint64_t cas_retries = 0;
+    for (int i = 0; i < height; i++) {
+      while (true) {
+        // Link the new node to its successor before publishing: the CAS
+        // below releases, so a reader that reaches x through prev[i] also
+        // sees x->next_[i]. Insert-only lists cannot ABA — a next pointer
+        // never returns to a prior value because nodes are never unlinked.
+        x->NoBarrier_SetNext(i, next[i]);
+        if (prev[i]->CASNext(i, next[i], x)) {
+          break;
+        }
+        // Lost the race at this level: someone spliced after prev[i].
+        // prev[i] still compares < key, so re-walk forward from it.
+        cas_retries++;
+        FindSpliceForLevel(key, prev[i], i, &prev[i], &next[i]);
+        assert(i != 0 || next[0] == nullptr || !Equal(key, next[0]->key));
+      }
+    }
+    return cas_retries;
   }
 
   bool Contains(const Key& key) const {
@@ -121,6 +195,14 @@ class SkipList {
     void NoBarrier_SetNext(int n, Node* x) {
       next_[n].store(x, std::memory_order_relaxed);
     }
+    /// Splice CAS for concurrent inserts: release on success (publishes
+    /// x and its next pointers, like SetNext), relaxed on failure (the
+    /// caller re-walks and retries).
+    bool CASNext(int n, Node* expected, Node* x) {
+      return next_[n].compare_exchange_strong(expected, x,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+    }
 
    private:
     // Array of length equal to the node height; [0] is the lowest level.
@@ -133,9 +215,16 @@ class SkipList {
     return new (mem) Node(key);
   }
 
+  Node* NewNodeConcurrently(const Key& key, int height) {
+    char* mem = arena_->AllocateAlignedConcurrent(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+    return new (mem) Node(key);
+  }
+
   int RandomHeight() {
+    Random& rnd = skiplist_internal::ThreadLocalHeightRng();
     int height = 1;
-    while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    while (height < kMaxHeight && rnd.OneIn(kBranching)) {
       height++;
     }
     return height;
@@ -147,6 +236,34 @@ class SkipList {
 
   bool Equal(const Key& a, const Key& b) const {
     return compare_(a, b) == 0;
+  }
+
+  /// Walks forward from `before` at `level` until the splice point:
+  /// *out_prev compares < key and *out_next is its successor (nullptr or
+  /// >= key). REQUIRES: before is head_ or compares < key.
+  void FindSpliceForLevel(const Key& key, Node* before, int level,
+                          Node** out_prev, Node** out_next) const {
+    Node* x = before;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next == nullptr || compare_(next->key, key) >= 0) {
+        *out_prev = x;
+        *out_next = next;
+        return;
+      }
+      x = next;
+    }
+  }
+
+  /// Computes the splice (prev/next pair) for every level. Top levels
+  /// above max_height_ just yield head_/nullptr, which is exactly the
+  /// right splice if this insert raises the height.
+  void FindSplice(const Key& key, Node** prev, Node** next) const {
+    Node* before = head_;
+    for (int level = kMaxHeight - 1; level >= 0; level--) {
+      FindSpliceForLevel(key, before, level, &prev[level], &next[level]);
+      before = prev[level];
+    }
   }
 
   Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
@@ -204,7 +321,6 @@ class SkipList {
   Arena* const arena_;
   Node* const head_;
   std::atomic<int> max_height_;
-  Random rnd_;
 };
 
 }  // namespace lsmlab

@@ -33,6 +33,7 @@ void ForEachField(PerfContext& ctx, const Fn& fn) {
   fn("wal_append_count", ctx.wal_append_count);
   fn("wal_sync_count", ctx.wal_sync_count);
   fn("write_queue_wait_micros", ctx.write_queue_wait_micros);
+  fn("memtable_insert_cas_retries", ctx.memtable_insert_cas_retries);
   fn("get_micros", ctx.get_micros);
   fn("multiget_micros", ctx.multiget_micros);
   fn("seek_micros", ctx.seek_micros);

@@ -61,6 +61,9 @@ struct PerfContext {
   uint64_t write_queue_wait_micros = 0;  ///< time parked in the writer queue
                                          ///< before a leader committed us (or
                                          ///< we became leader ourselves)
+  uint64_t memtable_insert_cas_retries = 0;  ///< skiplist splice CASes this
+                                             ///< writer lost during a
+                                             ///< parallel group apply
 
   // --- Phase timers (microseconds) ----------------------------------------
   uint64_t get_micros = 0;

@@ -72,6 +72,12 @@ const char* StatsRegistry::TickerName(Ticker ticker) {
       return "write.slowdown_micros";
     case Ticker::kWriteStallMicros:
       return "write.stall_micros";
+    case Ticker::kMemtableParallelApplies:
+      return "memtable.parallel_applies";
+    case Ticker::kMemtableSerialApplies:
+      return "memtable.serial_applies";
+    case Ticker::kMemtableInsertCasRetries:
+      return "memtable.insert_cas_retries";
     case Ticker::kFlushes:
       return "flushes";
     case Ticker::kCompactions:
@@ -100,6 +106,8 @@ const char* StatsRegistry::HistogramName(PhaseHistogram h) {
       return "write_micros";
     case PhaseHistogram::kWriteGroupSize:
       return "write_group_size";
+    case PhaseHistogram::kMemtableApplyMicros:
+      return "memtable_apply_micros";
     case PhaseHistogram::kFlushMicros:
       return "flush_micros";
     case PhaseHistogram::kCompactionMicros:
@@ -134,6 +142,7 @@ void StatsRegistry::MergePerfDelta(const PerfContext& delta) {
   add(Ticker::kMergeIterSteps, delta.merge_iter_step_count);
   add(Ticker::kWalAppends, delta.wal_append_count);
   add(Ticker::kWalSyncs, delta.wal_sync_count);
+  add(Ticker::kMemtableInsertCasRetries, delta.memtable_insert_cas_retries);
 }
 
 std::string StatsRegistry::Dump() const {

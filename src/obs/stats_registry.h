@@ -55,6 +55,11 @@ enum class Ticker : uint32_t {
   kWriteStalls,
   kWriteSlowdownMicros,
   kWriteStallMicros,
+  // Memtable apply phase. parallel + serial applies always sum to
+  // wal.group_commits: every commit group takes exactly one apply path.
+  kMemtableParallelApplies,   ///< groups applied by members concurrently
+  kMemtableSerialApplies,     ///< groups applied by the leader under mu_
+  kMemtableInsertCasRetries,  ///< lost skiplist splice CASes (contention)
   // Background pipeline.
   kFlushes,
   kCompactions,
@@ -71,7 +76,8 @@ enum class PhaseHistogram : uint32_t {
   kGetMicros,
   kMultiGetMicros,  ///< whole-batch latency, not per key
   kWriteMicros,
-  kWriteGroupSize,  ///< writers per commit group (count, not micros)
+  kWriteGroupSize,      ///< writers per commit group (count, not micros)
+  kMemtableApplyMicros, ///< group apply phase, WAL I/O excluded (both paths)
   kFlushMicros,
   kCompactionMicros,
 

@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/mutex.h"
+
 namespace lsmlab {
 
 /// Bump allocator backing the memtable skiplist.
@@ -15,6 +17,17 @@ namespace lsmlab {
 /// Arena is destroyed (which is when the memtable is dropped after a flush).
 /// MemoryUsage() is what the engine compares against the write-buffer size
 /// to decide when to flush.
+///
+/// Two allocation paths share the block list:
+///  - Allocate()/AllocateAligned(): the classic single-writer bump pointer.
+///  - AllocateConcurrent()/AllocateAlignedConcurrent(): each thread bumps a
+///    private per-thread block (no synchronization on the hot path); only
+///    block refills take blocks_mu_. Used by the parallel group apply,
+///    where group-commit followers insert into the memtable simultaneously.
+/// The two paths may be interleaved over the arena's lifetime but carry
+/// their own contracts: the serial calls assume no other allocation (of
+/// either flavor) is in flight, exactly the single-writer discipline the
+/// serial memtable Add path already has.
 class Arena {
  public:
   Arena();
@@ -29,18 +42,35 @@ class Arena {
   /// Allocate with the platform's pointer alignment (for node structs).
   char* AllocateAligned(size_t bytes);
 
+  /// Thread-safe Allocate: any number of threads may call concurrently.
+  char* AllocateConcurrent(size_t bytes) { return ConcurrentImpl(bytes, 1); }
+
+  /// Thread-safe AllocateAligned.
+  char* AllocateAlignedConcurrent(size_t bytes);
+
   /// Total memory reserved by the arena (including block headroom).
+  /// Relaxed atomic read; safe from any thread, including while
+  /// concurrent allocations run.
   size_t MemoryUsage() const {
     return memory_usage_.load(std::memory_order_relaxed);
   }
 
  private:
   char* AllocateFallback(size_t bytes);
-  char* AllocateNewBlock(size_t block_bytes);
+  char* ConcurrentImpl(size_t bytes, size_t align);
+  char* AllocateNewBlock(size_t block_bytes) REQUIRES(blocks_mu_);
+
+  /// Never-reused id distinguishing this arena in the per-thread block
+  /// cache (see arena.cc): a thread slot left over from a destroyed arena
+  /// can never match a live one.
+  const uint64_t id_;
 
   char* alloc_ptr_;
   size_t alloc_bytes_remaining_;
-  std::vector<std::unique_ptr<char[]>> blocks_;
+  /// Guards the block list for both paths (serial refills take it too —
+  /// uncontended — so every push_back is under the same lock).
+  Mutex blocks_mu_{LockRank::kArenaMu};
+  std::vector<std::unique_ptr<char[]>> blocks_ GUARDED_BY(blocks_mu_);
   std::atomic<size_t> memory_usage_;
 };
 

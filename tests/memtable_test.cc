@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "memtable/skiplist.h"
 #include "util/random.h"
@@ -73,6 +76,97 @@ TEST(SkipListTest, SeekAndPrev) {
   EXPECT_EQ(it.key(), 90u);
   it.Seek(1000);
   EXPECT_FALSE(it.Valid());
+}
+
+// Interleaved key ranges maximize CAS contention: every thread splices into
+// every neighborhood of the list instead of appending to a private region.
+TEST(SkipListTest, ConcurrentInsertInterleavedThreads) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 2000;
+  std::atomic<uint64_t> total_retries{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      uint64_t retries = 0;
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        retries += list.InsertConcurrently(i * kThreads + t);
+      }
+      total_retries.fetch_add(retries, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  SkipList<uint64_t, IntComparator>::Iterator it(&list);
+  uint64_t expected = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ASSERT_EQ(it.key(), expected);
+    expected++;
+  }
+  EXPECT_EQ(expected, kPerThread * kThreads);
+  // Retries are contention-dependent; the counter only has to be coherent.
+  EXPECT_LT(total_retries.load(), kPerThread * kThreads * 100);
+}
+
+TEST(SkipListTest, ConcurrentInsertsVsConcurrentReaders) {
+  Arena arena;
+  SkipList<uint64_t, IntComparator> list(IntComparator(), &arena);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr uint64_t kPerWriter = 4000;
+  // watermarks[t] = writer t has finished inserting keys [0, watermark).
+  std::atomic<uint64_t> watermarks[kWriters];
+  for (auto& w : watermarks) w.store(0);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; t++) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerWriter; i++) {
+        list.InsertConcurrently(i * kWriters + t);
+        watermarks[t].store(i + 1, std::memory_order_release);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; r++) {
+    threads.emplace_back([&, r] {
+      Random rng(0x9e3779b9u + r);
+      while (!done.load(std::memory_order_acquire)) {
+        // Scan: keys must be strictly increasing even mid-insert.
+        SkipList<uint64_t, IntComparator>::Iterator it(&list);
+        uint64_t prev = 0;
+        bool first = true;
+        for (it.SeekToFirst(); it.Valid(); it.Next()) {
+          if (!first) {
+            ASSERT_GT(it.key(), prev);
+          }
+          prev = it.key();
+          first = false;
+        }
+        // Point reads: everything below a writer's published watermark
+        // must already be visible to Contains and Seek.
+        const int t = static_cast<int>(rng.Uniform(kWriters));
+        const uint64_t mark = watermarks[t].load(std::memory_order_acquire);
+        if (mark > 0) {
+          const uint64_t key = rng.Uniform(mark) * kWriters + t;
+          ASSERT_TRUE(list.Contains(key));
+          SkipList<uint64_t, IntComparator>::Iterator seek_it(&list);
+          seek_it.Seek(key);
+          ASSERT_TRUE(seek_it.Valid());
+          ASSERT_EQ(seek_it.key(), key);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; t++) threads[t].join();
+  done.store(true, std::memory_order_release);
+  for (int r = 0; r < kReaders; r++) threads[kWriters + r].join();
+
+  SkipList<uint64_t, IntComparator>::Iterator it(&list);
+  uint64_t count = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) count++;
+  EXPECT_EQ(count, kPerWriter * kWriters);
 }
 
 // ------------------------------------------------------------- MemTable --
@@ -217,6 +311,54 @@ TEST_P(MemTableTest, IteratorKeepsTableAliveViaRef) {
   ASSERT_TRUE(it->Valid());
   EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "k");
   delete it;  // releases the final reference
+}
+
+// Concurrent Add is only supported by the skiplist rep without the hash
+// index, so this test is not parameterized like the ones above.
+TEST(MemTableConcurrentTest, AddConcurrentFromManyThreads) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp, MemTable::Rep::kSkipList,
+                               /*use_hash_index=*/false);
+  mem->Ref();
+  ASSERT_TRUE(mem->SupportsConcurrentInsert());
+  for (const auto& [rep, hash_index] :
+       {std::pair{MemTable::Rep::kSortedVector, false},
+        std::pair{MemTable::Rep::kSkipList, true}}) {
+    MemTable* other = new MemTable(icmp, rep, hash_index);
+    other->Ref();
+    EXPECT_FALSE(other->SupportsConcurrentInsert());
+    other->Unref();
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      // Pre-assigned disjoint sequence ranges, as the parallel group apply
+      // hands out: thread t owns sequences [t*kPerThread+1, (t+1)*kPerThread].
+      SequenceNumber seq = static_cast<SequenceNumber>(t) * kPerThread + 1;
+      for (int i = 0; i < kPerThread; i++) {
+        const std::string k =
+            "w" + std::to_string(t) + "_" + std::to_string(i);
+        mem->AddConcurrent(seq++, ValueType::kTypeValue, k,
+                           "v" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mem->num_entries(), uint64_t{kThreads} * kPerThread);
+  for (int t = 0; t < kThreads; t++) {
+    for (int i = 0; i < kPerThread; i++) {
+      const std::string k = "w" + std::to_string(t) + "_" + std::to_string(i);
+      std::string value;
+      Status s;
+      ASSERT_TRUE(mem->Get(LookupKey(k, kMaxSequenceNumber), &value, &s)) << k;
+      EXPECT_EQ(value, "v" + std::to_string(i));
+    }
+  }
+  mem->Unref();
 }
 
 INSTANTIATE_TEST_SUITE_P(Reps, MemTableTest,

@@ -7,6 +7,15 @@ may execute while a ranked *no-io* engine mutex is held, except at sites
 explicitly audited with an `io-under-lock-ok:` comment AND listed in
 tools/lock_io_audit.list.
 
+A second leaf class covers the parallel group apply (PR 10): the
+concurrent memtable insert entry points (SkipList::InsertConcurrently,
+MemTable::AddConcurrent, WriteBatch::InsertIntoConcurrent) run outside
+mu_ by design — the whole point is that group members insert in parallel
+without serializing on the DB mutex — so calling one while a no-io
+engine mutex is held is flagged exactly like blocking I/O. The serial
+siblings (Insert/Add/InsertInto) are legitimately called under mu_ and
+are not in the set.
+
 The tool:
   1. scans every .h/.cc under src/ (file list from compile_commands.json when
      present, e.g. build/compile_commands.json exported by the default cmake
@@ -59,6 +68,14 @@ RAW_BLOCKING = {
     "fsync", "fdatasync", "open", "pread", "pwrite", "fwrite", "fread",
     "fflush", "fopen", "fclose", "stat", "unlink", "mkdir",
     "sleep_for", "sleep_until",
+}
+# Parallel-apply entry points: must run with no no-io engine mutex held
+# (the member-parallel insert region of src/core/db_write.cc). Matched by
+# method name alone — the names are unique to the concurrent memtable
+# path, and their serial siblings (Insert/Add/InsertInto) stay callable
+# under mu_.
+APPLY_BLOCKING = {
+    "InsertConcurrently", "AddConcurrent", "InsertIntoConcurrent",
 }
 
 
@@ -143,6 +160,8 @@ class Analyzer(Frontend):
 
     # -- call classification ----------------------------------------------
     def classify_call(self, scanner, func, cls, expr, parts, method):
+        if method in APPLY_BLOCKING:
+            return "memtable-apply", []
         if method in ("sleep_for", "sleep_until"):
             return "sleep", []
         if method in RAW_BLOCKING and expr in (
@@ -338,6 +357,11 @@ class WritableFile {
   Status Append(const Slice& s);
   Status Sync();
 };
+class MemTable {
+ public:
+  uint64_t AddConcurrent(int seq);
+  void Add(int seq);
+};
 class Widget {
  public:
   void Direct();
@@ -346,11 +370,14 @@ class Widget {
   void Audited();
   void Scoped();
   void Span();
+  void ApplyLocked();
+  void ApplyUnlocked();
  private:
   void Helper();
   Mutex mu_{LockRank::kWidgetMu};
   Mutex logger_mu_{LockRank::kLoggerMu};
   std::unique_ptr<WritableFile> file_;
+  MemTable* mem_;
 };
 }  // namespace lsmlab
 """
@@ -398,6 +425,18 @@ void Widget::Span() {
   file_->Append(Slice("y")).IgnoreError();  // clean: io-ok rank
 }
 
+void Widget::ApplyLocked() {
+  MutexLock l(&mu_);
+  mem_->AddConcurrent(1);  // seeded violation: parallel apply under mu_
+}
+
+void Widget::ApplyUnlocked() {
+  mu_.Lock();
+  mem_->Add(1);  // clean: the serial sibling is fine under mu_
+  mu_.Unlock();
+  mem_->AddConcurrent(1);  // clean: no lock held
+}
+
 }  // namespace lsmlab
 """
 
@@ -428,10 +467,11 @@ def self_test(verbose):
         flagged = {v.func.key for v in violations}
         failures = []
         for expect in ("Widget::Direct", "Widget::Indirect",
-                       "Widget::Required"):
+                       "Widget::Required", "Widget::ApplyLocked"):
             if expect not in flagged:
                 failures.append(f"seeded violation in {expect} NOT flagged")
-        for clean in ("Widget::Scoped", "Widget::Span", "Widget::Audited"):
+        for clean in ("Widget::Scoped", "Widget::Span", "Widget::Audited",
+                      "Widget::ApplyUnlocked"):
             if clean in flagged:
                 failures.append(f"clean function {clean} falsely flagged")
         if not any("stale audit entry" in e for e in an.errors):

@@ -56,7 +56,17 @@ if [ "${1:-}" = "--self-test" ]; then
   self="$(cd "$(dirname "$0")" && pwd)/$(basename "$0")"
   tmp="$(mktemp -d -t lint_self_test.XXXXXX)"
   trap 'rm -rf "$tmp"' EXIT
-  mkdir -p "$tmp/src/core" "$tmp/tools"
+  mkdir -p "$tmp/src/core" "$tmp/src/memtable" "$tmp/tools"
+  # check 1 must fire inside the lock-free skiplist specifically: a raw
+  # mutex smuggled into the concurrent-insert path would be invisible to
+  # the thread-safety analysis AND would break the lock-free reader
+  # contract, so the self-test pins the ban to that file.
+  cat > "$tmp/src/memtable/skiplist.h" << 'EOF'
+template <typename Key>
+class SkipList {
+  std::mutex splice_mu_;                              // check 1: raw mutex in the lock-free skiplist
+};
+EOF
   cat > "$tmp/src/core/seeded.cc" << 'EOF'
 std::mutex raw_mu;                                    // check 1
 void Escape() NO_THREAD_SAFETY_ANALYSIS;              // check 2
@@ -90,6 +100,10 @@ EOF
     fi
   }
   expect "raw std synchronization primitive"
+  if ! grep -q 'src/memtable/skiplist.h' <<< "$out"; then
+    echo "lint --self-test: raw std::mutex seeded in the skiplist not flagged"
+    fail=1
+  fi
   expect "NO_THREAD_SAFETY_ANALYSIS outside"
   expect "rand()/srand()"
   expect "(void)-cast call result"
